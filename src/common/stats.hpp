@@ -1,0 +1,77 @@
+// Streaming statistics accumulator (Welford) used to report the paper's
+// "arithmetic means and standard deviations over N samples".
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace hs {
+
+/// Single-pass mean / variance / min / max accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  /// Population variance (the paper reports stddev over a fixed sample set).
+  [[nodiscard]] double variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Sample (Bessel-corrected) variance; 0 when n < 2.
+  [[nodiscard]] double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double sample_stddev() const {
+    return std::sqrt(sample_variance());
+  }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    double delta = other.mean_ - mean_;
+    std::size_t total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ = total;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hs

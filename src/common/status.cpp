@@ -1,0 +1,32 @@
+#include "common/status.hpp"
+
+namespace hs {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hs

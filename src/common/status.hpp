@@ -1,0 +1,132 @@
+// Lightweight status / result types used across HetStream.
+//
+// The library deliberately avoids exceptions on hot paths (stream stages and
+// simulated-device operations run millions of times); fallible operations
+// return Status or Result<T>. Construction-time programming errors still use
+// assertions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hs {
+
+/// Error categories; intentionally coarse — each carries a free-form message.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,       ///< device or host allocation failure
+  kNotFound,
+  kFailedPrecondition, ///< e.g. async copy from pageable memory
+  kOutOfRange,
+  kAlreadyExists,
+  kInternal,
+  kUnimplemented,
+  kAborted,
+  kDataLoss,           ///< corrupt container / failed checksum
+};
+
+/// Human-readable name of an ErrorCode (stable, for logs and tests).
+std::string_view error_code_name(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status() or OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status OutOfMemory(std::string msg) {
+  return {ErrorCode::kOutOfMemory, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status Aborted(std::string msg) {
+  return {ErrorCode::kAborted, std::move(msg)};
+}
+inline Status DataLoss(std::string msg) {
+  return {ErrorCode::kDataLoss, std::move(msg)};
+}
+
+/// A value-or-error. Minimal expected<> stand-in: value() asserts on error,
+/// so callers must check ok() first (tests enforce the error paths).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result from Status requires an error");
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// value() if ok, otherwise the provided default.
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hs

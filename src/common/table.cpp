@@ -1,0 +1,112 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace hs {
+
+void Table::set_header(std::vector<std::string> header) {
+  assert(rows_.empty() && "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    assert(row.size() <= header_.size() && "row wider than header");
+    row.resize(header_.size());
+  }
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::render(std::ostream& os) const {
+  // compute column widths
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  print_rule();
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      print_rule();
+    } else {
+      print_cells(r.cells);
+    }
+  }
+  print_rule();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::render_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const Row& r : rows_) {
+    if (!r.separator) emit(r.cells);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  render_csv(os);
+  return os.str();
+}
+
+}  // namespace hs

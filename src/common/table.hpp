@@ -1,0 +1,54 @@
+// ASCII table / CSV reporter used by the figure benches to print rows in the
+// same layout as the paper's plots (one row per version, columns for time,
+// speedup / throughput, stddev).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/// Column-aligned text table with an optional title, rendered to a stream.
+/// Cells are strings; numeric formatting is the caller's job (format_fixed,
+/// format_seconds, format_bytes).
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; it is padded or an assertion fires if the width differs
+  /// from the header (when a header is set).
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the current last row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with box-drawing-free ASCII (pipes and dashes) so output is
+  /// stable in logs and diffable in EXPERIMENTS.md.
+  void render(std::ostream& os) const;
+
+  /// Renders as CSV (header first). Separators are skipped; commas and
+  /// quotes in cells are escaped per RFC 4180.
+  void render_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hs

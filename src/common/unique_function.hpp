@@ -1,0 +1,60 @@
+// Move-only type-erased callable (std::move_only_function is C++23; this
+// project targets C++20). Tasks in the taskx pool capture move-only stream
+// items, which std::function cannot hold.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hs {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT: mirror std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f)  // NOLINT: implicit, mirror std::function
+      : callable_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return callable_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(callable_ && "calling empty UniqueFunction");
+    return callable_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F&& f) : fn(std::move(f)) {}
+    explicit Impl(const F& f) : fn(f) {}
+    R invoke(Args&&... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Base> callable_;
+};
+
+}  // namespace hs

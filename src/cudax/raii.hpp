@@ -1,0 +1,174 @@
+// RAII C++ wrappers over the CUDA-style C API: device memory, pinned host
+// memory, and streams that release themselves — the Core-Guidelines-style
+// layer applications should prefer over raw cudaMalloc/cudaFree pairs.
+//
+// All wrappers are move-only and remember the device they were created on
+// (cudaFree must run with that device current; the wrappers restore it,
+// since cudaSetDevice is thread-local state).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/status.hpp"
+#include "cudax/cudax.hpp"
+
+namespace hs::cudax {
+
+/// Device memory that frees itself. Create with DeviceBuffer::Allocate on
+/// the current device.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  static Result<DeviceBuffer> Allocate(std::size_t bytes) {
+    int device = 0;
+    if (cudaGetDevice(&device) != cudaError::cudaSuccess) {
+      return Internal("no current device: " + last_error_message());
+    }
+    void* ptr = nullptr;
+    if (cudaMalloc(&ptr, bytes) != cudaError::cudaSuccess) {
+      return OutOfMemory(last_error_message());
+    }
+    return DeviceBuffer(ptr, bytes, device);
+  }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] void* data() const { return ptr_; }
+  [[nodiscard]] std::size_t size() const { return bytes_; }
+  [[nodiscard]] int device() const { return device_; }
+  [[nodiscard]] bool valid() const { return ptr_ != nullptr; }
+
+  template <typename T>
+  [[nodiscard]] T* as() const {
+    return static_cast<T*>(ptr_);
+  }
+
+ private:
+  DeviceBuffer(void* ptr, std::size_t bytes, int device)
+      : ptr_(ptr), bytes_(bytes), device_(device) {}
+
+  void release() {
+    if (ptr_ == nullptr) return;
+    int prev = 0;
+    bool restore = cudaGetDevice(&prev) == cudaError::cudaSuccess;
+    (void)cudaSetDevice(device_);
+    (void)cudaFree(ptr_);
+    if (restore) (void)cudaSetDevice(prev);
+    ptr_ = nullptr;
+    bytes_ = 0;
+  }
+
+  void swap(DeviceBuffer& other) {
+    std::swap(ptr_, other.ptr_);
+    std::swap(bytes_, other.bytes_);
+    std::swap(device_, other.device_);
+  }
+
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+  int device_ = 0;
+};
+
+/// Page-locked host memory that frees itself (async copies require it).
+class PinnedBuffer {
+ public:
+  PinnedBuffer() = default;
+
+  static Result<PinnedBuffer> Allocate(std::size_t bytes) {
+    void* ptr = nullptr;
+    if (cudaMallocHost(&ptr, bytes) != cudaError::cudaSuccess) {
+      return OutOfMemory(last_error_message());
+    }
+    return PinnedBuffer(ptr, bytes);
+  }
+
+  PinnedBuffer(PinnedBuffer&& other) noexcept { swap(other); }
+  PinnedBuffer& operator=(PinnedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  PinnedBuffer(const PinnedBuffer&) = delete;
+  PinnedBuffer& operator=(const PinnedBuffer&) = delete;
+  ~PinnedBuffer() { release(); }
+
+  [[nodiscard]] void* data() const { return ptr_; }
+  [[nodiscard]] std::size_t size() const { return bytes_; }
+  [[nodiscard]] bool valid() const { return ptr_ != nullptr; }
+
+  template <typename T>
+  [[nodiscard]] T* as() const {
+    return static_cast<T*>(ptr_);
+  }
+
+ private:
+  PinnedBuffer(void* ptr, std::size_t bytes) : ptr_(ptr), bytes_(bytes) {}
+
+  void release() {
+    if (ptr_ != nullptr) (void)cudaFreeHost(ptr_);
+    ptr_ = nullptr;
+    bytes_ = 0;
+  }
+
+  void swap(PinnedBuffer& other) {
+    std::swap(ptr_, other.ptr_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// A stream created on the current device. Streams are virtual in the
+/// simulation (destroy is a no-op) but the wrapper keeps call sites
+/// uniform with real CUDA code.
+class ScopedStream {
+ public:
+  ScopedStream() = default;
+
+  static Result<ScopedStream> Create() {
+    cudaStream_t stream;
+    if (cudaStreamCreate(&stream) != cudaError::cudaSuccess) {
+      return Internal(last_error_message());
+    }
+    return ScopedStream(stream);
+  }
+
+  ScopedStream(ScopedStream&& other) noexcept = default;
+  ScopedStream& operator=(ScopedStream&& other) noexcept = default;
+  ScopedStream(const ScopedStream&) = delete;
+  ScopedStream& operator=(const ScopedStream&) = delete;
+  ~ScopedStream() {
+    if (stream_.device >= 0) (void)cudaStreamDestroy(stream_);
+  }
+
+  [[nodiscard]] cudaStream_t get() const { return stream_; }
+  /// Virtual completion time of all enqueued work.
+  Result<double> synchronize() const {
+    double t = 0;
+    if (cudaStreamSynchronize(stream_, &t) != cudaError::cudaSuccess) {
+      return Internal(last_error_message());
+    }
+    return t;
+  }
+
+ private:
+  explicit ScopedStream(cudaStream_t stream) : stream_(stream) {}
+  cudaStream_t stream_{};
+};
+
+}  // namespace hs::cudax

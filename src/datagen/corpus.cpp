@@ -1,0 +1,308 @@
+#include "datagen/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <span>
+
+#include "common/rng.hpp"
+#include "kernels/lzss.hpp"
+#include "kernels/rabin.hpp"
+#include "kernels/sha1.hpp"
+
+namespace hs::datagen {
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void append(Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void append(Bytes& out, const Bytes& s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// ---- shared text machinery -------------------------------------------------
+
+const char* const kCWords[] = {
+    "int",      "return",   "static",  "struct",  "const",   "void",
+    "unsigned", "char",     "if",      "else",    "for",     "while",
+    "switch",   "case",     "break",   "sizeof",  "NULL",    "dev",
+    "buf",      "len",      "err",     "ret",     "data",    "ctx",
+    "lock",     "flags",    "state",   "init",    "probe",   "remove",
+    "read",     "write",    "ioctl",   "irq",     "page",    "inode"};
+
+const char* const kEnglishWords[] = {
+    "the",     "of",     "and",    "to",      "a",        "in",
+    "that",    "it",     "was",    "his",     "with",     "as",
+    "stream",  "which",  "had",    "for",     "her",      "not",
+    "but",     "at",     "by",     "this",    "processing", "from",
+    "be",      "on",     "she",    "have",    "him",      "were",
+    "chapter", "said",   "morning", "evening", "house",    "time"};
+
+const char* const kLicenseHeader =
+    "/*\n"
+    " * This program is free software; you can redistribute it and/or"
+    " modify\n"
+    " * it under the terms of the GNU General Public License version 2"
+    " as\n"
+    " * published by the Free Software Foundation.\n"
+    " */\n";
+
+/// A pool of reusable source lines: repeated draws return repeated lines,
+/// creating the massive cross-file duplication of a kernel tree.
+class LinePool {
+ public:
+  LinePool(std::size_t size, Xoshiro256& rng) {
+    lines_.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      lines_.push_back(make_line(rng));
+    }
+  }
+
+  const std::string& draw(Xoshiro256& rng) const {
+    // Zipf-ish: square the uniform draw so low indices dominate.
+    double u = rng.uniform();
+    auto idx = static_cast<std::size_t>(u * u *
+                                        static_cast<double>(lines_.size()));
+    if (idx >= lines_.size()) idx = lines_.size() - 1;
+    return lines_[idx];
+  }
+
+ private:
+  static std::string make_line(Xoshiro256& rng) {
+    std::string line = "\t";
+    std::size_t words = 2 + rng.bounded(6);
+    for (std::size_t w = 0; w < words; ++w) {
+      line += kCWords[rng.bounded(std::size(kCWords))];
+      line += w + 1 == words ? ";" : " ";
+    }
+    line += "\n";
+    return line;
+  }
+
+  std::vector<std::string> lines_;
+};
+
+Bytes generate_source_like(std::uint64_t bytes, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x50C1A17Eull);
+  Bytes out;
+  out.reserve(bytes);
+  LinePool pool(4000, rng);
+  // A kernel tree duplicates at two granularities: lines/idioms inside
+  // files (compressibility) and whole files across architectures/vendored
+  // copies (block-level duplicates). Re-emitting previously generated
+  // files models the latter.
+  std::vector<Bytes> files;
+  while (out.size() < bytes) {
+    if (!files.empty() && rng.chance(0.55)) {
+      append(out, files[rng.bounded(files.size())]);
+      continue;
+    }
+    // One fresh "file": license header + a function skeleton of pooled
+    // lines.
+    Bytes file;
+    append(file, kLicenseHeader);
+    append(file, "static int mod_");
+    append(file, std::to_string(rng.bounded(100000)));
+    append(file, "_init(void)\n{\n");
+    std::size_t body = 60 + rng.bounded(400);
+    for (std::size_t i = 0; i < body; ++i) {
+      append(file, pool.draw(rng));
+    }
+    append(file, "\treturn 0;\n}\n\n");
+    append(out, file);
+    if (files.size() < 512) files.push_back(std::move(file));
+  }
+  out.resize(bytes);
+  return out;
+}
+
+/// Locally-repetitive binary segment (LZ-compressible but unique).
+Bytes binary_segment(std::size_t n, Xoshiro256& rng) {
+  Bytes seg;
+  seg.reserve(n);
+  while (seg.size() < n) {
+    if (!seg.empty() && rng.chance(0.35)) {
+      // Repeat a recent slice (local redundancy -> compressible).
+      std::size_t back = 1 + rng.bounded(std::min<std::size_t>(seg.size(), 512));
+      std::size_t len = std::min<std::size_t>(
+          1 + rng.run_length(24.0), n - seg.size());
+      std::size_t src = seg.size() - back;
+      for (std::size_t i = 0; i < len; ++i) seg.push_back(seg[src + i]);
+    } else {
+      std::size_t len =
+          std::min<std::size_t>(1 + rng.bounded(32), n - seg.size());
+      for (std::size_t i = 0; i < len; ++i) {
+        seg.push_back(static_cast<std::uint8_t>(rng()));
+      }
+    }
+  }
+  return seg;
+}
+
+/// A disk-image-like archive: a stream of segments, ~35% of which repeat
+/// previously-seen segments verbatim (the duplication dedup exploits).
+Bytes generate_parsec_like_impl(std::uint64_t bytes, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0xDE0D09ull);
+  Bytes out;
+  out.reserve(bytes);
+  std::vector<Bytes> history;
+  while (out.size() < bytes) {
+    if (!history.empty() && rng.chance(0.35)) {
+      const Bytes& dup = history[rng.bounded(history.size())];
+      append(out, dup);
+    } else {
+      std::size_t n = 2048 + rng.bounded(14 * 1024);
+      Bytes seg = binary_segment(n, rng);
+      append(out, seg);
+      if (history.size() < 512) history.push_back(std::move(seg));
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+Bytes english_segment(std::size_t n, Xoshiro256& rng) {
+  Bytes seg;
+  seg.reserve(n);
+  std::size_t col = 0;
+  while (seg.size() < n) {
+    std::string_view word = kEnglishWords[rng.bounded(std::size(kEnglishWords))];
+    append(seg, word);
+    col += word.size() + 1;
+    if (col > 68) {
+      seg.push_back('\n');
+      col = 0;
+    } else {
+      seg.push_back(' ');
+    }
+  }
+  seg.resize(n);
+  return seg;
+}
+
+Bytes xml_segment(std::size_t n, Xoshiro256& rng) {
+  Bytes seg;
+  seg.reserve(n);
+  append(seg, "<?xml version=\"1.0\"?>\n<records>\n");
+  while (seg.size() < n) {
+    append(seg, "  <record id=\"");
+    append(seg, std::to_string(rng.bounded(1000000)));
+    append(seg, "\" type=\"entry\">\n    <value>");
+    append(seg, std::to_string(rng()));
+    append(seg, "</value>\n  </record>\n");
+  }
+  seg.resize(n);
+  return seg;
+}
+
+Bytes noise_segment(std::size_t n, Xoshiro256& rng) {
+  Bytes seg(n);
+  for (auto& b : seg) b = static_cast<std::uint8_t>(rng());
+  return seg;
+}
+
+Bytes generate_silesia_like(std::uint64_t bytes, std::uint64_t seed) {
+  // Heterogeneous typed "files", almost no cross-file duplication.
+  Xoshiro256 rng(seed ^ 0x51E51Aull);
+  Bytes out;
+  out.reserve(bytes);
+  while (out.size() < bytes) {
+    std::size_t n = std::min<std::uint64_t>(64 * 1024 + rng.bounded(192 * 1024),
+                                            bytes - out.size());
+    switch (rng.bounded(4)) {
+      case 0:
+        append(out, english_segment(n, rng));
+        break;
+      case 1:
+        append(out, xml_segment(n, rng));
+        break;
+      case 2:
+        append(out, binary_segment(n, rng));
+        break;
+      default:
+        append(out, noise_segment(n, rng));
+        break;
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace
+
+std::string_view corpus_name(CorpusKind kind) {
+  switch (kind) {
+    case CorpusKind::kParsecLike: return "parsec-like";
+    case CorpusKind::kSourceLike: return "source-like";
+    case CorpusKind::kSilesiaLike: return "silesia-like";
+  }
+  return "unknown";
+}
+
+Result<CorpusKind> parse_corpus_kind(std::string_view name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower.find("parsec") != std::string::npos) {
+    return CorpusKind::kParsecLike;
+  }
+  if (lower.find("source") != std::string::npos ||
+      lower.find("linux") != std::string::npos) {
+    return CorpusKind::kSourceLike;
+  }
+  if (lower.find("silesia") != std::string::npos) {
+    return CorpusKind::kSilesiaLike;
+  }
+  return InvalidArgument("unknown corpus kind: " + std::string(name));
+}
+
+std::vector<std::uint8_t> generate(const CorpusSpec& spec) {
+  switch (spec.kind) {
+    case CorpusKind::kParsecLike:
+      return generate_parsec_like_impl(spec.bytes, spec.seed);
+    case CorpusKind::kSourceLike:
+      return generate_source_like(spec.bytes, spec.seed);
+    case CorpusKind::kSilesiaLike:
+      return generate_silesia_like(spec.bytes, spec.seed);
+  }
+  return {};
+}
+
+CorpusProfile profile(std::span<const std::uint8_t> data) {
+  CorpusProfile out;
+  if (data.empty()) return out;
+
+  kernels::RabinParams rp;
+  rp.window = 32;
+  rp.min_block = 512;
+  rp.max_block = 32768;
+  rp.mask = 0xFFF;
+  rp.magic = 0x78;
+  kernels::Rabin rabin(rp);
+  auto starts = rabin.chunk_boundaries(data);
+  out.block_count = starts.size();
+
+  std::map<kernels::Sha1Digest, int> seen;
+  std::uint64_t dup_bytes = 0;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    std::size_t s = starts[i];
+    std::size_t e = i + 1 < starts.size() ? starts[i + 1] : data.size();
+    auto digest = kernels::Sha1::hash(data.subspan(s, e - s));
+    if (++seen[digest] > 1) dup_bytes += e - s;
+  }
+  out.duplicate_block_fraction =
+      static_cast<double>(dup_bytes) / static_cast<double>(data.size());
+
+  std::size_t sample = std::min<std::size_t>(data.size(), 256 * 1024);
+  kernels::LzssParams lp;
+  lp.window_size = 256;
+  auto compressed = kernels::lzss_encode(data.subspan(0, sample), lp);
+  out.lzss_ratio =
+      static_cast<double>(compressed.size()) / static_cast<double>(sample);
+  return out;
+}
+
+}  // namespace hs::datagen

@@ -1,0 +1,61 @@
+// Synthetic corpus generators substituting for the paper's three Dedup
+// datasets (DESIGN.md §2). Dedup throughput depends on two content
+// properties — the duplicate-block fraction (how much work stages 3-4 skip)
+// and compressibility (how hard LZSS works) — so each generator is shaped
+// to its dataset's published character:
+//
+//  * kSourceLike  (— Linux kernel source tree, 816 MB): source text built
+//    from a reused line pool and license headers; very high duplication
+//    across "files" and high compressibility.
+//  * kParsecLike  (— PARSEC dedup "native" input, 185 MB, a disk-image-like
+//    archive): mixed binary/text segments with a moderate fraction of
+//    repeated segments and moderate compressibility.
+//  * kSilesiaLike (— Silesia corpus, 202.13 MB, "XML, DLLs, and many
+//    others"): heterogeneous typed segments (xml / english text / binary
+//    records / incompressible noise) with almost no cross-file duplication.
+//
+// All output is deterministic in (kind, bytes, seed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs::datagen {
+
+enum class CorpusKind : std::uint8_t {
+  kParsecLike,
+  kSourceLike,
+  kSilesiaLike,
+};
+
+std::string_view corpus_name(CorpusKind kind);
+
+/// Parses "parsec" / "source" / "silesia" (case-insensitive).
+Result<CorpusKind> parse_corpus_kind(std::string_view name);
+
+struct CorpusSpec {
+  CorpusKind kind = CorpusKind::kParsecLike;
+  std::uint64_t bytes = 8 * 1024 * 1024;
+  std::uint64_t seed = 42;
+};
+
+/// Generates the corpus. Output size is exactly spec.bytes.
+std::vector<std::uint8_t> generate(const CorpusSpec& spec);
+
+/// Measured content properties, used by tests (shape calibration) and
+/// reported in EXPERIMENTS.md next to each Fig. 5 run.
+struct CorpusProfile {
+  double duplicate_block_fraction = 0;  ///< bytes in repeated rabin blocks
+  double lzss_ratio = 0;                ///< compressed/original on a sample
+  std::size_t block_count = 0;
+};
+
+/// Chunks with default-ish rabin parameters, SHA-1s each block, measures
+/// the duplicate fraction, and LZSS-compresses a bounded sample.
+CorpusProfile profile(std::span<const std::uint8_t> data);
+
+}  // namespace hs::datagen

@@ -1,0 +1,440 @@
+#include "dedup/container.hpp"
+
+#include <cstring>
+#include <optional>
+
+#include "flow/adapters.hpp"
+#include "flow/pipeline.hpp"
+
+#include "kernels/huffman.hpp"
+
+namespace hs::dedup {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'S', 'D', 'E', 'D', 'U', 'P', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8 + 4 + 4;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool bytes(std::size_t n, std::span<const std::uint8_t>& out) {
+    if (pos_ + n > data_.size()) return false;
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+struct Header {
+  std::uint64_t original_size = 0;
+  std::uint64_t batch_count = 0;
+  kernels::LzssParams lzss;
+  DedupCodec codec = DedupCodec::kLzss;
+};
+
+Result<Header> read_header(Reader& r) {
+  std::span<const std::uint8_t> magic;
+  if (!r.bytes(8, magic) ||
+      std::memcmp(magic.data(), kMagic, 8) != 0) {
+    return DataLoss("bad archive magic");
+  }
+  std::uint32_t version = 0, codec = 0;
+  Header hdr;
+  std::uint32_t window = 0, min_match = 0;
+  if (!r.u32(version) || !r.u32(codec) || !r.u64(hdr.original_size) ||
+      !r.u64(hdr.batch_count) || !r.u32(window) || !r.u32(min_match)) {
+    return DataLoss("truncated archive header");
+  }
+  if (version != kVersion) {
+    return FailedPrecondition("unsupported archive version " +
+                              std::to_string(version));
+  }
+  if (codec > static_cast<std::uint32_t>(DedupCodec::kLzssHuffman)) {
+    return FailedPrecondition("unknown archive codec " +
+                              std::to_string(codec));
+  }
+  hdr.codec = static_cast<DedupCodec>(codec);
+  hdr.lzss.window_size = window;
+  hdr.lzss.min_match = min_match;
+  hdr.lzss.max_match = min_match + 15;
+  if (!hdr.lzss.valid()) return DataLoss("invalid LZSS parameters in header");
+  return hdr;
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(const DedupConfig& config) : config_(config) {
+  // push_back loop instead of range-insert: sidesteps a GCC 12
+  // -Wstringop-overflow false positive on fresh vectors.
+  for (char ch : kMagic) out_.push_back(static_cast<std::uint8_t>(ch));
+  put_u32(out_, kVersion);
+  put_u32(out_, static_cast<std::uint32_t>(config.codec));
+  put_u64(out_, 0);  // original size (patched in finish)
+  put_u64(out_, 0);  // batch count (patched in finish)
+  put_u32(out_, config_.lzss.window_size);
+  put_u32(out_, config_.lzss.min_match);
+}
+
+Status ArchiveWriter::append(const Batch& batch) {
+  if (finished_) return FailedPrecondition("archive already finished");
+  if (batch.index != next_batch_index_) {
+    return FailedPrecondition(
+        "batches must be appended in order: expected " +
+        std::to_string(next_batch_index_) + ", got " +
+        std::to_string(batch.index));
+  }
+  ++next_batch_index_;
+  put_u64(out_, batch.index);
+  put_u32(out_, static_cast<std::uint32_t>(batch.data.size()));
+  put_u32(out_, static_cast<std::uint32_t>(batch.blocks.size()));
+  for (const BlockInfo& block : batch.blocks) {
+    if (block.duplicate) {
+      put_u8(out_, 1);
+      put_u64(out_, block.global_id);
+    } else {
+      put_u8(out_, block.entropy_coded ? 2 : 0);
+      put_u32(out_, block.len);
+      put_u32(out_, static_cast<std::uint32_t>(block.compressed.size()));
+      out_.insert(out_.end(), block.compressed.begin(),
+                  block.compressed.end());
+    }
+  }
+  original_size_ += batch.data.size();
+  ++batch_count_;
+  return OkStatus();
+}
+
+std::vector<std::uint8_t> ArchiveWriter::finish(
+    const kernels::Sha1Digest& input_digest) {
+  finished_ = true;
+  // Patch original size and batch count into the header.
+  for (int i = 0; i < 8; ++i) {
+    out_[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(original_size_ >> (8 * i));
+    out_[24 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(batch_count_ >> (8 * i));
+  }
+  out_.insert(out_.end(), input_digest.begin(), input_digest.end());
+  return std::move(out_);
+}
+
+Result<std::vector<std::uint8_t>> extract(
+    std::span<const std::uint8_t> archive) {
+  Reader r(archive);
+  auto hdr = read_header(r);
+  if (!hdr.ok()) return hdr.status();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(hdr.value().original_size);
+  std::vector<std::pair<std::size_t, std::uint32_t>> unique_blocks;  // (pos,len)
+
+  for (std::uint64_t b = 0; b < hdr.value().batch_count; ++b) {
+    std::uint64_t index = 0;
+    std::uint32_t original_len = 0, block_count = 0;
+    if (!r.u64(index) || !r.u32(original_len) || !r.u32(block_count)) {
+      return DataLoss("truncated batch header");
+    }
+    if (index != b) return DataLoss("batch indices out of order");
+    std::uint64_t decoded = 0;
+    for (std::uint32_t k = 0; k < block_count; ++k) {
+      std::uint8_t tag = 0;
+      if (!r.u8(tag)) return DataLoss("truncated block tag");
+      if (tag == 0 || tag == 2) {
+        std::uint32_t raw_len = 0, comp_len = 0;
+        std::span<const std::uint8_t> payload;
+        if (!r.u32(raw_len) || !r.u32(comp_len) || !r.bytes(comp_len, payload)) {
+          return DataLoss("truncated unique block");
+        }
+        Result<std::vector<std::uint8_t>> block =
+            DataLoss("unreachable codec path");
+        if (tag == 2) {
+          // Entropy-coded block: u32 lzss_len | huffman(lzss(block)).
+          if (payload.size() < 4) return DataLoss("truncated codec prefix");
+          std::uint32_t lzss_len = 0;
+          for (int i = 0; i < 4; ++i) {
+            lzss_len |= static_cast<std::uint32_t>(payload[i]) << (8 * i);
+          }
+          auto lz = kernels::huffman_decode(payload.subspan(4), lzss_len);
+          if (!lz.ok()) return lz.status();
+          block = kernels::lzss_decode(lz.value(), raw_len,
+                                       hdr.value().lzss);
+        } else {
+          block = kernels::lzss_decode(payload, raw_len, hdr.value().lzss);
+        }
+        if (!block.ok()) return block.status();
+        unique_blocks.emplace_back(out.size(), raw_len);
+        out.insert(out.end(), block.value().begin(), block.value().end());
+        decoded += raw_len;
+      } else if (tag == 1) {
+        std::uint64_t ref = 0;
+        if (!r.u64(ref)) return DataLoss("truncated duplicate reference");
+        if (ref >= unique_blocks.size()) {
+          return DataLoss("duplicate references a future block (id " +
+                          std::to_string(ref) + ")");
+        }
+        auto [pos, len] = unique_blocks[ref];
+        // Self-copy from already-decoded output.
+        out.insert(out.end(), out.begin() + static_cast<long>(pos),
+                   out.begin() + static_cast<long>(pos + len));
+        decoded += len;
+      } else {
+        return DataLoss("unknown block tag");
+      }
+    }
+    if (decoded != original_len) {
+      return DataLoss("batch decoded size mismatch");
+    }
+  }
+
+  if (out.size() != hdr.value().original_size) {
+    return DataLoss("archive decoded size mismatch");
+  }
+  std::span<const std::uint8_t> trailer;
+  if (!r.bytes(20, trailer)) return DataLoss("missing integrity trailer");
+  kernels::Sha1Digest expect{};
+  std::memcpy(expect.data(), trailer.data(), 20);
+  if (kernels::Sha1::hash(out) != expect) {
+    return DataLoss("integrity check failed: SHA-1 mismatch");
+  }
+  return out;
+}
+
+Result<ArchiveInfo> inspect(std::span<const std::uint8_t> archive) {
+  Reader r(archive);
+  auto hdr = read_header(r);
+  if (!hdr.ok()) return hdr.status();
+  ArchiveInfo info;
+  info.original_size = hdr.value().original_size;
+  info.batch_count = hdr.value().batch_count;
+  for (std::uint64_t b = 0; b < hdr.value().batch_count; ++b) {
+    std::uint64_t index = 0;
+    std::uint32_t original_len = 0, block_count = 0;
+    if (!r.u64(index) || !r.u32(original_len) || !r.u32(block_count)) {
+      return DataLoss("truncated batch header");
+    }
+    for (std::uint32_t k = 0; k < block_count; ++k) {
+      std::uint8_t tag = 0;
+      if (!r.u8(tag)) return DataLoss("truncated block tag");
+      if (tag == 0 || tag == 2) {
+        std::uint32_t raw_len = 0, comp_len = 0;
+        std::span<const std::uint8_t> payload;
+        if (!r.u32(raw_len) || !r.u32(comp_len) ||
+            !r.bytes(comp_len, payload)) {
+          return DataLoss("truncated unique block");
+        }
+        ++info.unique_blocks;
+        if (tag == 2) ++info.entropy_blocks;
+        info.compressed_payload_bytes += comp_len;
+      } else if (tag == 1) {
+        std::uint64_t ref = 0;
+        if (!r.u64(ref)) return DataLoss("truncated duplicate reference");
+        ++info.duplicate_blocks;
+      } else {
+        return DataLoss("unknown block tag");
+      }
+    }
+  }
+  return info;
+}
+
+namespace {
+
+/// One parsed block record for the parallel extractor.
+struct ParsedBlock {
+  bool duplicate = false;
+  bool entropy = false;
+  std::uint32_t raw_len = 0;
+  std::uint64_t ref = 0;
+  std::span<const std::uint8_t> payload;  // view into the archive
+};
+
+struct ParsedBatch {
+  std::uint64_t index = 0;
+  std::uint32_t original_len = 0;
+  std::vector<ParsedBlock> blocks;
+  // Filled by the decode farm: decoded payloads of unique blocks, in
+  // block order (empty vectors for duplicates).
+  std::vector<std::vector<std::uint8_t>> decoded;
+};
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> extract_parallel(
+    std::span<const std::uint8_t> archive, int replicas) {
+  Reader r(archive);
+  auto hdr = read_header(r);
+  if (!hdr.ok()) return hdr.status();
+  const Header header = hdr.value();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(header.original_size);
+  std::vector<std::pair<std::size_t, std::uint32_t>> unique_blocks;
+  Status pipeline_error;
+
+  flow::Pipeline pipe;
+  // Source: parse one batch per service call (serial, cheap).
+  pipe.add_stage(
+      flow::make_source<ParsedBatch>(
+          [&r, &header, b = std::uint64_t{0}]() mutable
+              -> std::optional<ParsedBatch> {
+            if (b >= header.batch_count) return std::nullopt;
+            ParsedBatch batch;
+            std::uint32_t block_count = 0;
+            if (!r.u64(batch.index) || !r.u32(batch.original_len) ||
+                !r.u32(block_count) || batch.index != b) {
+              throw std::runtime_error("truncated or misordered batch");
+            }
+            ++b;
+            for (std::uint32_t k = 0; k < block_count; ++k) {
+              std::uint8_t tag = 0;
+              if (!r.u8(tag)) throw std::runtime_error("truncated block tag");
+              ParsedBlock block;
+              if (tag == 1) {
+                block.duplicate = true;
+                if (!r.u64(block.ref)) {
+                  throw std::runtime_error("truncated duplicate ref");
+                }
+              } else if (tag == 0 || tag == 2) {
+                block.entropy = tag == 2;
+                std::uint32_t comp_len = 0;
+                if (!r.u32(block.raw_len) || !r.u32(comp_len) ||
+                    !r.bytes(comp_len, block.payload)) {
+                  throw std::runtime_error("truncated unique block");
+                }
+              } else {
+                throw std::runtime_error("unknown block tag");
+              }
+              batch.blocks.push_back(block);
+            }
+            return batch;
+          }),
+      "parse");
+  // Farm: decompress the unique payloads of each batch.
+  pipe.add_farm(
+      [&header] {
+        return flow::make_stage<ParsedBatch, ParsedBatch>(
+            [&header](ParsedBatch batch) {
+              batch.decoded.resize(batch.blocks.size());
+              for (std::size_t k = 0; k < batch.blocks.size(); ++k) {
+                const ParsedBlock& block = batch.blocks[k];
+                if (block.duplicate) continue;
+                std::span<const std::uint8_t> payload = block.payload;
+                Result<std::vector<std::uint8_t>> decoded =
+                    DataLoss("unreachable");
+                if (block.entropy) {
+                  if (payload.size() < 4) {
+                    throw std::runtime_error("truncated codec prefix");
+                  }
+                  std::uint32_t lzss_len = 0;
+                  for (int i = 0; i < 4; ++i) {
+                    lzss_len |= static_cast<std::uint32_t>(payload[i])
+                                << (8 * i);
+                  }
+                  auto lz =
+                      kernels::huffman_decode(payload.subspan(4), lzss_len);
+                  if (!lz.ok()) throw std::runtime_error(lz.status().ToString());
+                  decoded = kernels::lzss_decode(lz.value(), block.raw_len,
+                                                 header.lzss);
+                } else {
+                  decoded = kernels::lzss_decode(payload, block.raw_len,
+                                                 header.lzss);
+                }
+                if (!decoded.ok()) {
+                  throw std::runtime_error(decoded.status().ToString());
+                }
+                batch.decoded[k] = std::move(decoded).value();
+              }
+              return batch;
+            });
+      },
+      flow::FarmOptions{.replicas = std::max(1, replicas), .ordered = true},
+      "decode");
+  // Sink: assemble in order, resolving duplicate references.
+  pipe.add_stage(
+      flow::make_sink<ParsedBatch>([&](ParsedBatch batch) {
+        std::uint64_t decoded_len = 0;
+        for (std::size_t k = 0; k < batch.blocks.size(); ++k) {
+          const ParsedBlock& block = batch.blocks[k];
+          if (block.duplicate) {
+            if (block.ref >= unique_blocks.size()) {
+              throw std::runtime_error("duplicate references a future block");
+            }
+            auto [pos, len] = unique_blocks[block.ref];
+            out.insert(out.end(), out.begin() + static_cast<long>(pos),
+                       out.begin() + static_cast<long>(pos + len));
+            decoded_len += len;
+          } else {
+            unique_blocks.emplace_back(out.size(), block.raw_len);
+            out.insert(out.end(), batch.decoded[k].begin(),
+                       batch.decoded[k].end());
+            decoded_len += block.raw_len;
+          }
+        }
+        if (decoded_len != batch.original_len) {
+          throw std::runtime_error("batch decoded size mismatch");
+        }
+      }),
+      "assemble");
+
+  if (Status s = pipe.run_and_wait(); !s.ok()) {
+    // Stage exceptions surface as INTERNAL; re-tag as data loss (they all
+    // describe archive corruption).
+    return DataLoss(s.message());
+  }
+
+  if (out.size() != header.original_size) {
+    return DataLoss("archive decoded size mismatch");
+  }
+  std::span<const std::uint8_t> trailer;
+  if (!r.bytes(20, trailer)) return DataLoss("missing integrity trailer");
+  kernels::Sha1Digest expect{};
+  std::memcpy(expect.data(), trailer.data(), 20);
+  if (kernels::Sha1::hash(out) != expect) {
+    return DataLoss("integrity check failed: SHA-1 mismatch");
+  }
+  return out;
+}
+
+}  // namespace hs::dedup

@@ -1,0 +1,48 @@
+// Functional Dedup pipeline variants. All compose the stage functions of
+// stages.hpp, so every variant emits a bit-identical archive; the GPU
+// variants execute their hashing and FindMatch stages as simulated-GPU
+// kernels through the cudax/oclx shims (real data flows through simulated
+// device memory).
+//
+// The figure bench (Fig. 5) uses the modeled runners in dedup/modeled.hpp;
+// these functional pipelines are the user-facing implementations (see
+// examples/dedup_file.cpp) and the equivalence/roundtrip test subjects.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dedup/container.hpp"
+#include "gpusim/device.hpp"
+
+namespace hs::dedup {
+
+/// Sequential reference: all five stages in a loop.
+Result<std::vector<std::uint8_t>> archive_sequential(
+    std::span<const std::uint8_t> input, const DedupConfig& config);
+
+/// SPar CPU pipeline: source -> farm(SHA-1) -> serial duplicate check ->
+/// farm(LZSS) -> writer (Fig. 3 graph on the CPU).
+Result<std::vector<std::uint8_t>> archive_spar_cpu(
+    std::span<const std::uint8_t> input, const DedupConfig& config,
+    int replicas);
+
+/// SPar + CUDA-shim pipeline: hashing and FindMatch stages offload to the
+/// simulated GPUs (device chosen round-robin per worker, per-thread
+/// cudaSetDevice, per-worker streams) — the Fig. 3 graph as implemented in
+/// the paper. `machine` must be bound to cudax by the caller.
+Result<std::vector<std::uint8_t>> archive_spar_cuda(
+    std::span<const std::uint8_t> input, const DedupConfig& config,
+    int replicas, gpusim::Machine& machine);
+
+/// Single-host-thread OpenCL-shim version. `batched_kernel` selects the
+/// paper's optimized single FindMatch kernel per batch (true) or the
+/// pre-optimization one-kernel-per-block form (false); outputs are
+/// identical either way.
+Result<std::vector<std::uint8_t>> archive_opencl_single_thread(
+    std::span<const std::uint8_t> input, const DedupConfig& config,
+    gpusim::Machine& machine, bool batched_kernel);
+
+}  // namespace hs::dedup

@@ -1,0 +1,186 @@
+#include "dedup/stages.hpp"
+
+#include <algorithm>
+
+#include "kernels/huffman.hpp"
+
+namespace hs::dedup {
+
+Batch fragment_batch(std::span<const std::uint8_t> chunk, std::uint64_t index,
+                     const DedupConfig& config) {
+  Batch batch;
+  batch.index = index;
+  batch.data.assign(chunk.begin(), chunk.end());
+  kernels::Rabin rabin(config.rabin);
+  batch.start_pos = rabin.chunk_boundaries(batch.data);
+  batch.blocks.reserve(batch.start_pos.size());
+  for (std::size_t k = 0; k < batch.start_pos.size(); ++k) {
+    BlockInfo block;
+    block.start = batch.start_pos[k];
+    std::uint32_t end = k + 1 < batch.start_pos.size()
+                            ? batch.start_pos[k + 1]
+                            : static_cast<std::uint32_t>(batch.data.size());
+    block.len = end - block.start;
+    batch.blocks.push_back(block);
+  }
+  return batch;
+}
+
+std::vector<Batch> fragment_input(std::span<const std::uint8_t> input,
+                                  const DedupConfig& config) {
+  std::vector<Batch> batches;
+  const std::size_t bs = std::max<std::uint32_t>(1, config.batch_size);
+  for (std::size_t off = 0, idx = 0; off < input.size();
+       off += bs, ++idx) {
+    std::size_t n = std::min(bs, input.size() - off);
+    batches.push_back(fragment_batch(input.subspan(off, n), idx, config));
+  }
+  return batches;
+}
+
+std::vector<Batch> fragment_input_variable(
+    std::span<const std::uint8_t> input, const DedupConfig& config) {
+  // Coarse content-defined pass: expected chunk ~ batch_size, bounded to
+  // [batch_size/8, 4*batch_size].
+  kernels::RabinParams coarse = config.rabin;
+  coarse.min_block = std::max<std::uint32_t>(coarse.window * 2,
+                                             config.batch_size / 8);
+  coarse.max_block = config.batch_size * 4;
+  // Boundary when the low bits match; choose the mask for an expected
+  // chunk length near batch_size (expected gap ~ mask+1 bytes).
+  std::uint32_t mask = 1;
+  while (mask + 1 < config.batch_size) mask = (mask << 1) | 1;
+  coarse.mask = mask;
+  kernels::Rabin rabin(coarse);
+  auto starts = rabin.chunk_boundaries(input);
+
+  std::vector<Batch> batches;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    std::size_t begin = starts[i];
+    std::size_t end = i + 1 < starts.size() ? starts[i + 1] : input.size();
+    batches.push_back(fragment_batch(input.subspan(begin, end - begin),
+                                     static_cast<std::uint64_t>(i), config));
+  }
+  return batches;
+}
+
+void hash_blocks(Batch& batch) {
+  for (BlockInfo& block : batch.blocks) {
+    block.digest = kernels::Sha1::hash(
+        std::span<const std::uint8_t>(batch.data.data() + block.start,
+                                      block.len));
+  }
+}
+
+std::uint64_t batch_sha1_rounds(const Batch& batch) {
+  std::uint64_t rounds = 0;
+  for (const BlockInfo& block : batch.blocks) {
+    rounds += kernels::Sha1::compression_rounds(block.len);
+  }
+  return rounds;
+}
+
+std::uint64_t DupCache::unique_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
+}
+
+void DupCache::check(Batch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (BlockInfo& block : batch.blocks) {
+    std::string key(reinterpret_cast<const char*>(block.digest.data()),
+                    block.digest.size());
+    auto [it, inserted] = ids_.try_emplace(key, next_id_);
+    if (inserted) {
+      block.duplicate = false;
+      block.global_id = next_id_++;
+    } else {
+      block.duplicate = true;
+      block.global_id = it->second;
+    }
+  }
+}
+
+namespace {
+
+/// Applies the configured entropy stage over an LZSS payload, keeping
+/// whichever representation is smaller (per-block best-of: the 132-byte
+/// table+prefix overhead makes entropy coding a loss for small or
+/// already-dense blocks). Sets block.entropy_coded accordingly.
+void finish_payload(std::vector<std::uint8_t> lzss_out,
+                    const DedupConfig& config, BlockInfo& block) {
+  block.entropy_coded = false;
+  if (config.codec == DedupCodec::kLzssHuffman) {
+    // Prefix the LZSS layer's size (little-endian u32) so the extractor
+    // knows how much the entropy layer decodes to.
+    std::vector<std::uint8_t> out;
+    std::uint32_t n = static_cast<std::uint32_t>(lzss_out.size());
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+    }
+    auto huff = kernels::huffman_encode(lzss_out);
+    out.insert(out.end(), huff.begin(), huff.end());
+    if (out.size() < lzss_out.size()) {
+      block.entropy_coded = true;
+      block.compressed = std::move(out);
+      return;
+    }
+  }
+  block.compressed = std::move(lzss_out);
+}
+
+}  // namespace
+
+void compress_blocks_cpu(Batch& batch, const DedupConfig& config) {
+  for (BlockInfo& block : batch.blocks) {
+    if (block.duplicate) continue;
+    finish_payload(kernels::lzss_encode(batch.data, block.start,
+                                        block.start + block.len, config.lzss),
+                   config, block);
+  }
+}
+
+void find_batch_matches(Batch& batch, const DedupConfig& config) {
+  if (batch.data.empty()) {
+    batch.matches.clear();
+    return;
+  }
+  kernels::find_matches_batch(batch.data, batch.start_pos, config.lzss,
+                              batch.matches);
+}
+
+void compress_blocks_from_matches(Batch& batch, const DedupConfig& config) {
+  for (BlockInfo& block : batch.blocks) {
+    if (block.duplicate) continue;
+    finish_payload(
+        kernels::lzss_encode_from_matches(batch.data, block.start,
+                                          block.start + block.len,
+                                          batch.matches, config.lzss),
+        config, block);
+  }
+}
+
+std::uint64_t batch_match_cost(const Batch& batch,
+                               const DedupConfig& config) {
+  std::uint64_t total = 0;
+  std::size_t block_idx = 0;
+  for (std::size_t pos = 0; pos < batch.data.size(); ++pos) {
+    while (block_idx + 1 < batch.start_pos.size() &&
+           pos >= batch.start_pos[block_idx + 1]) {
+      ++block_idx;
+    }
+    total += kernels::lzss_match_cost(batch.start_pos[block_idx], pos,
+                                      config.lzss);
+  }
+  return total;
+}
+
+std::uint64_t batch_output_bytes(const Batch& batch) {
+  std::uint64_t bytes = 16;  // batch record header
+  for (const BlockInfo& block : batch.blocks) {
+    bytes += block.duplicate ? 9 : 9 + block.compressed.size();
+  }
+  return bytes;
+}
+
+}  // namespace hs::dedup

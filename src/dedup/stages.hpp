@@ -1,0 +1,88 @@
+// The five Dedup pipeline stages as reusable functions (Fig. 3). Every
+// pipeline variant (sequential, SPar CPU, SPar+GPU, single-thread
+// CUDA/OpenCL) composes these, so all variants produce bit-identical
+// archives.
+//
+//  1. fragment_input : fixed-size batches + rabin start_pos (CPU, serial)
+//  2. hash_blocks    : SHA-1 per block (replicated; GPU = 1 thread/block)
+//  3. check_duplicates: global digest table, assigns ids (serial in-order)
+//  4. compress_blocks: LZSS on unique blocks (replicated; GPU = batched
+//     FindMatch kernel + CPU encode walk)
+//  5. ArchiveWriter  : reorder + write (serial in-order; see container.hpp)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dedup/types.hpp"
+
+namespace hs::dedup {
+
+/// Stage 1: cuts `input` into config.batch_size batches and computes each
+/// batch's rabin block index. Returns batches in order.
+std::vector<Batch> fragment_input(std::span<const std::uint8_t> input,
+                                  const DedupConfig& config);
+
+/// Streaming form of stage 1: fragment of one batch (used by pipeline
+/// sources that do not want to materialize the whole input).
+Batch fragment_batch(std::span<const std::uint8_t> chunk,
+                     std::uint64_t index, const DedupConfig& config);
+
+/// PARSEC's original fragmentation, before the paper's GPU refactor: batch
+/// boundaries are themselves content-defined (a coarse rabin pass), so
+/// batch sizes vary widely around config.batch_size — which is exactly why
+/// the paper switched to fixed-size batches ("to best benefit from GPU
+/// capabilities when a large batch of data has to process", §IV-B).
+/// Exposed for the DESIGN.md §4.3 ablation.
+std::vector<Batch> fragment_input_variable(
+    std::span<const std::uint8_t> input, const DedupConfig& config);
+
+/// Stage 2: fills BlockInfo::digest for every block (CPU reference path;
+/// GPU variants run one simulated thread per block instead).
+void hash_blocks(Batch& batch);
+
+/// Total SHA-1 compression rounds of a batch (cost accounting).
+std::uint64_t batch_sha1_rounds(const Batch& batch);
+
+/// Stage 3's global digest table: digest -> global id of first occurrence.
+/// Thread-safe lookups are not needed (the stage is serial in every
+/// variant) but the class is internally consistent if shared.
+class DupCache {
+ public:
+  /// Returns the number of unique blocks registered so far.
+  [[nodiscard]] std::uint64_t unique_count() const;
+
+  /// Stage 3 body: marks duplicates and assigns global ids in order.
+  void check(Batch& batch);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint64_t> ids_;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Stage 4 (CPU path): LZSS-compresses every unique block directly.
+void compress_blocks_cpu(Batch& batch, const DedupConfig& config);
+
+/// Stage 4 (GPU path), step 1: batched FindMatch over the whole batch
+/// (Listing 3) — the simulated-GPU variants execute this as a kernel; this
+/// CPU form is the reference used in tests.
+void find_batch_matches(Batch& batch, const DedupConfig& config);
+
+/// Stage 4 (GPU path), step 2: CPU encode walk over the precomputed
+/// matches for unique blocks only ("In CPU, we used the result of the
+/// kernel function to run the compression on each block").
+void compress_blocks_from_matches(Batch& batch, const DedupConfig& config);
+
+/// FindMatch kernel cost units of the whole batch (sum over positions of
+/// the Listing 3 scan length), for the performance model.
+std::uint64_t batch_match_cost(const Batch& batch, const DedupConfig& config);
+
+/// Compressed output bytes of a processed batch (unique payloads + record
+/// overhead), for throughput accounting.
+std::uint64_t batch_output_bytes(const Batch& batch);
+
+}  // namespace hs::dedup

@@ -1,0 +1,73 @@
+// Core data types of the Dedup application (paper §IV-B).
+//
+// The paper's GPU refactoring fixes the batch size at 1 MB and lets rabin
+// produce variable-size *blocks* inside each batch (Fig. 2): `start_pos`
+// is the index vector every stage shares. A Batch flows through the
+// 5-stage graph of Fig. 3: fragment -> SHA-1 -> duplicate check ->
+// compress -> reorder/write.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/lzss.hpp"
+#include "kernels/rabin.hpp"
+#include "kernels/sha1.hpp"
+
+namespace hs::dedup {
+
+/// Block payload codec. kLzss is the paper's choice; kLzssHuffman layers a
+/// canonical-Huffman entropy stage over the LZSS output (restoring the
+/// missing half of PARSEC's gzip/bzip2, as an extension).
+enum class DedupCodec : std::uint8_t {
+  kLzss = 0,
+  kLzssHuffman = 1,
+};
+
+struct DedupConfig {
+  /// Fixed batch size (the paper's 1 MB; benches scale it).
+  std::uint32_t batch_size = 1024 * 1024;
+  kernels::RabinParams rabin;
+  kernels::LzssParams lzss;
+  DedupCodec codec = DedupCodec::kLzss;
+
+  DedupConfig() {
+    // Defaults tuned for tractable functional runs: ~2-16 kB blocks and a
+    // 256-byte LZSS window (the window is a knob; the paper's 4 kB window
+    // only changes constants, not the shape — see DESIGN.md).
+    rabin.window = 32;
+    rabin.min_block = 1024;
+    rabin.max_block = 65536;
+    rabin.mask = 0xFFF;
+    rabin.magic = 0x78;
+    lzss.window_size = 256;
+  }
+};
+
+/// Per-block bookkeeping inside a batch.
+struct BlockInfo {
+  std::uint32_t start = 0;  ///< offset within the batch (from start_pos)
+  std::uint32_t len = 0;
+  kernels::Sha1Digest digest{};
+  bool duplicate = false;
+  /// kLzssHuffman mode: true when the entropy stage beat plain LZSS for
+  /// this block (payload = u32 lzss_len | huffman(lzss)).
+  bool entropy_coded = false;
+  /// Global id: for unique blocks, the id this block defines; for
+  /// duplicates, the id of the first occurrence.
+  std::uint64_t global_id = 0;
+  std::vector<std::uint8_t> compressed;  ///< unique blocks only
+};
+
+/// One stream item: a fixed-size chunk of input plus its rabin block index
+/// (Fig. 2) and per-stage results.
+struct Batch {
+  std::uint64_t index = 0;
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint32_t> start_pos;
+  std::vector<BlockInfo> blocks;
+  /// GPU path: FindMatch results for every batch position (Listing 3).
+  std::vector<kernels::LzssMatch> matches;
+};
+
+}  // namespace hs::dedup

@@ -1,0 +1,130 @@
+// Discrete-event timeline used to compute *modeled* execution times.
+//
+// The GPU simulator (src/gpusim) and the host-side performance model
+// (src/perfmodel) both map work onto serial Engines (an SM cluster, a PCIe
+// copy engine, a host hardware thread). Submitting a task of a given
+// duration with dependencies yields its start/finish times under FIFO
+// engine scheduling:
+//
+//   start  = max(engine_free_time, max(finish(dep) for dep in deps))
+//   finish = start + duration
+//
+// There is no global event queue: because each engine is serial-FIFO and
+// durations are known at submission, completion times are computable
+// greedily in submission order. Dependencies must therefore reference
+// already-submitted tasks (enforced). This matches how CUDA streams and
+// OpenCL in-order command queues serialize work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hs::des {
+
+/// Virtual time in seconds.
+using Time = double;
+
+/// Opaque task handle; valid for the lifetime of the Timeline that issued it.
+struct TaskId {
+  std::uint64_t index = kInvalid;
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+  [[nodiscard]] bool valid() const { return index != kInvalid; }
+  friend bool operator==(TaskId a, TaskId b) { return a.index == b.index; }
+};
+
+/// Handle to a serial engine registered on a Timeline.
+struct EngineId {
+  std::uint32_t index = 0;
+  friend bool operator==(EngineId a, EngineId b) { return a.index == b.index; }
+};
+
+/// Aggregate statistics for one engine.
+struct EngineStats {
+  std::string name;
+  Time busy = 0;          ///< sum of task durations executed on this engine
+  Time free_at = 0;       ///< time the engine becomes idle
+  std::uint64_t tasks = 0;
+};
+
+/// One recorded task, for trace export (labels are only retained while
+/// recording is enabled; see set_recording).
+struct TraceEvent {
+  std::string label;
+  std::uint32_t engine = 0;
+  Time start = 0;
+  Time finish = 0;
+};
+
+/// The timeline: registry of engines plus the append-only task log.
+class Timeline {
+ public:
+  /// Registers a serial FIFO engine (e.g. "gpu0.compute").
+  EngineId add_engine(std::string name);
+
+  /// Submits a task. `duration` must be >= 0. All `deps` must already have
+  /// been submitted to this timeline. Returns the task's id.
+  TaskId submit(EngineId engine, Time duration, std::span<const TaskId> deps);
+
+  /// Labeled form, retained in the trace when recording is enabled.
+  TaskId submit(EngineId engine, Time duration, std::span<const TaskId> deps,
+                std::string_view label);
+
+  /// Enables per-task trace recording (off by default: figure benches
+  /// submit millions of tasks; tracing is a debugging/visualization aid).
+  void set_recording(bool enabled) { recording_ = enabled; }
+  [[nodiscard]] bool recording() const { return recording_; }
+  [[nodiscard]] const std::vector<TraceEvent>& trace_events() const {
+    return trace_;
+  }
+
+  /// Convenience: no dependencies.
+  TaskId submit(EngineId engine, Time duration) {
+    return submit(engine, duration, {});
+  }
+
+  /// Convenience: single dependency (ignored if invalid, which lets callers
+  /// chain "previous op in stream" without special-casing the first op).
+  TaskId submit_after(EngineId engine, Time duration, TaskId dep);
+
+  /// A zero-duration task on a virtual "join" engine that waits for all
+  /// deps. Useful for events / clWaitForEvents semantics.
+  TaskId join(std::span<const TaskId> deps);
+
+  [[nodiscard]] Time start_time(TaskId id) const;
+  [[nodiscard]] Time finish_time(TaskId id) const;
+
+  /// Finish time of the latest-finishing task submitted so far (the
+  /// makespan of the modeled schedule).
+  [[nodiscard]] Time makespan() const { return makespan_; }
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t engine_count() const { return engines_.size(); }
+  [[nodiscard]] const EngineStats& engine_stats(EngineId id) const;
+
+  /// Busy fraction of an engine over [0, makespan]; 0 when makespan is 0.
+  [[nodiscard]] double utilization(EngineId id) const;
+
+ private:
+  struct Task {
+    Time start = 0;
+    Time finish = 0;
+    EngineId engine;
+  };
+
+  [[nodiscard]] Time deps_ready(std::span<const TaskId> deps) const;
+
+  std::vector<EngineStats> engines_;
+  std::vector<Task> tasks_;
+  bool recording_ = false;
+  std::vector<TraceEvent> trace_;
+  EngineId join_engine_{};   ///< lazily-created engine for join() tasks
+  bool has_join_engine_ = false;
+  Time makespan_ = 0;
+};
+
+}  // namespace hs::des

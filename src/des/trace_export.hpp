@@ -1,0 +1,23 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of a recorded
+// timeline: each engine becomes a track, each recorded task a complete
+// event. Load the produced JSON in https://ui.perfetto.dev to inspect how
+// a modeled schedule (e.g. one Fig. 1 variant) overlaps copies, kernels,
+// and host work.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "des/timeline.hpp"
+
+namespace hs::des {
+
+/// Serializes the timeline's recorded trace to Chrome trace-event JSON.
+/// Requires set_recording(true) before the tasks of interest were
+/// submitted; fails with FAILED_PRECONDITION when nothing was recorded.
+Status write_chrome_trace(const Timeline& timeline, const std::string& path);
+
+/// The same JSON as a string (for tests).
+Result<std::string> chrome_trace_json(const Timeline& timeline);
+
+}  // namespace hs::des

@@ -1,0 +1,589 @@
+#include "flow/pipeline.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <variant>
+
+#include "common/backoff.hpp"
+#include "flow/spsc_queue.hpp"
+
+namespace hs::flow {
+
+namespace {
+
+/// Internal transport: items plus control markers.
+enum class EnvKind : std::uint8_t {
+  kItem,
+  kHole,  ///< ordered-farm worker consumed an input without output
+  kEos,
+};
+
+struct Envelope {
+  EnvKind kind = EnvKind::kEos;
+  std::uint64_t seq = 0;
+  Item item;
+};
+
+/// Shared run state: abort flag + first error.
+struct RunState {
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  Status first_error;
+
+  void fail(Status s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error.ok()) first_error = std::move(s);
+    abort.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool aborted() const {
+    return abort.load(std::memory_order_acquire);
+  }
+};
+
+/// An SPSC queue with blocking push/pop honoring the wait mode and abort.
+/// In kBlocking mode, waiters park on a condition variable and the
+/// counterpart side notifies after every operation (a bounded wait guards
+/// against the classic lost-wakeup race without a lock on the fast path).
+class Channel {
+ public:
+  Channel(std::size_t capacity, WaitMode mode, RunState* state)
+      : queue_(capacity), mode_(mode), state_(state) {}
+
+  /// Blocks until pushed; returns false only when the run aborted.
+  bool push(Envelope&& env) {
+    Backoff backoff;
+    while (!queue_.try_push(std::move(env))) {
+      if (state_->aborted()) return false;
+      wait_not_full(backoff);
+    }
+    if (mode_ == WaitMode::kBlocking) cv_not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until popped; returns false only when the run aborted *and*
+  /// the queue is empty (drain-before-abort keeps teardown deterministic
+  /// for upstream EOS envelopes already queued).
+  bool pop(Envelope& out) {
+    Backoff backoff;
+    while (!queue_.try_pop(out)) {
+      if (state_->aborted()) return false;
+      wait_not_empty(backoff);
+    }
+    if (mode_ == WaitMode::kBlocking) cv_not_full_.notify_one();
+    return true;
+  }
+
+  bool try_pop(Envelope& out) {
+    bool ok = queue_.try_pop(out);
+    if (ok && mode_ == WaitMode::kBlocking) cv_not_full_.notify_one();
+    return ok;
+  }
+  [[nodiscard]] bool has_space() const {
+    return queue_.size_approx() < queue_.capacity();
+  }
+
+ private:
+  void wait_not_empty(Backoff& backoff) {
+    if (mode_ == WaitMode::kBlocking) {
+      std::unique_lock<std::mutex> lock(cv_mu_);
+      cv_not_empty_.wait_for(lock, std::chrono::milliseconds(1));
+      return;
+    }
+    wait(backoff);
+  }
+  void wait_not_full(Backoff& backoff) {
+    if (mode_ == WaitMode::kBlocking) {
+      std::unique_lock<std::mutex> lock(cv_mu_);
+      cv_not_full_.wait_for(lock, std::chrono::milliseconds(1));
+      return;
+    }
+    wait(backoff);
+  }
+  void wait(Backoff& backoff) {
+    if (mode_ == WaitMode::kSpin) {
+      cpu_relax();
+    } else {
+      backoff.pause();
+    }
+  }
+
+  SpscQueue<Envelope> queue_;
+  WaitMode mode_;
+  RunState* state_;
+  std::mutex cv_mu_;
+  std::condition_variable cv_not_empty_;
+  std::condition_variable cv_not_full_;
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// Base of all runtime threads.
+class Unit {
+ public:
+  Unit(std::string name, RunState* state, bool collect_stats)
+      : name_(std::move(name)), state_(state), collect_stats_(collect_stats) {}
+  virtual ~Unit() = default;
+
+  void operator()() {
+    try {
+      run();
+    } catch (const std::exception& e) {
+      state_->fail(Internal(name_ + ": " + e.what()));
+      propagate_eos_on_abort();
+    } catch (...) {
+      state_->fail(Internal(name_ + ": unknown exception"));
+      propagate_eos_on_abort();
+    }
+  }
+
+  virtual void run() = 0;
+  /// Best effort: after a failure, push EOS downstream so peers unwind.
+  virtual void propagate_eos_on_abort() {}
+
+  [[nodiscard]] UnitReport report() const { return {name_, stats_}; }
+
+ protected:
+  template <typename F>
+  auto timed(F&& f) {
+    if (!collect_stats_) return f();
+    auto t0 = Clock::now();
+    auto cleanup = [&](auto&& result) {
+      stats_.busy_seconds +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      return std::forward<decltype(result)>(result);
+    };
+    return cleanup(f());
+  }
+
+  std::string name_;
+  RunState* state_;
+  bool collect_stats_;
+  NodeStats stats_;
+};
+
+/// Routes items from a node to one or more downstream channels, stamping
+/// sequence numbers. Implements the Node's emit() port.
+class Router final : public OutPort {
+ public:
+  Router(std::vector<Channel*> outs, SchedPolicy policy)
+      : outs_(std::move(outs)), policy_(policy) {}
+
+  /// Routes an item envelope with an explicit sequence number.
+  bool route(Envelope&& env) {
+    if (outs_.empty()) return true;  // sink: outputs are dropped
+    if (outs_.size() == 1) return outs_[0]->push(std::move(env));
+    if (policy_ == SchedPolicy::kOnDemand) {
+      // Rotate from the cursor looking for space; fall back to a blocking
+      // push on the cursor's channel so we never spin on a full farm.
+      for (std::size_t probe = 0; probe < outs_.size(); ++probe) {
+        std::size_t i = (next_ + probe) % outs_.size();
+        if (outs_[i]->has_space()) {
+          next_ = i + 1;
+          return outs_[i]->push(std::move(env));
+        }
+      }
+    }
+    std::size_t i = next_ % outs_.size();
+    ++next_;
+    return outs_[i]->push(std::move(env));
+  }
+
+  /// OutPort: emit() from inside svc. Stamps the router's current sequence.
+  bool send(Item item) override {
+    Envelope env;
+    env.kind = EnvKind::kItem;
+    env.seq = seq_++;
+    env.item = std::move(item);
+    return route(std::move(env));
+  }
+
+  bool broadcast_eos() {
+    bool ok = true;
+    for (Channel* c : outs_) {
+      Envelope env;
+      env.kind = EnvKind::kEos;
+      ok = c->push(std::move(env)) && ok;
+    }
+    return ok;
+  }
+
+  [[nodiscard]] std::uint64_t next_seq() const { return seq_; }
+  std::uint64_t take_seq() { return seq_++; }
+  void set_seq(std::uint64_t s) { seq_ = s; }
+
+ private:
+  std::vector<Channel*> outs_;
+  SchedPolicy policy_;
+  std::size_t next_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// First pipeline stage: repeatedly calls svc(empty) until Eos.
+class SourceUnit final : public Unit {
+ public:
+  SourceUnit(std::string name, RunState* state, bool collect_stats, Node* node,
+             Router router)
+      : Unit(std::move(name), state, collect_stats),
+        node_(node),
+        router_(std::move(router)) {}
+
+  void run() override {
+    NodeAccess::bind(*node_, &router_, /*emit_allowed=*/true);
+    node_->on_init(0);
+    while (!state_->aborted()) {
+      SvcResult r = timed([&] { return node_->svc(Item{}); });
+      if (r.kind == SvcResult::Kind::kEos) break;
+      if (r.kind == SvcResult::Kind::kItem) {
+        ++stats_.items_out;
+        Envelope env;
+        env.kind = EnvKind::kItem;
+        env.seq = router_.take_seq();
+        env.item = std::move(r.item);
+        if (!router_.route(std::move(env))) break;
+      }
+    }
+    node_->on_end();
+    router_.broadcast_eos();
+    NodeAccess::unbind(*node_);
+  }
+
+  void propagate_eos_on_abort() override { router_.broadcast_eos(); }
+
+ private:
+  Node* node_;
+  Router router_;
+};
+
+/// Middle/sink stage (also farm workers): one input channel, svc per item.
+class StageUnit final : public Unit {
+ public:
+  StageUnit(std::string name, RunState* state, bool collect_stats, Node* node,
+            Channel* in, Router router, bool propagate_seq, int replica_id)
+      : Unit(std::move(name), state, collect_stats),
+        node_(node),
+        in_(in),
+        router_(std::move(router)),
+        propagate_seq_(propagate_seq),
+        replica_id_(replica_id) {}
+
+  void run() override {
+    NodeAccess::bind(*node_, &router_, /*emit_allowed=*/!propagate_seq_);
+    node_->on_init(replica_id_);
+    Envelope env;
+    while (in_->pop(env)) {
+      if (env.kind == EnvKind::kEos) break;
+      if (env.kind == EnvKind::kHole) continue;  // holes die at collectors
+      ++stats_.items_in;
+      std::uint64_t seq = env.seq;
+      SvcResult r = timed([&] { return node_->svc(std::move(env.item)); });
+      if (r.kind == SvcResult::Kind::kEos) break;
+      Envelope out;
+      out.seq = propagate_seq_ ? seq : router_.take_seq();
+      if (r.kind == SvcResult::Kind::kItem) {
+        ++stats_.items_out;
+        out.kind = EnvKind::kItem;
+        out.item = std::move(r.item);
+        if (!router_.route(std::move(out))) break;
+      } else if (propagate_seq_) {
+        // Ordered farm: the collector must learn this sequence was dropped.
+        out.kind = EnvKind::kHole;
+        if (!router_.route(std::move(out))) break;
+      }
+    }
+    node_->on_end();
+    router_.broadcast_eos();
+    NodeAccess::unbind(*node_);
+  }
+
+  void propagate_eos_on_abort() override { router_.broadcast_eos(); }
+
+ private:
+  Node* node_;
+  Channel* in_;
+  Router router_;
+  bool propagate_seq_;
+  int replica_id_;
+};
+
+/// Farm front-end: stamps sequence numbers and schedules items to workers.
+class EmitterUnit final : public Unit {
+ public:
+  EmitterUnit(std::string name, RunState* state, Channel* in, Router router)
+      : Unit(std::move(name), state, false),
+        in_(in),
+        router_(std::move(router)) {}
+
+  void run() override {
+    Envelope env;
+    while (in_->pop(env)) {
+      if (env.kind == EnvKind::kEos) break;
+      ++stats_.items_in;
+      env.seq = router_.take_seq();  // restamp in arrival order
+      if (!router_.route(std::move(env))) break;
+    }
+    router_.broadcast_eos();
+  }
+
+  void propagate_eos_on_abort() override { router_.broadcast_eos(); }
+
+ private:
+  Channel* in_;
+  Router router_;
+};
+
+/// Farm back-end: merges worker outputs, optionally restoring order.
+class CollectorUnit final : public Unit {
+ public:
+  CollectorUnit(std::string name, RunState* state,
+                std::vector<Channel*> ins, Router router, bool ordered)
+      : Unit(std::move(name), state, false),
+        ins_(std::move(ins)),
+        router_(std::move(router)),
+        ordered_(ordered) {}
+
+  void run() override {
+    std::size_t eos_seen = 0;
+    std::size_t cursor = 0;
+    Backoff backoff;
+    while (eos_seen < ins_.size() && !state_->aborted()) {
+      Envelope env;
+      bool got = false;
+      for (std::size_t probe = 0; probe < ins_.size(); ++probe) {
+        std::size_t i = (cursor + probe) % ins_.size();
+        if (ins_[i]->try_pop(env)) {
+          cursor = i + 1;
+          got = true;
+          break;
+        }
+      }
+      if (!got) {
+        backoff.pause();
+        continue;
+      }
+      backoff.reset();
+      if (env.kind == EnvKind::kEos) {
+        ++eos_seen;
+        continue;
+      }
+      if (ordered_) {
+        if (!deliver_ordered(std::move(env))) return;
+      } else if (env.kind == EnvKind::kItem) {
+        if (!forward(std::move(env.item))) return;
+      }
+    }
+    if (ordered_) flush_pending();
+    router_.broadcast_eos();
+  }
+
+  void propagate_eos_on_abort() override { router_.broadcast_eos(); }
+
+ private:
+  bool forward(Item item) {
+    ++stats_.items_out;
+    Envelope out;
+    out.kind = EnvKind::kItem;
+    out.seq = router_.take_seq();
+    out.item = std::move(item);
+    return router_.route(std::move(out));
+  }
+
+  bool deliver_ordered(Envelope&& env) {
+    pending_.emplace(env.seq, std::move(env));
+    while (!pending_.empty() && pending_.begin()->first == next_expected_) {
+      Envelope e = std::move(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      ++next_expected_;
+      if (e.kind == EnvKind::kItem && !forward(std::move(e.item))) return false;
+    }
+    return true;
+  }
+
+  void flush_pending() {
+    // After all workers EOS'd every remaining envelope is contiguous only
+    // if no sequence was lost; forward what is left in order regardless —
+    // the alternative (dropping) would silently lose data on abort.
+    for (auto& [seq, e] : pending_) {
+      if (e.kind == EnvKind::kItem) {
+        if (!forward(std::move(e.item))) return;
+      }
+    }
+    pending_.clear();
+  }
+
+  std::vector<Channel*> ins_;
+  Router router_;
+  bool ordered_;
+  std::uint64_t next_expected_ = 0;
+  std::map<std::uint64_t, Envelope> pending_;
+};
+
+/// Graph description element.
+struct PlainStage {
+  std::unique_ptr<Node> node;
+  std::string name;
+};
+struct FarmStage {
+  std::function<std::unique_ptr<Node>()> factory;
+  FarmOptions options;
+  std::string name;
+};
+using StageDesc = std::variant<PlainStage, FarmStage>;
+
+}  // namespace
+
+struct Pipeline::Impl {
+  PipelineOptions options;
+  std::vector<StageDesc> stages;
+  std::vector<std::unique_ptr<Node>> farm_nodes;  // keep workers alive
+  std::vector<std::unique_ptr<Channel>> channels;
+  std::vector<std::unique_ptr<Unit>> units;
+  std::vector<UnitReport> reports;
+  RunState state;
+  bool ran = false;
+
+  Channel* new_channel() {
+    channels.push_back(std::make_unique<Channel>(options.queue_capacity,
+                                                 options.wait_mode, &state));
+    return channels.back().get();
+  }
+};
+
+Pipeline::Pipeline(PipelineOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::add_stage(std::unique_ptr<Node> node, std::string name) {
+  assert(node && "null stage");
+  impl_->stages.push_back(PlainStage{std::move(node), std::move(name)});
+}
+
+void Pipeline::add_farm(std::function<std::unique_ptr<Node>()> worker_factory,
+                        FarmOptions options, std::string name) {
+  assert(worker_factory && "null worker factory");
+  assert(options.replicas >= 1);
+  impl_->stages.push_back(
+      FarmStage{std::move(worker_factory), options, std::move(name)});
+}
+
+int Pipeline::thread_count() const {
+  int n = 0;
+  for (const StageDesc& s : impl_->stages) {
+    if (std::holds_alternative<PlainStage>(s)) {
+      n += 1;
+    } else {
+      n += std::get<FarmStage>(s).options.replicas + 2;  // emitter+collector
+    }
+  }
+  return n;
+}
+
+Status Pipeline::run_and_wait() {
+  Impl& im = *impl_;
+  if (im.ran) return FailedPrecondition("pipeline already ran");
+  im.ran = true;
+
+  if (im.stages.size() < 2) {
+    return InvalidArgument("pipeline needs at least a source and a sink");
+  }
+  if (!std::holds_alternative<PlainStage>(im.stages.front())) {
+    return InvalidArgument("first stage must be a plain source, not a farm");
+  }
+  if (!std::holds_alternative<PlainStage>(im.stages.back())) {
+    return InvalidArgument("last stage must be a plain sink, not a farm");
+  }
+
+  const bool stats = im.options.collect_stats;
+
+  // Wire stages back to front so each stage knows its downstream channel(s).
+  // `entry` = the channel feeding the already-built downstream subgraph.
+  Channel* entry = nullptr;
+  std::vector<std::unique_ptr<Unit>>& units = im.units;
+
+  for (std::size_t idx = im.stages.size(); idx-- > 0;) {
+    StageDesc& desc = im.stages[idx];
+    const bool is_source = idx == 0;
+    std::vector<Channel*> outs;
+    if (entry != nullptr) outs.push_back(entry);
+
+    if (auto* plain = std::get_if<PlainStage>(&desc)) {
+      Router router(outs, SchedPolicy::kRoundRobin);
+      if (is_source) {
+        units.push_back(std::make_unique<SourceUnit>(
+            plain->name, &im.state, stats, plain->node.get(),
+            std::move(router)));
+        entry = nullptr;
+      } else {
+        Channel* in = im.new_channel();
+        units.push_back(std::make_unique<StageUnit>(
+            plain->name, &im.state, stats, plain->node.get(), in,
+            std::move(router), /*propagate_seq=*/false, /*replica_id=*/0));
+        entry = in;
+      }
+      continue;
+    }
+
+    auto& farm = std::get<FarmStage>(desc);
+    // collector: worker channels -> entry
+    std::vector<Channel*> worker_outs;
+    worker_outs.reserve(static_cast<std::size_t>(farm.options.replicas));
+    for (int w = 0; w < farm.options.replicas; ++w) {
+      worker_outs.push_back(im.new_channel());
+    }
+    units.push_back(std::make_unique<CollectorUnit>(
+        farm.name + ".collector", &im.state, worker_outs,
+        Router(outs, SchedPolicy::kRoundRobin), farm.options.ordered));
+
+    // workers: per-worker in channel -> per-worker out channel
+    std::vector<Channel*> worker_ins;
+    worker_ins.reserve(static_cast<std::size_t>(farm.options.replicas));
+    for (int w = 0; w < farm.options.replicas; ++w) {
+      Channel* win = im.new_channel();
+      worker_ins.push_back(win);
+      auto node = farm.factory();
+      assert(node && "worker factory returned null");
+      units.push_back(std::make_unique<StageUnit>(
+          farm.name + ".w" + std::to_string(w), &im.state, stats, node.get(),
+          win, Router({worker_outs[static_cast<std::size_t>(w)]},
+                      SchedPolicy::kRoundRobin),
+          /*propagate_seq=*/farm.options.ordered, /*replica_id=*/w));
+      im.farm_nodes.push_back(std::move(node));
+    }
+
+    // emitter: in channel -> worker channels
+    Channel* farm_in = im.new_channel();
+    units.push_back(std::make_unique<EmitterUnit>(
+        farm.name + ".emitter", &im.state, farm_in,
+        Router(worker_ins, farm.options.policy)));
+    entry = farm_in;
+  }
+
+  // Launch all units; jthread joins on destruction.
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(units.size());
+    for (auto& unit : units) {
+      threads.emplace_back([&unit] { (*unit)(); });
+    }
+  }
+
+  im.reports.clear();
+  im.reports.reserve(units.size());
+  for (auto& unit : units) im.reports.push_back(unit->report());
+
+  std::lock_guard<std::mutex> lock(im.state.mu);
+  return im.state.first_error;
+}
+
+const std::vector<UnitReport>& Pipeline::reports() const {
+  return impl_->reports;
+}
+
+}  // namespace hs::flow

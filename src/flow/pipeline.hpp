@@ -1,0 +1,91 @@
+// Pipeline + farm runtime — the FastFlow-equivalent substrate (paper §III-A).
+//
+// A Pipeline is a linear chain of stages; each plain stage runs on its own
+// thread, connected by bounded lock-free SPSC queues. A stage may instead be
+// a Farm: an implicit emitter thread distributing items to N replicated
+// worker threads and an implicit collector thread merging (optionally
+// reordering) their outputs — exactly the structure SPar generates for
+// [[spar::Stage, spar::Replicate(n)]] regions.
+//
+//   source -> [emitter -> w0..wN -> collector] -> ... -> sink
+//
+// End-of-stream is a sentinel envelope broadcast through every branch; the
+// collector forwards it once all workers have finished.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flow/node.hpp"
+
+namespace hs::flow {
+
+/// How queue waits behave when empty/full.
+enum class WaitMode : std::uint8_t {
+  kSpin,      ///< busy-wait with pause/yield (lowest latency)
+  kBackoff,   ///< escalate to short sleeps (the default; frees the core)
+  kBlocking,  ///< park on a condition variable (FastFlow's blocking mode:
+              ///< lowest CPU use, highest wakeup latency)
+};
+
+/// How an emitter assigns items to farm workers.
+enum class SchedPolicy : std::uint8_t {
+  kRoundRobin,  ///< strict rotation (FastFlow default scheduling)
+  kOnDemand,    ///< first worker with queue space (load-balancing)
+};
+
+struct PipelineOptions {
+  std::size_t queue_capacity = 512;
+  WaitMode wait_mode = WaitMode::kBackoff;
+  bool collect_stats = false;  ///< measure per-node wall busy time
+};
+
+struct FarmOptions {
+  int replicas = 1;
+  bool ordered = false;  ///< collector restores emission order
+  SchedPolicy policy = SchedPolicy::kRoundRobin;
+};
+
+/// Snapshot of one runtime thread's activity after a run.
+struct UnitReport {
+  std::string name;
+  NodeStats stats;
+};
+
+/// A runnable stream graph. Build with add_stage()/add_farm() in pipeline
+/// order (first stage = source, last = sink), then run_and_wait().
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+  ~Pipeline();
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Appends a sequential stage. `name` is used in reports.
+  void add_stage(std::unique_ptr<Node> node, std::string name = "stage");
+
+  /// Appends a farm of `options.replicas` workers built by `worker_factory`
+  /// (one call per replica; replica id passed to Node::on_init).
+  void add_farm(std::function<std::unique_ptr<Node>()> worker_factory,
+                FarmOptions options, std::string name = "farm");
+
+  /// Runs the whole graph and blocks until end-of-stream has flushed
+  /// through the sink. Returns the first stage error (an exception thrown
+  /// from svc()) or a validation error; OK otherwise. Single-shot.
+  Status run_and_wait();
+
+  /// Per-thread activity reports; valid after run_and_wait().
+  [[nodiscard]] const std::vector<UnitReport>& reports() const;
+
+  /// Total number of runtime threads the current graph will spawn.
+  [[nodiscard]] int thread_count() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hs::flow

@@ -1,0 +1,117 @@
+// Bounded lock-free single-producer/single-consumer queue — the building
+// block of the flow runtime, mirroring FastFlow's core design ("built on top
+// of efficient fine grain lock-free communication queues", paper §III-A).
+//
+// Classic Lamport ring buffer with C++11 atomics plus cached counterpart
+// indices (the producer caches the consumer index and vice versa) so the
+// common case touches a single cache line. Capacity is rounded up to a
+// power of two.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace hs::flow {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is the number of elements the queue can hold; rounded up to
+  /// a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    // Destroy any elements still enqueued.
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    while (head != tail) {
+      slot(head).destroy();
+      ++head;
+    }
+  }
+
+  /// Producer side. Returns false when full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slot(tail).construct(std::move(value));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& value) {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    Slot& s = slot(head);
+    out = std::move(s.ref());
+    s.destroy();
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side peek without removal (used by the ordered collector).
+  bool try_peek(T*& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = &slot(head).ref();
+    return true;
+  }
+
+  /// Approximate size; exact only when both sides are quiescent.
+  [[nodiscard]] std::size_t size_approx() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+    void construct(T&& v) { ::new (static_cast<void*>(storage)) T(std::move(v)); }
+    T& ref() { return *std::launder(reinterpret_cast<T*>(storage)); }
+    void destroy() { ref().~T(); }
+  };
+
+  Slot& slot(std::size_t i) { return slots_[i & mask_]; }
+
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer index
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;        // consumer-owned
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producer index
+  alignas(kCacheLine) std::size_t head_cache_ = 0;        // producer-owned
+};
+
+}  // namespace hs::flow

@@ -1,0 +1,104 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace hs::gpusim {
+
+std::uint32_t occupancy_warps_per_sm(const DeviceSpec& spec,
+                                     const KernelAttributes& attrs,
+                                     const Dim3& block) {
+  const std::uint64_t threads_per_block = std::max<std::uint64_t>(1, block.count());
+  const std::uint32_t warps_per_block = static_cast<std::uint32_t>(
+      (threads_per_block + spec.warp_size - 1) / spec.warp_size);
+
+  // Blocks that fit by shared memory.
+  std::uint64_t blocks_by_shmem = spec.max_warps_per_sm;  // "unlimited"
+  if (attrs.shared_mem_per_block > 0) {
+    if (attrs.shared_mem_per_block > spec.shared_mem_per_sm) return 0;
+    blocks_by_shmem = spec.shared_mem_per_sm / attrs.shared_mem_per_block;
+  }
+
+  // Warps that fit by register file (registers are allocated per thread).
+  const std::uint64_t regs_per_warp =
+      static_cast<std::uint64_t>(std::max<std::uint32_t>(1, attrs.registers_per_thread)) *
+      spec.warp_size;
+  const std::uint64_t warps_by_regs = spec.registers_per_sm / regs_per_warp;
+  if (warps_by_regs == 0) return 0;
+
+  // Warps that fit by thread slots and warp slots.
+  const std::uint64_t warps_by_threads = spec.max_threads_per_sm / spec.warp_size;
+  const std::uint64_t warps_by_slots = spec.max_warps_per_sm;
+
+  std::uint64_t warps = std::min({warps_by_regs, warps_by_threads, warps_by_slots});
+  // Whole blocks only: round down to a multiple of warps_per_block.
+  std::uint64_t blocks = std::min<std::uint64_t>(warps / warps_per_block, blocks_by_shmem);
+  if (blocks == 0) {
+    // A single block that exceeds per-SM warp capacity can never launch.
+    return 0;
+  }
+  return static_cast<std::uint32_t>(blocks * warps_per_block);
+}
+
+double kernel_duration_seconds(const DeviceSpec& spec,
+                               const KernelAttributes& attrs,
+                               const Dim3& block,
+                               std::span<const double> warp_cost_units) {
+  assert(spec.sm_count > 0);
+  if (warp_cost_units.empty()) return spec.kernel_launch_latency;
+
+  const std::uint32_t resident = occupancy_warps_per_sm(spec, attrs, block);
+  // resident == 0 means an unlaunchable kernel; the Device rejects it before
+  // reaching here, so treat defensively as 1.
+  const std::uint32_t resident_warps = std::max<std::uint32_t>(1, resident);
+
+  // Round-robin warp distribution across SMs, tracking per-SM busy units.
+  std::vector<double> sm_busy(spec.sm_count, 0.0);
+  std::vector<std::uint32_t> sm_warps(spec.sm_count, 0);
+  for (std::size_t i = 0; i < warp_cost_units.size(); ++i) {
+    std::size_t sm = i % spec.sm_count;
+    sm_busy[sm] += warp_cost_units[i] + spec.warp_fixed_cost_units;
+    sm_warps[sm] += 1;
+  }
+
+  double worst = 0.0;
+  for (std::uint32_t sm = 0; sm < spec.sm_count; ++sm) {
+    if (sm_warps[sm] == 0) continue;
+    // Latency hiding: an SM concurrently holding fewer warps than
+    // latency_hiding_warps cannot keep its pipelines full; stall factor
+    // scales busy time up. Concurrency is bounded by both the kernel's
+    // occupancy and the warps actually assigned to this SM.
+    const std::uint32_t concurrent =
+        std::min<std::uint32_t>(resident_warps, sm_warps[sm]);
+    const double stall =
+        std::max(1.0, spec.latency_hiding_warps /
+                          static_cast<double>(concurrent));
+    worst = std::max(worst, sm_busy[sm] * stall);
+  }
+  return spec.kernel_launch_latency + worst * spec.seconds_per_warp_cost_unit;
+}
+
+double copy_duration_seconds(const DeviceSpec& spec, CopyDir dir,
+                             HostMem host_mem, std::uint64_t bytes) {
+  double bandwidth = 0;
+  switch (dir) {
+    case CopyDir::kHostToDevice:
+      bandwidth = spec.h2d_bandwidth;
+      break;
+    case CopyDir::kDeviceToHost:
+      bandwidth = spec.d2h_bandwidth;
+      break;
+    case CopyDir::kDeviceToDevice:
+      // On-device copies move at roughly memory bandwidth; model as an
+      // order of magnitude faster than PCIe.
+      bandwidth = 10.0 * std::max(spec.h2d_bandwidth, spec.d2h_bandwidth);
+      break;
+  }
+  if (dir != CopyDir::kDeviceToDevice && host_mem == HostMem::kPageable) {
+    bandwidth *= spec.pageable_bandwidth_factor;
+  }
+  return spec.copy_latency + static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace hs::gpusim

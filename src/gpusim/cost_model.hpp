@@ -1,0 +1,92 @@
+// Pure timing functions of the GPU simulator: occupancy, kernel duration
+// from per-warp costs, and transfer duration. Kept free of Device state so
+// the model itself is unit-testable and ablatable (DESIGN.md §4.1/§4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/spec.hpp"
+
+namespace hs::gpusim {
+
+/// How warp costs aggregate within a warp. The paper's Mandelbrot analysis
+/// hinges on SIMT divergence: lanes that exit the iteration loop early still
+/// occupy the warp until the slowest lane finishes (kMaxLane). kSumLane is
+/// the ablation model (no divergence penalty).
+enum class DivergenceModel : std::uint8_t { kMaxLane, kSumLane };
+
+/// Resident warps per SM for a kernel, limited by the SM's warp slots,
+/// thread slots, register file, and shared memory. Returns at least 1 for a
+/// launchable kernel, 0 if a single block can never fit (shared memory or
+/// register demand too high).
+std::uint32_t occupancy_warps_per_sm(const DeviceSpec& spec,
+                                     const KernelAttributes& attrs,
+                                     const Dim3& block);
+
+/// Duration of a kernel given the cost of every warp (in cost units,
+/// already lane-aggregated). Warps are assigned to SMs round-robin; each SM
+/// executes its warps back-to-back; an SM running fewer resident warps than
+/// `latency_hiding_warps` is stalled proportionally (this is the paper's
+/// "GPU is not fully utilized" effect for small launches). Includes the
+/// kernel launch latency.
+double kernel_duration_seconds(const DeviceSpec& spec,
+                               const KernelAttributes& attrs,
+                               const Dim3& block,
+                               std::span<const double> warp_cost_units);
+
+/// Duration of a host<->device transfer of `bytes`.
+double copy_duration_seconds(const DeviceSpec& spec, CopyDir dir,
+                             HostMem host_mem, std::uint64_t bytes);
+
+/// Helper accumulating lane costs into warp costs during functional kernel
+/// execution. Threads must be fed in linearized-block order (the simulator
+/// guarantees this); every `warp_size` lanes close a warp. Partial final
+/// warps are closed by finish().
+class WarpCostAccumulator {
+ public:
+  WarpCostAccumulator(std::uint32_t warp_size, DivergenceModel model)
+      : warp_size_(warp_size), model_(model) {}
+
+  void add_lane(double cost_units) {
+    switch (model_) {
+      case DivergenceModel::kMaxLane:
+        if (cost_units > current_) current_ = cost_units;
+        break;
+      case DivergenceModel::kSumLane:
+        current_ += cost_units / warp_size_;
+        break;
+    }
+    if (++lanes_ == warp_size_) close_warp();
+  }
+
+  /// Closes a partially-filled warp at a block boundary (warps never span
+  /// blocks on real hardware).
+  void end_block() {
+    if (lanes_ > 0) close_warp();
+  }
+
+  [[nodiscard]] const std::vector<double>& warp_costs() const {
+    return warps_;
+  }
+  [[nodiscard]] std::vector<double> take_warp_costs() {
+    end_block();
+    return std::move(warps_);
+  }
+
+ private:
+  void close_warp() {
+    warps_.push_back(current_);
+    current_ = 0;
+    lanes_ = 0;
+  }
+
+  std::uint32_t warp_size_;
+  DivergenceModel model_;
+  std::uint32_t lanes_ = 0;
+  double current_ = 0;
+  std::vector<double> warps_;
+};
+
+}  // namespace hs::gpusim

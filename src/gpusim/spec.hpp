@@ -1,0 +1,96 @@
+// Simulated GPU hardware description.
+//
+// Defaults model the paper's NVIDIA Titan XP (compute capability 6.1):
+// 30 SMs x 2048 resident threads = 61,440 resident threads device-wide,
+// 64k registers and 96 KB shared memory per SM, 12 GB device memory,
+// PCIe 3.0 x16 transfers. The timing constants (issue rate, launch latency,
+// bandwidths) are calibration parameters, documented in DESIGN.md §2: we
+// reproduce the paper's *shape* (ratios, crossovers), not its absolute
+// seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hs::gpusim {
+
+/// CUDA-style 3-component extent, used for grids and blocks.
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  [[nodiscard]] std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Static per-kernel resource usage, the inputs to the occupancy
+/// calculation the paper walks through ("the kernel uses only 18 registers,
+/// thus it is not a limiting factor").
+struct KernelAttributes {
+  std::uint32_t registers_per_thread = 18;
+  std::uint64_t shared_mem_per_block = 0;
+};
+
+/// Full device description: geometry + timing calibration.
+struct DeviceSpec {
+  std::string name = "SimTitanXP";
+
+  // --- geometry (straight from the paper / CC 6.1 data sheet) ---
+  std::uint32_t sm_count = 30;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_threads_per_sm = 2048;
+  std::uint32_t max_warps_per_sm = 64;
+  std::uint32_t registers_per_sm = 65536;
+  std::uint64_t shared_mem_per_sm = 96 * 1024;
+  std::uint64_t memory_bytes = 12ull * 1024 * 1024 * 1024;
+
+  // --- timing calibration ---
+  /// Seconds for one SM to issue one warp-serial cost unit (e.g. one
+  /// Mandelbrot inner-loop iteration for a 32-lane warp).
+  double seconds_per_warp_cost_unit = 2.0e-9;
+  /// Fixed per-warp scheduling cost, in cost units.
+  double warp_fixed_cost_units = 16.0;
+  /// Host-side + driver latency of one kernel launch, seconds.
+  double kernel_launch_latency = 12.0e-6;
+  /// Fixed latency of one DMA transfer, seconds.
+  double copy_latency = 8.0e-6;
+  /// PCIe-like bandwidths, bytes/second.
+  double h2d_bandwidth = 11.0e9;
+  double d2h_bandwidth = 11.0e9;
+  /// Bandwidth multiplier when the host buffer is pageable (not pinned):
+  /// the driver stages through an internal pinned buffer.
+  double pageable_bandwidth_factor = 0.55;
+  /// Warps an SM must have resident to fully hide pipeline/memory latency;
+  /// fewer resident warps stall the SM proportionally. Fractional values
+  /// are allowed (this is a calibration parameter).
+  double latency_hiding_warps = 4.0;
+
+  /// Factory for the paper's GPU.
+  static DeviceSpec TitanXP() { return DeviceSpec{}; }
+
+  /// A deliberately small device for tests (2 SMs, tiny memory) so tests can
+  /// trigger occupancy limits and OOM cheaply.
+  static DeviceSpec TestTiny() {
+    DeviceSpec s;
+    s.name = "SimTiny";
+    s.sm_count = 2;
+    s.max_threads_per_sm = 128;
+    s.max_warps_per_sm = 4;
+    s.registers_per_sm = 4096;
+    s.shared_mem_per_sm = 4 * 1024;
+    s.memory_bytes = 1 * 1024 * 1024;
+    return s;
+  }
+};
+
+/// Direction of a host<->device transfer.
+enum class CopyDir : std::uint8_t { kHostToDevice, kDeviceToHost, kDeviceToDevice };
+
+/// Whether the *host* side of a transfer is page-locked. Device-to-device
+/// copies ignore this.
+enum class HostMem : std::uint8_t { kPageable, kPinned };
+
+}  // namespace hs::gpusim

@@ -1,0 +1,38 @@
+// Canonical static Huffman codec, implemented from scratch.
+//
+// PARSEC's dedup compresses blocks with gzip/bzip2 — LZ matching plus an
+// entropy stage. The paper swaps in plain LZSS; this codec restores the
+// missing entropy stage as an *option* (DedupConfig::codec =
+// kLzssHuffman): block payloads become huffman(lzss(block)), closing part
+// of the ratio gap to the original PARSEC codecs while keeping the same
+// pipeline structure.
+//
+// Format: a 256-entry table of 4-bit code lengths (0 = symbol absent,
+// max length 15), then the MSB-first canonical-code bitstream. Canonical
+// assignment: shorter codes first, ties by symbol value, so the table is
+// the entire header.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs::kernels {
+
+/// Encodes `input`. Empty input yields an empty payload (header only).
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint8_t> input);
+
+/// Decodes exactly `original_size` bytes; DATA_LOSS on malformed streams
+/// (truncation, invalid code-length tables, codes outside the table).
+Result<std::vector<std::uint8_t>> huffman_decode(
+    std::span<const std::uint8_t> compressed, std::size_t original_size);
+
+/// Build the (length-capped) Huffman code lengths for a frequency table —
+/// exposed for tests of the length-limiting and canonical properties.
+/// Returns 256 lengths in [0, 15]; zero frequency => zero length.
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs);
+
+}  // namespace hs::kernels

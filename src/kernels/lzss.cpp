@@ -1,0 +1,228 @@
+#include "kernels/lzss.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hs::kernels {
+
+namespace {
+
+/// MSB-first bit writer.
+class BitWriter {
+ public:
+  void put_bit(bool bit) {
+    current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
+    if (++filled_ == 8) flush_byte();
+  }
+
+  void put_bits(std::uint32_t value, std::uint32_t count) {
+    for (std::uint32_t i = count; i-- > 0;) {
+      put_bit(((value >> i) & 1u) != 0);
+    }
+  }
+
+  std::vector<std::uint8_t> finish() {
+    if (filled_ > 0) {
+      current_ = static_cast<std::uint8_t>(current_ << (8 - filled_));
+      flush_byte();
+    }
+    return std::move(bytes_);
+  }
+
+ private:
+  void flush_byte() {
+    bytes_.push_back(current_);
+    current_ = 0;
+    filled_ = 0;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  std::uint32_t filled_ = 0;
+};
+
+/// MSB-first bit reader.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool get_bit(bool& bit) {
+    if (pos_ >= bytes_.size() * 8) return false;
+    std::size_t byte = pos_ / 8;
+    std::size_t off = pos_ % 8;
+    bit = ((bytes_[byte] >> (7 - off)) & 1u) != 0;
+    ++pos_;
+    return true;
+  }
+
+  bool get_bits(std::uint32_t count, std::uint32_t& value) {
+    value = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      bool bit = false;
+      if (!get_bit(bit)) return false;
+      value = (value << 1) | (bit ? 1u : 0u);
+    }
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+LzssMatch lzss_longest_match(std::span<const std::uint8_t> input,
+                             std::size_t block_start, std::size_t block_end,
+                             std::size_t pos, const LzssParams& params) {
+  assert(params.valid());
+  assert(pos >= block_start && pos < block_end && block_end <= input.size());
+
+  const std::size_t search_begin =
+      pos - block_start > params.window_size ? pos - params.window_size
+                                             : block_start;
+  // Longest possible: bounded by the block end and by the no-overlap rule
+  // (source indices stay below pos).
+  const std::size_t lookahead_limit =
+      std::min<std::size_t>(params.max_match, block_end - pos);
+
+  LzssMatch best;
+  for (std::size_t cand = search_begin; cand < pos; ++cand) {
+    if (input[cand] != input[pos]) continue;
+    // Source must stay below pos: max length additionally bounded by
+    // pos - cand.
+    const std::size_t limit = std::min(lookahead_limit, pos - cand);
+    std::size_t len = 1;
+    while (len < limit && input[cand + len] == input[pos + len]) ++len;
+    if (len > best.length) {
+      best.length = static_cast<std::uint16_t>(len);
+      best.offset = static_cast<std::uint16_t>(pos - cand);
+      if (len == lookahead_limit) break;  // cannot do better
+    }
+  }
+  if (best.length < params.min_match) return LzssMatch{};
+  return best;
+}
+
+namespace {
+
+/// Shared encode walk; `next_match` yields the match for a position.
+template <typename MatchFn>
+std::vector<std::uint8_t> encode_walk(std::span<const std::uint8_t> input,
+                                      std::size_t block_start,
+                                      std::size_t block_end,
+                                      const LzssParams& params,
+                                      const MatchFn& next_match) {
+  BitWriter out;
+  std::size_t pos = block_start;
+  while (pos < block_end) {
+    LzssMatch m = next_match(pos);
+    if (m.length >= params.min_match) {
+      out.put_bit(false);
+      out.put_bits(static_cast<std::uint32_t>(m.offset - 1),
+                   LzssParams::kOffsetBits);
+      out.put_bits(static_cast<std::uint32_t>(m.length - params.min_match),
+                   LzssParams::kLengthBits);
+      pos += m.length;
+    } else {
+      out.put_bit(true);
+      out.put_bits(input[pos], 8);
+      ++pos;
+    }
+  }
+  return out.finish();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_encode(std::span<const std::uint8_t> input,
+                                      std::size_t block_start,
+                                      std::size_t block_end,
+                                      const LzssParams& params) {
+  assert(params.valid());
+  return encode_walk(input, block_start, block_end, params,
+                     [&](std::size_t pos) {
+                       return lzss_longest_match(input, block_start,
+                                                 block_end, pos, params);
+                     });
+}
+
+Result<std::vector<std::uint8_t>> lzss_decode(
+    std::span<const std::uint8_t> compressed, std::size_t original_size,
+    const LzssParams& params) {
+  if (!params.valid()) return InvalidArgument("bad LZSS parameters");
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  BitReader in(compressed);
+  while (out.size() < original_size) {
+    bool literal = false;
+    if (!in.get_bit(literal)) {
+      return DataLoss("LZSS stream truncated before expected output size");
+    }
+    if (literal) {
+      std::uint32_t byte = 0;
+      if (!in.get_bits(8, byte)) {
+        return DataLoss("LZSS stream truncated inside a literal");
+      }
+      out.push_back(static_cast<std::uint8_t>(byte));
+    } else {
+      std::uint32_t offset_m1 = 0, len_m = 0;
+      if (!in.get_bits(LzssParams::kOffsetBits, offset_m1) ||
+          !in.get_bits(LzssParams::kLengthBits, len_m)) {
+        return DataLoss("LZSS stream truncated inside a match");
+      }
+      std::size_t offset = offset_m1 + 1;
+      std::size_t length = len_m + params.min_match;
+      if (offset > out.size()) {
+        return DataLoss("LZSS match reaches before the block start");
+      }
+      if (out.size() + length > original_size) {
+        return DataLoss("LZSS match overruns the declared output size");
+      }
+      std::size_t src = out.size() - offset;
+      for (std::size_t i = 0; i < length; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+  }
+  return out;
+}
+
+void find_matches_batch(std::span<const std::uint8_t> input,
+                        std::span<const std::uint32_t> start_pos,
+                        const LzssParams& params,
+                        std::vector<LzssMatch>& out_matches) {
+  assert(!start_pos.empty() && start_pos[0] == 0);
+  out_matches.assign(input.size(), LzssMatch{});
+  // For each position, locate its block (start_pos is sorted) exactly as
+  // Listing 3 scans startPoss, then run the shared match body.
+  std::size_t block_idx = 0;
+  for (std::size_t pos = 0; pos < input.size(); ++pos) {
+    while (block_idx + 1 < start_pos.size() &&
+           pos >= start_pos[block_idx + 1]) {
+      ++block_idx;
+    }
+    const std::size_t bstart = start_pos[block_idx];
+    const std::size_t bend = block_idx + 1 < start_pos.size()
+                                 ? start_pos[block_idx + 1]
+                                 : input.size();
+    out_matches[pos] = lzss_longest_match(input, bstart, bend, pos, params);
+  }
+}
+
+std::vector<std::uint8_t> lzss_encode_from_matches(
+    std::span<const std::uint8_t> input, std::size_t block_start,
+    std::size_t block_end, std::span<const LzssMatch> matches,
+    const LzssParams& params) {
+  assert(matches.size() >= block_end);
+  return encode_walk(input, block_start, block_end, params,
+                     [&](std::size_t pos) { return matches[pos]; });
+}
+
+std::uint64_t lzss_match_cost(std::size_t block_start, std::size_t pos,
+                              const LzssParams& params) {
+  std::size_t distance = pos - block_start;
+  return 1 + std::min<std::size_t>(distance, params.window_size);
+}
+
+}  // namespace hs::kernels

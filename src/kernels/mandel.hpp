@@ -1,0 +1,67 @@
+// Mandelbrot-set per-pixel math shared by every variant (sequential, flow/
+// taskx/spar CPU pipelines, and the simulated CUDA/OpenCL kernels), so all
+// versions are bit-identical by construction — mirroring how the paper
+// ports the same inner loop (Listing 1 lines 9-19 / Listing 2 lines 7-19)
+// across models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hs::kernels {
+
+/// Parameters of the streamed fractal (Listing 1's function arguments).
+/// The paper's evaluation uses dim=2000 and niter=200000; the default
+/// window is the classic full-set view.
+struct MandelParams {
+  int dim = 2000;
+  int niter = 200000;
+  double init_a = -2.125;  ///< real axis origin
+  double init_b = -1.5;    ///< imaginary axis origin
+  double range = 3.0;
+
+  [[nodiscard]] double step() const {
+    return range / static_cast<double>(dim);
+  }
+};
+
+/// Result of iterating one point: the escape iteration count (== niter for
+/// interior points) — this doubles as the SIMT cost of the GPU lane.
+inline int mandel_iterations(const MandelParams& p, int i, int j) {
+  const double step = p.step();
+  const double im = p.init_b + step * i;
+  double cr;
+  double a = cr = p.init_a + step * j;
+  double b = im;
+  int k = 0;
+  for (k = 0; k < p.niter; ++k) {
+    double a2 = a * a;
+    double b2 = b * b;
+    if ((a2 + b2) > 4.0) break;
+    b = 2 * a * b + im;
+    a = a2 - b2 + cr;
+  }
+  return k;
+}
+
+/// Pixel shade from the iteration count (Listing 1 line 19).
+inline std::uint8_t mandel_color(int k, int niter) {
+  return static_cast<std::uint8_t>(
+      255 - (static_cast<long long>(k) * 255 / niter));
+}
+
+/// Computes one fractal line (the paper's stream item). Returns the total
+/// iteration count of the line — the host-side cost the performance model
+/// charges for CPU stages. `row` must have p.dim entries.
+inline std::uint64_t mandel_line(const MandelParams& p, int i,
+                                 std::span<std::uint8_t> row) {
+  std::uint64_t total = 0;
+  for (int j = 0; j < p.dim; ++j) {
+    int k = mandel_iterations(p, i, j);
+    total += static_cast<std::uint64_t>(k) + 1;
+    row[static_cast<std::size_t>(j)] = mandel_color(k, p.niter);
+  }
+  return total;
+}
+
+}  // namespace hs::kernels

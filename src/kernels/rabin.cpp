@@ -1,0 +1,78 @@
+#include "kernels/rabin.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+
+namespace hs::kernels {
+
+namespace {
+// The rolling hash is fp = sum over window of table[byte] * MULT^(age);
+// implemented incrementally as fp = fp * MULT + table[in] - table[out] *
+// MULT^window. MULT is an odd constant; pop_table_ pre-multiplies by
+// MULT^window so the hot loop is two table lookups, a multiply and an add.
+constexpr std::uint64_t kMult = 0x9E3779B97F4A7C15ull | 1ull;
+}  // namespace
+
+Rabin::Rabin(const RabinParams& params) : params_(params) {
+  assert(params_.window >= 4);
+  assert(params_.min_block >= params_.window);
+  assert(params_.max_block > params_.min_block);
+  hs::Xoshiro256 rng(params_.seed);
+  for (auto& v : push_table_) v = rng();
+  std::uint64_t mult_pow = 1;
+  for (std::uint32_t i = 0; i < params_.window; ++i) mult_pow *= kMult;
+  for (int b = 0; b < 256; ++b) {
+    pop_table_[b] = push_table_[b] * mult_pow;
+  }
+}
+
+std::uint64_t Rabin::window_fingerprint(
+    std::span<const std::uint8_t> window_bytes) const {
+  std::uint64_t fp = 0;
+  for (std::uint8_t b : window_bytes) {
+    fp = fp * kMult + push_table_[b];
+  }
+  return fp;
+}
+
+std::vector<std::uint32_t> Rabin::chunk_boundaries(
+    std::span<const std::uint8_t> data) const {
+  std::vector<std::uint32_t> starts;
+  if (data.empty()) return starts;
+  starts.push_back(0);
+
+  const std::uint32_t window = params_.window;
+  std::uint64_t fp = 0;
+  std::uint32_t block_start = 0;
+  std::uint32_t win_fill = 0;  // bytes accumulated since the last fp reset
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    fp = fp * kMult + push_table_[data[i]];
+    if (win_fill >= window) {
+      fp -= pop_table_[data[i - window]];
+    } else {
+      ++win_fill;
+    }
+
+    const std::uint32_t block_len =
+        static_cast<std::uint32_t>(i) - block_start + 1;
+    bool boundary = false;
+    if (block_len >= params_.max_block) {
+      boundary = true;
+    } else if (block_len >= params_.min_block && win_fill >= window) {
+      boundary = (fp & params_.mask) == params_.magic;
+    }
+    if (boundary && i + 1 < data.size()) {
+      block_start = static_cast<std::uint32_t>(i) + 1;
+      starts.push_back(block_start);
+      // Restart the window at the boundary so each block's boundaries
+      // depend only on its own content (dedup's behaviour): identical block
+      // payloads then always produce identical sub-structure.
+      fp = 0;
+      win_fill = 0;
+    }
+  }
+  return starts;
+}
+
+}  // namespace hs::kernels

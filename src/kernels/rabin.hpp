@@ -1,0 +1,56 @@
+// Rabin rolling-fingerprint content-defined chunking — the fragmentation
+// method of PARSEC's dedup. A polynomial rolling hash over a sliding window
+// declares a block boundary whenever the low bits of the fingerprint match
+// a magic value, so boundaries depend on *content*, not position: inserting
+// bytes early in a file only disturbs nearby boundaries (the property that
+// makes deduplication robust, and the invariant our property tests check).
+//
+// The paper's GPU refactoring (§IV-B) keeps rabin on the CPU: the input is
+// cut into fixed 1 MB batches and rabin runs within each batch, producing
+// the startPos index vector that every later stage (SHA-1, duplicate check,
+// LZSS FindMatch) consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hs::kernels {
+
+struct RabinParams {
+  std::uint32_t window = 32;         ///< sliding window bytes
+  std::uint32_t min_block = 1024;    ///< no boundary before this many bytes
+  std::uint32_t max_block = 65536;   ///< forced boundary at this size
+  std::uint32_t mask = 0x1FFF;       ///< boundary when (fp & mask) == magic
+  std::uint32_t magic = 0x78;        ///< expected block size ~ mask+1 bytes
+  std::uint64_t seed = 0x8873635796ull;  ///< table seed (fixed for dedup)
+};
+
+/// Table-driven rolling fingerprint.
+class Rabin {
+ public:
+  explicit Rabin(const RabinParams& params = {});
+
+  /// Start positions of each block within `data`, always beginning with 0.
+  /// A block ends right after a byte whose fingerprint matches, or at
+  /// max_block. The final block ends at data.size().
+  [[nodiscard]] std::vector<std::uint32_t> chunk_boundaries(
+      std::span<const std::uint8_t> data) const;
+
+  /// Raw fingerprint of the window ending at each position (exposed for
+  /// tests and the fingerprint microbench). fp[i] covers bytes
+  /// [i-window+1, i].
+  [[nodiscard]] std::uint64_t window_fingerprint(
+      std::span<const std::uint8_t> window_bytes) const;
+
+  [[nodiscard]] const RabinParams& params() const { return params_; }
+
+ private:
+  RabinParams params_;
+  // push_table_[b]  : contribution of byte b entering the window
+  // pop_table_[b]   : contribution of byte b leaving a full window
+  std::uint64_t push_table_[256];
+  std::uint64_t pop_table_[256];
+};
+
+}  // namespace hs::kernels

@@ -1,0 +1,55 @@
+// SHA-1 (FIPS 180-1), implemented from scratch for the Dedup hashing stage
+// (the paper's stage 2 computes one SHA-1 per content block, one GPU thread
+// per block). Incremental context plus one-shot helpers.
+//
+// SHA-1 is used here exactly as PARSEC's dedup uses it — as a content
+// fingerprint for duplicate detection — not as a security primitive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hs::kernels {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 context.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  /// Finalizes and returns the digest; the context must be reset() before
+  /// reuse.
+  Sha1Digest finish();
+
+  /// One-shot convenience.
+  static Sha1Digest hash(std::span<const std::uint8_t> data) {
+    Sha1 ctx;
+    ctx.update(data);
+    return ctx.finish();
+  }
+
+  /// Work units for the cost model: SHA-1 processes 64-byte blocks; the
+  /// returned count is the number of compression-function invocations a
+  /// message of `bytes` requires (including padding).
+  static std::uint64_t compression_rounds(std::uint64_t bytes) {
+    return (bytes + 8) / 64 + 1;
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+/// Lower-case hex of a digest.
+std::string digest_hex(const Sha1Digest& digest);
+
+}  // namespace hs::kernels

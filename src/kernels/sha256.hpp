@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-2), from scratch. The Dedup hash cache can be switched
+// to SHA-256 (the configuration used by the GPU-backup system in the
+// paper's related work [15]); also exercised by the hashing microbench.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hs::kernels {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  Sha256Digest finish();
+
+  static Sha256Digest hash(std::span<const std::uint8_t> data) {
+    Sha256 ctx;
+    ctx.update(data);
+    return ctx.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+std::string digest_hex(const Sha256Digest& digest);
+
+}  // namespace hs::kernels

@@ -1,0 +1,139 @@
+#include "mandel/iteration_map.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hs::mandel {
+
+namespace {
+constexpr char kMagic[8] = {'H', 'S', 'M', 'A', 'P', '0', '0', '1'};
+
+struct CacheHeader {
+  char magic[8];
+  std::int32_t dim;
+  std::int32_t niter;
+  double init_a;
+  double init_b;
+  double range;
+};
+}  // namespace
+
+IterationMap IterationMap::compute(const MandelParams& params) {
+  IterationMap map;
+  map.params_ = params;
+  map.iters_.resize(static_cast<std::size_t>(params.dim) *
+                    static_cast<std::size_t>(params.dim));
+  for (int i = 0; i < params.dim; ++i) {
+    for (int j = 0; j < params.dim; ++j) {
+      map.iters_[static_cast<std::size_t>(i) *
+                     static_cast<std::size_t>(params.dim) +
+                 static_cast<std::size_t>(j)] =
+          kernels::mandel_iterations(params, i, j);
+    }
+  }
+  map.finalize_costs();
+  return map;
+}
+
+void IterationMap::finalize_costs() {
+  line_cost_.assign(static_cast<std::size_t>(params_.dim), 0);
+  total_cost_ = 0;
+  for (int i = 0; i < params_.dim; ++i) {
+    std::uint64_t line = 0;
+    for (int j = 0; j < params_.dim; ++j) {
+      line += lane_cost(i, j);
+    }
+    line_cost_[static_cast<std::size_t>(i)] = line;
+    total_cost_ += line;
+  }
+}
+
+void IterationMap::render_line(int i, std::span<std::uint8_t> row) const {
+  for (int j = 0; j < params_.dim; ++j) {
+    row[static_cast<std::size_t>(j)] = color(i, j);
+  }
+}
+
+Status IterationMap::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Internal("cannot open cache file for write: " + path);
+  CacheHeader hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.dim = params_.dim;
+  hdr.niter = params_.niter;
+  hdr.init_a = params_.init_a;
+  hdr.init_b = params_.init_b;
+  hdr.range = params_.range;
+  bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1 &&
+            std::fwrite(iters_.data(), sizeof(std::int32_t), iters_.size(),
+                        f) == iters_.size();
+  std::fclose(f);
+  if (!ok) return Internal("short write to cache file: " + path);
+  return OkStatus();
+}
+
+Result<IterationMap> IterationMap::load(const std::string& path,
+                                        const MandelParams& params) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("no cache file: " + path);
+  CacheHeader hdr{};
+  if (std::fread(&hdr, sizeof(hdr), 1, f) != 1 ||
+      std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    return DataLoss("corrupt iteration-map cache header: " + path);
+  }
+  if (hdr.dim != params.dim || hdr.niter != params.niter ||
+      hdr.init_a != params.init_a || hdr.init_b != params.init_b ||
+      hdr.range != params.range) {
+    std::fclose(f);
+    return FailedPrecondition("cache was built for different parameters");
+  }
+  IterationMap map;
+  map.params_ = params;
+  map.iters_.resize(static_cast<std::size_t>(params.dim) *
+                    static_cast<std::size_t>(params.dim));
+  std::size_t got = std::fread(map.iters_.data(), sizeof(std::int32_t),
+                               map.iters_.size(), f);
+  std::fclose(f);
+  if (got != map.iters_.size()) {
+    return DataLoss("truncated iteration-map cache: " + path);
+  }
+  map.finalize_costs();
+  return map;
+}
+
+Result<IterationMap> IterationMap::load_or_compute(
+    const std::string& cache_path, const MandelParams& params) {
+  auto cached = load(cache_path, params);
+  if (cached.ok()) return cached;
+  IterationMap map = compute(params);
+  // Cache write failures are non-fatal: the map is still usable.
+  (void)map.save(cache_path);
+  return map;
+}
+
+std::uint64_t image_checksum(std::span<const std::uint8_t> image) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : image) {
+    hash ^= b;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Status write_pgm(const std::string& path,
+                 std::span<const std::uint8_t> image, int width, int height) {
+  if (static_cast<std::size_t>(width) * static_cast<std::size_t>(height) !=
+      image.size()) {
+    return InvalidArgument("image size does not match dimensions");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Internal("cannot open PGM for write: " + path);
+  std::fprintf(f, "P5\n%d %d\n255\n", width, height);
+  bool ok = std::fwrite(image.data(), 1, image.size(), f) == image.size();
+  std::fclose(f);
+  if (!ok) return Internal("short write to PGM: " + path);
+  return OkStatus();
+}
+
+}  // namespace hs::mandel

@@ -1,0 +1,82 @@
+// Precomputed per-pixel escape-iteration map.
+//
+// Every Mandelbrot variant (sequential, CPU pipelines, all GPU modes) does
+// the same per-pixel math; what differs — and what Fig. 1/Fig. 4 measure —
+// is *how the work is scheduled*. Computing the escape counts once lets the
+// figure benches run every variant at full paper scale (dim=2000,
+// niter=200000) in seconds: each variant's kernel body reads k from the
+// map, produces the identical pixel, and charges the identical cost (k+1
+// loop iterations) to the performance model. The map itself is computed
+// with the real kernels::mandel_iterations math (and disk-cached, since
+// paper scale is ~1.3e11 iterations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kernels/mandel.hpp"
+
+namespace hs::mandel {
+
+using kernels::MandelParams;
+
+class IterationMap {
+ public:
+  /// Computes the full map with the real per-pixel math.
+  static IterationMap compute(const MandelParams& params);
+
+  /// Loads a cached map for exactly these params from `cache_path`, or
+  /// computes and caches it. Cache format is validated (header + params);
+  /// a mismatched or corrupt file is recomputed, not trusted.
+  static Result<IterationMap> load_or_compute(const std::string& cache_path,
+                                              const MandelParams& params);
+
+  [[nodiscard]] const MandelParams& params() const { return params_; }
+
+  [[nodiscard]] std::int32_t iters(int i, int j) const {
+    return iters_[static_cast<std::size_t>(i) *
+                      static_cast<std::size_t>(params_.dim) +
+                  static_cast<std::size_t>(j)];
+  }
+
+  /// SIMT lane cost of pixel (i, j): iterations executed plus loop setup.
+  [[nodiscard]] std::uint64_t lane_cost(int i, int j) const {
+    return static_cast<std::uint64_t>(iters(i, j)) + 1;
+  }
+
+  [[nodiscard]] std::uint8_t color(int i, int j) const {
+    return kernels::mandel_color(iters(i, j), params_.niter);
+  }
+
+  /// Total CPU cost (iterations) of one line.
+  [[nodiscard]] std::uint64_t line_cost(int i) const { return line_cost_[i]; }
+  [[nodiscard]] std::uint64_t total_cost() const { return total_cost_; }
+
+  /// Renders one line of pixels.
+  void render_line(int i, std::span<std::uint8_t> row) const;
+
+  Status save(const std::string& path) const;
+  static Result<IterationMap> load(const std::string& path,
+                                   const MandelParams& params);
+
+ private:
+  IterationMap() = default;
+  void finalize_costs();
+
+  MandelParams params_;
+  std::vector<std::int32_t> iters_;
+  std::vector<std::uint64_t> line_cost_;
+  std::uint64_t total_cost_ = 0;
+};
+
+/// FNV-1a checksum of a rendered image; every variant must agree.
+std::uint64_t image_checksum(std::span<const std::uint8_t> image);
+
+/// Writes a binary PGM (grayscale) image.
+Status write_pgm(const std::string& path,
+                 std::span<const std::uint8_t> image, int width, int height);
+
+}  // namespace hs::mandel

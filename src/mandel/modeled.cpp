@@ -1,0 +1,455 @@
+#include "mandel/modeled.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace hs::mandel {
+
+namespace {
+
+using gpusim::Device;
+using gpusim::Dim3;
+using gpusim::Machine;
+using gpusim::OpHandle;
+using gpusim::StreamId;
+using gpusim::ThreadCtx;
+using perfmodel::HostProfile;
+using perfmodel::ModeledHost;
+
+/// Per-call host overhead of one GPU API enqueue. The paper found CUDA and
+/// OpenCL within a few percent; OpenCL's dispatch (cl_event bookkeeping)
+/// is charged slightly higher.
+double enqueue_overhead(const HostProfile& host, GpuApi api) {
+  return api == GpuApi::kCuda ? host.gpu_enqueue_overhead
+                              : host.gpu_enqueue_overhead * 1.25;
+}
+
+double item_overhead(const HostProfile& host, CpuModel model) {
+  switch (model) {
+    case CpuModel::kSpar: return host.spar_item_overhead;
+    case CpuModel::kTbb: return host.taskx_item_overhead;
+    case CpuModel::kFastFlow: return host.flow_item_overhead;
+  }
+  return host.flow_item_overhead;
+}
+
+double show_cost(const HostProfile& host, int dim, int lines) {
+  return lines * (host.show_line_base + dim * host.show_line_per_pixel);
+}
+
+/// Applies the config's ablation knobs to every device of a machine.
+void apply_device_knobs(Machine& machine, const ModeledConfig& cfg) {
+  for (int d = 0; d < machine.device_count(); ++d) {
+    machine.device(d).set_divergence_model(cfg.divergence);
+    machine.device(d).set_copy_compute_overlap(cfg.copy_compute_overlap);
+  }
+}
+
+/// Aggregates device counters and utilization into the result.
+void fill_device_stats(Machine& machine, RunResult& out) {
+  std::uint64_t launches = 0;
+  for (int d = 0; d < machine.device_count(); ++d) {
+    launches += machine.device(d).counters().kernels_launched;
+  }
+  out.kernel_launches = launches;
+  if (machine.device_count() > 0 && machine.makespan() > 0) {
+    out.gpu_compute_utilization =
+        machine.device(0).compute_busy_seconds() / machine.makespan();
+  }
+}
+
+}  // namespace
+
+std::string_view cpu_model_name(CpuModel m) {
+  switch (m) {
+    case CpuModel::kSpar: return "spar";
+    case CpuModel::kTbb: return "tbb";
+    case CpuModel::kFastFlow: return "fastflow";
+  }
+  return "?";
+}
+
+std::string_view gpu_api_name(GpuApi a) {
+  return a == GpuApi::kCuda ? "cuda" : "opencl";
+}
+
+RunResult run_sequential(const IterationMap& map, const ModeledConfig& cfg) {
+  const int dim = map.params().dim;
+  auto machine = Machine::Create(0, cfg.device_spec);
+  if (!cfg.trace_path.empty()) machine->set_trace_recording(true);
+  ModeledHost seq(machine.get(), "seq");
+
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(dim) * dim);
+  for (int i = 0; i < dim; ++i) {
+    map.render_line(i, std::span<std::uint8_t>(
+                           image.data() + static_cast<std::size_t>(i) * dim,
+                           static_cast<std::size_t>(dim)));
+    seq.work(static_cast<double>(map.line_cost(i)) *
+                 cfg.host.seconds_per_mandel_iter +
+             show_cost(cfg.host, dim, 1));
+  }
+
+  RunResult out;
+  out.label = "sequential";
+  out.modeled_seconds = seq.finish_time();
+  out.checksum = image_checksum(image);
+  if (!cfg.trace_path.empty()) (void)machine->dump_chrome_trace(cfg.trace_path);
+  return out;
+}
+
+RunResult run_cpu_pipeline(const IterationMap& map, const ModeledConfig& cfg,
+                           CpuModel model) {
+  const int dim = map.params().dim;
+  const double ovh = item_overhead(cfg.host, model);
+  auto machine = Machine::Create(0, cfg.device_spec);
+  if (!cfg.trace_path.empty()) machine->set_trace_recording(true);
+
+  ModeledHost source(machine.get(), "source");
+  ModeledHost sink(machine.get(), "sink");
+  std::vector<std::unique_ptr<ModeledHost>> workers;
+  const int nworkers = std::max(1, cfg.cpu_workers);
+  workers.reserve(static_cast<std::size_t>(nworkers));
+  for (int w = 0; w < nworkers; ++w) {
+    workers.push_back(std::make_unique<ModeledHost>(
+        machine.get(), "worker" + std::to_string(w)));
+  }
+
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(dim) * dim);
+  std::vector<des::TaskId> sink_tasks(static_cast<std::size_t>(dim));
+  const bool steal = model == CpuModel::kTbb;
+
+  for (int i = 0; i < dim; ++i) {
+    // TBB throttles in-flight items with max_number_of_live_tokens: item i
+    // cannot enter before item (i - tokens) has retired at the sink.
+    des::TaskId throttle{};
+    if (model == CpuModel::kTbb &&
+        static_cast<std::size_t>(i) >= cfg.tbb_tokens) {
+      throttle = sink_tasks[static_cast<std::size_t>(i) - cfg.tbb_tokens];
+    }
+    des::TaskId emitted = source.work_after(ovh, throttle);
+
+    // Worker choice: round-robin (FastFlow/SPar default scheduling) or
+    // earliest-available (work stealing evens the load).
+    std::size_t w;
+    if (steal) {
+      w = 0;
+      for (std::size_t c = 1; c < workers.size(); ++c) {
+        if (workers[c]->finish_time() < workers[w]->finish_time()) w = c;
+      }
+    } else {
+      w = static_cast<std::size_t>(i) % workers.size();
+    }
+    map.render_line(i, std::span<std::uint8_t>(
+                           image.data() + static_cast<std::size_t>(i) * dim,
+                           static_cast<std::size_t>(dim)));
+    des::TaskId computed = workers[w]->work_after(
+        static_cast<double>(map.line_cost(i)) *
+                cfg.host.seconds_per_mandel_iter +
+            ovh,
+        emitted);
+    sink_tasks[static_cast<std::size_t>(i)] =
+        sink.work_after(show_cost(cfg.host, dim, 1) + ovh, computed);
+  }
+
+  RunResult out;
+  out.label = std::string(cpu_model_name(model)) + " cpu";
+  out.modeled_seconds = sink.finish_time();
+  out.checksum = image_checksum(image);
+  if (!cfg.trace_path.empty()) (void)machine->dump_chrome_trace(cfg.trace_path);
+  return out;
+}
+
+namespace {
+
+/// Shared state of one GPU "memory space": a device buffer + stream + the
+/// in-flight d2h transfer that must complete before the buffer is reused.
+struct MemSpace {
+  Device* device = nullptr;
+  StreamId stream = 0;
+  std::uint8_t* dev_buf = nullptr;
+  OpHandle last_d2h;
+  int pending_first_line = -1;  ///< lines whose show-cost is still owed
+  int pending_lines = 0;
+};
+
+/// Launches the Listing-2 batched kernel for lines [first, first+count) and
+/// the async d2h copy into `image`. Returns the d2h op.
+OpHandle launch_batch(const IterationMap& map, MemSpace& space, int first,
+                      int count, std::vector<std::uint8_t>& image) {
+  const int dim = map.params().dim;
+  const std::uint64_t total_threads =
+      static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(dim);
+  Dim3 grid{static_cast<std::uint32_t>((total_threads + 255) / 256), 1, 1};
+  Dim3 block{256, 1, 1};
+  gpusim::KernelAttributes attrs;  // 18 registers: the paper's kernel
+  std::uint8_t* dev_buf = space.dev_buf;
+  auto launched = space.device->launch(
+      grid, block, attrs, space.stream,
+      [&map, dev_buf, first, count, dim](const ThreadCtx& ctx)
+          -> std::uint64_t {
+        // Listing 2: i_batch = tid / dim; i = batch*batch_size + i_batch;
+        // j = tid - i_batch*dim.
+        std::uint64_t tid = ctx.global_x();
+        std::uint64_t i_batch = tid / static_cast<std::uint64_t>(dim);
+        std::uint64_t j = tid - i_batch * static_cast<std::uint64_t>(dim);
+        std::uint64_t i = static_cast<std::uint64_t>(first) + i_batch;
+        if (i_batch < static_cast<std::uint64_t>(count) &&
+            j < static_cast<std::uint64_t>(dim)) {
+          int ii = static_cast<int>(i);
+          int jj = static_cast<int>(j);
+          dev_buf[i_batch * dim + j] = map.color(ii, jj);
+          return map.lane_cost(ii, jj);
+        }
+        return 1;  // out-of-range guard costs one trip
+      });
+  assert(launched.ok());
+  (void)launched;
+  auto copied = space.device->memcpy_d2h(
+      image.data() + static_cast<std::size_t>(first) * dim, space.dev_buf,
+      total_threads, space.stream, gpusim::HostMem::kPinned);
+  assert(copied.ok());
+  return copied.value();
+}
+
+}  // namespace
+
+RunResult run_gpu_single_thread(const IterationMap& map,
+                                const ModeledConfig& cfg, GpuApi api,
+                                GpuMode mode) {
+  const int dim = map.params().dim;
+  const double ovh = enqueue_overhead(cfg.host, api);
+  auto machine = Machine::Create(cfg.devices, cfg.device_spec);
+  apply_device_knobs(*machine, cfg);
+  if (!cfg.trace_path.empty()) machine->set_trace_recording(true);
+  ModeledHost host(machine.get(), "driver");
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(dim) * dim);
+
+  RunResult out;
+
+  if (mode == GpuMode::kPerLine1D || mode == GpuMode::kPerLine2D) {
+    // One kernel + one copy + one show per line, all serialized on the
+    // default stream of device 0 (the paper's naive port uses one GPU).
+    Device& dev = machine->device(0);
+    auto buf = dev.malloc(static_cast<std::uint64_t>(dim));
+    assert(buf.ok());
+    auto* dev_row = static_cast<std::uint8_t*>(buf.value());
+    for (int i = 0; i < dim; ++i) {
+      des::TaskId enq = host.work(2 * ovh);
+      perfmodel::stream_wait_host(dev, dev.default_stream(), enq);
+      Result<OpHandle> launched = InvalidArgument("unset");
+      if (mode == GpuMode::kPerLine1D) {
+        launched = dev.launch(
+            Dim3{static_cast<std::uint32_t>((dim + 255) / 256), 1, 1},
+            Dim3{256, 1, 1}, {}, dev.default_stream(),
+            [&map, dev_row, i, dim](const ThreadCtx& ctx) -> std::uint64_t {
+              std::uint64_t j = ctx.global_x();
+              if (j < static_cast<std::uint64_t>(dim)) {
+                dev_row[j] = map.color(i, static_cast<int>(j));
+                return map.lane_cost(i, static_cast<int>(j));
+              }
+              return 1;
+            });
+      } else {
+        // "2D of threads and blocks" (the paper does not give its exact
+        // geometry): a 16x16 block whose FASTEST-varying thread dimension
+        // strides across columns (j = base + tx*16 + ty) — the classic
+        // pitfall when switching to 2D indexing. Each warp then samples
+        // columns spread across a 256-wide tile instead of 32 adjacent
+        // ones, so nearly every warp contains a slow (deep-iteration)
+        // lane and pays its cost: SIMT divergence destroys the coherence
+        // the 1D row mapping gets for free, reproducing the reported ~2x
+        // degradation.
+        launched = dev.launch(
+            Dim3{static_cast<std::uint32_t>((dim + 255) / 256), 1, 1},
+            Dim3{16, 16, 1}, {}, dev.default_stream(),
+            [&map, dev_row, i, dim](const ThreadCtx& ctx) -> std::uint64_t {
+              std::uint64_t j =
+                  static_cast<std::uint64_t>(ctx.block_idx.x) * 256 +
+                  static_cast<std::uint64_t>(ctx.thread_idx.x) * 16 +
+                  ctx.thread_idx.y;
+              if (j >= static_cast<std::uint64_t>(dim)) return 1;
+              dev_row[j] = map.color(i, static_cast<int>(j));
+              return map.lane_cost(i, static_cast<int>(j));
+            });
+      }
+      assert(launched.ok());
+      auto copied = dev.memcpy_d2h(
+          image.data() + static_cast<std::size_t>(i) * dim, dev_row,
+          static_cast<std::uint64_t>(dim), dev.default_stream(),
+          gpusim::HostMem::kPinned);
+      assert(copied.ok());
+      host.wait(copied.value().task);
+      host.work(show_cost(cfg.host, dim, 1));
+    }
+    (void)dev.free(buf.value());
+  } else {
+    // Batched mode with cfg.buffers_per_gpu memory spaces per device,
+    // assigned round-robin across devices then buffers (§IV-A).
+    const int batch = std::max(1, cfg.batch_lines);
+    const int nbuf = std::max(1, cfg.buffers_per_gpu);
+    std::vector<MemSpace> spaces;
+    for (int d = 0; d < cfg.devices; ++d) {
+      Device& dev = machine->device(d);
+      for (int b = 0; b < nbuf; ++b) {
+        MemSpace space;
+        space.device = &dev;
+        space.stream = b == 0 ? dev.default_stream() : dev.create_stream();
+        auto buf = dev.malloc(static_cast<std::uint64_t>(batch) * dim);
+        assert(buf.ok());
+        space.dev_buf = static_cast<std::uint8_t*>(buf.value());
+        spaces.push_back(space);
+      }
+    }
+
+    const int nbatches = (dim + batch - 1) / batch;
+    const bool overlap_show = nbuf > 1 || cfg.devices > 1;
+    for (int b = 0; b < nbatches; ++b) {
+      // Paper's round-robin: batch -> device, then buffer within device.
+      int d = b % cfg.devices;
+      int buf = (b / cfg.devices) % nbuf;
+      MemSpace& space = spaces[static_cast<std::size_t>(d * nbuf + buf)];
+
+      // Reusing a space requires its previous transfer to have landed.
+      // With multiple memory spaces the host issues the next batch BEFORE
+      // displaying the previous one (that is what the extra space buys:
+      // "one for copying data and another to perform computations"); the
+      // single-space version runs the paper's synchronous loop.
+      if (space.last_d2h.valid()) host.wait(space.last_d2h.task);
+      int shown_pending = 0;
+      if (!overlap_show && space.last_d2h.valid()) {
+        host.work(show_cost(cfg.host, dim, space.pending_lines));
+        shown_pending = space.pending_lines;
+        (void)shown_pending;
+      }
+      int to_show_later =
+          overlap_show && space.last_d2h.valid() ? space.pending_lines : 0;
+      des::TaskId enq = host.work(2 * ovh);
+      perfmodel::stream_wait_host(*space.device, space.stream, enq);
+      int first = b * batch;
+      int count = std::min(batch, dim - first);
+      space.last_d2h = launch_batch(map, space, first, count, image);
+      space.pending_first_line = first;
+      space.pending_lines = count;
+      if (to_show_later > 0) {
+        host.work(show_cost(cfg.host, dim, to_show_later));
+      }
+    }
+    // Drain: wait and show the final batch of every space.
+    for (MemSpace& space : spaces) {
+      if (space.last_d2h.valid()) {
+        host.wait(space.last_d2h.task);
+        host.work(show_cost(cfg.host, dim, space.pending_lines));
+      }
+    }
+  }
+
+  out.label = std::string(gpu_api_name(api));
+  switch (mode) {
+    case GpuMode::kPerLine1D: out.label += " per-line"; break;
+    case GpuMode::kPerLine2D: out.label += " 2d"; break;
+    case GpuMode::kBatched:
+      out.label += " batch" + std::to_string(cfg.batch_lines);
+      if (cfg.buffers_per_gpu > 1) {
+        out.label += " x" + std::to_string(cfg.buffers_per_gpu) + "buf";
+      }
+      if (cfg.devices > 1) {
+        out.label += " " + std::to_string(cfg.devices) + "gpu";
+      }
+      break;
+  }
+  out.modeled_seconds = std::max(host.finish_time(), machine->makespan());
+  out.checksum = image_checksum(image);
+  fill_device_stats(*machine, out);
+  if (!cfg.trace_path.empty()) (void)machine->dump_chrome_trace(cfg.trace_path);
+  return out;
+}
+
+RunResult run_combined(const IterationMap& map, const ModeledConfig& cfg,
+                       CpuModel model, GpuApi api) {
+  const int dim = map.params().dim;
+  const double movh = item_overhead(cfg.host, model);
+  const double govh = enqueue_overhead(cfg.host, api);
+  const int batch = std::max(1, cfg.batch_lines);
+  const int nworkers = std::max(1, cfg.combined_workers);
+
+  auto machine = Machine::Create(cfg.devices, cfg.device_spec);
+  apply_device_knobs(*machine, cfg);
+  if (!cfg.trace_path.empty()) machine->set_trace_recording(true);
+  ModeledHost source(machine.get(), "source");
+  ModeledHost collector(machine.get(), "collector");
+  std::vector<std::unique_ptr<ModeledHost>> workers;
+  workers.reserve(static_cast<std::size_t>(nworkers));
+  for (int w = 0; w < nworkers; ++w) {
+    workers.push_back(std::make_unique<ModeledHost>(
+        machine.get(), "worker" + std::to_string(w)));
+  }
+
+  // Each worker owns one memory space (buffer + stream) per device — the
+  // paper attaches a cudaStream/cl_command_queue to every stream item; a
+  // worker has one item in flight per device at a time, so this is the
+  // same concurrency.
+  std::vector<std::vector<MemSpace>> spaces(
+      static_cast<std::size_t>(nworkers));
+  for (int w = 0; w < nworkers; ++w) {
+    for (int d = 0; d < cfg.devices; ++d) {
+      Device& dev = machine->device(d);
+      MemSpace space;
+      space.device = &dev;
+      space.stream = dev.create_stream();
+      auto buf = dev.malloc(static_cast<std::uint64_t>(batch) * dim);
+      assert(buf.ok());
+      space.dev_buf = static_cast<std::uint8_t*>(buf.value());
+      spaces[static_cast<std::size_t>(w)].push_back(space);
+    }
+  }
+
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(dim) * dim);
+  const int nbatches = (dim + batch - 1) / batch;
+  std::vector<des::TaskId> collected(static_cast<std::size_t>(nbatches));
+
+  for (int b = 0; b < nbatches; ++b) {
+    des::TaskId throttle{};
+    if (model == CpuModel::kTbb &&
+        static_cast<std::size_t>(b) >= cfg.tbb_tokens) {
+      throttle = collected[static_cast<std::size_t>(b) - cfg.tbb_tokens];
+    }
+    des::TaskId emitted = source.work_after(movh, throttle);
+
+    int w = b % nworkers;  // farm round-robin
+    int d = b % cfg.devices;
+    MemSpace& space = spaces[static_cast<std::size_t>(w)]
+                            [static_cast<std::size_t>(d)];
+    ModeledHost& worker = *workers[static_cast<std::size_t>(w)];
+
+    // The worker must not reuse its buffer before the previous transfer
+    // finished (the collector synchronizes, but the buffer belongs to the
+    // worker's space).
+    if (space.last_d2h.valid()) worker.wait(space.last_d2h.task);
+    des::TaskId deps[1] = {emitted};
+    worker.work(movh + 2 * govh, deps);
+    perfmodel::stream_wait_host(*space.device, space.stream, worker.tail());
+    int first = b * batch;
+    int count = std::min(batch, dim - first);
+    space.last_d2h = launch_batch(map, space, first, count, image);
+
+    // Collector: cudaStreamSynchronize / clWaitForEvents, then show.
+    collector.wait(space.last_d2h.task);
+    collected[static_cast<std::size_t>(b)] =
+        collector.work(show_cost(cfg.host, dim, count) + movh);
+  }
+
+  RunResult out;
+  out.label = std::string(cpu_model_name(model)) + "+" +
+              std::string(gpu_api_name(api));
+  if (cfg.devices > 1) out.label += " " + std::to_string(cfg.devices) + "gpu";
+  out.modeled_seconds =
+      std::max(collector.finish_time(), machine->makespan());
+  out.checksum = image_checksum(image);
+  fill_device_stats(*machine, out);
+  if (!cfg.trace_path.empty()) (void)machine->dump_chrome_trace(cfg.trace_path);
+  return out;
+}
+
+}  // namespace hs::mandel

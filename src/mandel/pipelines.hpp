@@ -1,0 +1,53 @@
+// Real, functional Mandelbrot Streaming pipelines over the actual runtimes
+// (flow / taskx / spar) and API shims (cudax / oclx), computing the fractal
+// with the true per-pixel math. These are the implementations a user of
+// the library runs (see examples/); the figure benches use the modeled
+// runners in mandel/modeled.hpp instead, which replay the same structures
+// at paper scale.
+//
+// All functions return the rendered dim*dim grayscale image; every variant
+// must produce identical bytes (tests assert this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/mandel.hpp"
+
+namespace hs::mandel {
+
+using kernels::MandelParams;
+
+/// Plain sequential rendering (the paper's baseline).
+std::vector<std::uint8_t> render_sequential(const MandelParams& params);
+
+/// FastFlow-equivalent: pipeline(source, farm(worker x N, ordered), sink).
+Result<std::vector<std::uint8_t>> render_flow(const MandelParams& params,
+                                              int workers);
+
+/// TBB-equivalent: token pipeline with a parallel compute filter and a
+/// serial-in-order display filter.
+Result<std::vector<std::uint8_t>> render_taskx(const MandelParams& params,
+                                               int workers,
+                                               std::size_t max_tokens);
+
+/// SPar-equivalent: the Listing 1 annotation structure.
+Result<std::vector<std::uint8_t>> render_spar(const MandelParams& params,
+                                              int workers);
+
+/// SPar pipeline whose replicated middle stage offloads each line to a
+/// simulated GPU through the CUDA shim (per-thread cudaSetDevice, device
+/// chosen round-robin per item — the paper's multi-GPU scheme). `machine`
+/// must stay bound to cudax for the duration.
+Result<std::vector<std::uint8_t>> render_spar_cuda(const MandelParams& params,
+                                                   int workers,
+                                                   gpusim::Machine& machine);
+
+/// Single-host-thread OpenCL version with line batches (Listing 2 port per
+/// §IV-A), exercising platform discovery, buffers, queues and events.
+Result<std::vector<std::uint8_t>> render_opencl_batched(
+    const MandelParams& params, gpusim::Machine& machine, int batch_lines);
+
+}  // namespace hs::mandel

@@ -1,0 +1,428 @@
+#include "oclx/cl_api.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "oclx/oclx.hpp"
+
+namespace hs::oclx::capi {
+
+namespace {
+
+// Handle bodies. Every handle is a heap object with an intrusive refcount;
+// the opaque pointer is the object address cast to the handle type.
+struct PlatformBody {
+  gpusim::Machine* machine = nullptr;
+};
+
+struct DeviceBody {
+  gpusim::Machine* machine = nullptr;
+  int index = 0;
+};
+
+struct ContextBody {
+  int refs = 1;  // guarded by registry().mu
+  std::vector<DeviceBody*> devices;
+  std::unique_ptr<Context> context;
+};
+
+struct QueueBody {
+  int refs = 1;  // guarded by registry().mu
+  ContextBody* context = nullptr;
+  std::unique_ptr<CommandQueue> queue;
+};
+
+struct MemBody {
+  int refs = 1;  // guarded by registry().mu
+  ContextBody* context = nullptr;
+  std::unique_ptr<Buffer> buffer;
+};
+
+struct KernelBody {
+  int refs = 1;  // guarded by registry().mu
+  Kernel kernel;  // oclx kernel (shared impl, thread-affinity enforced)
+};
+
+struct EventBody {
+  int refs = 1;  // guarded by registry().mu
+  Event event;
+};
+
+/// Global registry: the machine, the singleton platform/device bodies,
+/// and a live-handle counter.
+struct Registry {
+  std::mutex mu;
+  gpusim::Machine* machine = nullptr;
+  PlatformBody platform;
+  std::vector<std::unique_ptr<DeviceBody>> devices;
+  std::atomic<std::size_t> live{0};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+template <typename T>
+T* alloc_handle(T&& proto) {
+  registry().live.fetch_add(1, std::memory_order_relaxed);
+  return new T(std::move(proto));
+}
+
+template <typename T>
+void free_handle(T* body) {
+  registry().live.fetch_sub(1, std::memory_order_relaxed);
+  delete body;
+}
+
+template <typename Body>
+cl_int release(Body* body) {
+  if (body == nullptr) return CL_INVALID_VALUE;
+  bool dead = false;
+  {
+    std::lock_guard<std::mutex> lock(registry().mu);
+    dead = --body->refs == 0;
+  }
+  if (dead) free_handle(body);
+  return CL_SUCCESS;
+}
+
+template <typename Body>
+cl_int retain(Body* body) {
+  if (body == nullptr) return CL_INVALID_VALUE;
+  std::lock_guard<std::mutex> lock(registry().mu);
+  ++body->refs;
+  return CL_SUCCESS;
+}
+
+cl_int set_err(cl_int* out, cl_int code) {
+  if (out != nullptr) *out = code;
+  return code;
+}
+
+}  // namespace
+
+void clSimBindMachine(gpusim::Machine* machine) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.machine = machine;
+  r.platform.machine = machine;
+  r.devices.clear();
+  if (machine != nullptr) {
+    for (int d = 0; d < machine->device_count(); ++d) {
+      auto body = std::make_unique<DeviceBody>();
+      body->machine = machine;
+      body->index = d;
+      r.devices.push_back(std::move(body));
+    }
+  }
+}
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.machine == nullptr) {
+    if (num_platforms != nullptr) *num_platforms = 0;
+    return CL_DEVICE_NOT_FOUND;
+  }
+  if (num_platforms != nullptr) *num_platforms = 1;
+  if (platforms != nullptr) {
+    if (num_entries < 1) return CL_INVALID_VALUE;
+    platforms[0] = reinterpret_cast<cl_platform_id>(&r.platform);
+  }
+  return CL_SUCCESS;
+}
+
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_uint num_entries,
+                      cl_device_id* devices, cl_uint* num_devices) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (reinterpret_cast<PlatformBody*>(platform) != &r.platform) {
+    return CL_INVALID_PLATFORM;
+  }
+  cl_uint count = static_cast<cl_uint>(r.devices.size());
+  if (num_devices != nullptr) *num_devices = count;
+  if (devices != nullptr) {
+    if (num_entries == 0) return CL_INVALID_VALUE;
+    // As in real OpenCL, fewer entries than devices is fine: the caller
+    // receives the first num_entries ids.
+    cl_uint n = num_entries < count ? num_entries : count;
+    for (cl_uint d = 0; d < n; ++d) {
+      devices[d] = reinterpret_cast<cl_device_id>(r.devices[d].get());
+    }
+  }
+  return count > 0 ? CL_SUCCESS : CL_DEVICE_NOT_FOUND;
+}
+
+cl_int clGetDeviceInfo(cl_device_id device, cl_uint param_name,
+                       std::size_t param_value_size, void* param_value,
+                       std::size_t* param_value_size_ret) {
+  auto* body = reinterpret_cast<DeviceBody*>(device);
+  if (body == nullptr || body->machine == nullptr) return CL_INVALID_DEVICE;
+  const gpusim::DeviceSpec& spec =
+      body->machine->device(body->index).spec();
+
+  auto write_bytes = [&](const void* src, std::size_t n) -> cl_int {
+    if (param_value_size_ret != nullptr) *param_value_size_ret = n;
+    if (param_value != nullptr) {
+      if (param_value_size < n) return CL_INVALID_VALUE;
+      std::memcpy(param_value, src, n);
+    }
+    return CL_SUCCESS;
+  };
+
+  switch (param_name) {
+    case CL_DEVICE_NAME:
+      return write_bytes(spec.name.c_str(), spec.name.size() + 1);
+    case CL_DEVICE_MAX_COMPUTE_UNITS: {
+      cl_uint cus = spec.sm_count;
+      return write_bytes(&cus, sizeof(cus));
+    }
+    case CL_DEVICE_GLOBAL_MEM_SIZE: {
+      cl_ulong mem = spec.memory_bytes;
+      return write_bytes(&mem, sizeof(mem));
+    }
+    default:
+      return CL_INVALID_VALUE;
+  }
+}
+
+cl_context clCreateContext(const cl_device_id* devices, cl_uint num_devices,
+                           cl_int* errcode_ret) {
+  if (devices == nullptr || num_devices == 0) {
+    set_err(errcode_ret, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  std::vector<DeviceBody*> bodies;
+  std::vector<DeviceId> ids;
+  for (cl_uint d = 0; d < num_devices; ++d) {
+    auto* body = reinterpret_cast<DeviceBody*>(devices[d]);
+    if (body == nullptr || body->machine == nullptr) {
+      set_err(errcode_ret, CL_INVALID_DEVICE);
+      return nullptr;
+    }
+    bodies.push_back(body);
+  }
+  // Rebuild oclx DeviceIds through the platform.
+  auto platforms = Platform::get(bodies[0]->machine);
+  if (platforms.empty()) {
+    set_err(errcode_ret, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  auto all = platforms[0].devices();
+  for (DeviceBody* body : bodies) {
+    ids.push_back(all.at(static_cast<std::size_t>(body->index)));
+  }
+  auto ctx = Context::create(ids);
+  if (!ctx.ok()) {
+    set_err(errcode_ret, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  ContextBody proto;
+  proto.devices = std::move(bodies);
+  proto.context = std::make_unique<Context>(std::move(ctx).value());
+  set_err(errcode_ret, CL_SUCCESS);
+  return reinterpret_cast<cl_context>(alloc_handle(std::move(proto)));
+}
+
+cl_command_queue clCreateCommandQueue(cl_context context, cl_device_id device,
+                                      cl_int* errcode_ret) {
+  auto* ctx = reinterpret_cast<ContextBody*>(context);
+  auto* dev = reinterpret_cast<DeviceBody*>(device);
+  if (ctx == nullptr) {
+    set_err(errcode_ret, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (dev == nullptr) {
+    set_err(errcode_ret, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  auto platforms = Platform::get(dev->machine);
+  auto all = platforms[0].devices();
+  auto q = CommandQueue::create(*ctx->context,
+                                all.at(static_cast<std::size_t>(dev->index)));
+  if (!q.ok()) {
+    set_err(errcode_ret, CL_INVALID_DEVICE);
+    return nullptr;
+  }
+  QueueBody proto;
+  proto.context = ctx;
+  proto.queue = std::make_unique<CommandQueue>(std::move(q).value());
+  set_err(errcode_ret, CL_SUCCESS);
+  return reinterpret_cast<cl_command_queue>(alloc_handle(std::move(proto)));
+}
+
+cl_mem clCreateBuffer(cl_context context, std::size_t size,
+                      cl_int* errcode_ret) {
+  auto* ctx = reinterpret_cast<ContextBody*>(context);
+  if (ctx == nullptr) {
+    set_err(errcode_ret, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  // Allocate on the context's first device (documented deviation).
+  auto buf = Buffer::create(*ctx->context, ctx->context->devices().front(),
+                            size);
+  if (!buf.ok()) {
+    set_err(errcode_ret, CL_OUT_OF_RESOURCES);
+    return nullptr;
+  }
+  MemBody proto;
+  proto.context = ctx;
+  proto.buffer = std::make_unique<Buffer>(std::move(buf).value());
+  set_err(errcode_ret, CL_SUCCESS);
+  return reinterpret_cast<cl_mem>(alloc_handle(std::move(proto)));
+}
+
+cl_kernel clCreateKernelFromCallback(
+    cl_context context, const char* name,
+    std::function<std::uint64_t(const gpusim::ThreadCtx&)> body,
+    cl_int* errcode_ret) {
+  auto* ctx = reinterpret_cast<ContextBody*>(context);
+  if (ctx == nullptr) {
+    set_err(errcode_ret, CL_INVALID_CONTEXT);
+    return nullptr;
+  }
+  if (name == nullptr || !body) {
+    set_err(errcode_ret, CL_INVALID_VALUE);
+    return nullptr;
+  }
+  KernelBody proto;
+  proto.kernel = Kernel::create(
+      name, [body = std::move(body)](const ThreadCtx& tc) -> std::uint64_t {
+        return body(tc);
+      });
+  set_err(errcode_ret, CL_SUCCESS);
+  return reinterpret_cast<cl_kernel>(alloc_handle(std::move(proto)));
+}
+
+namespace {
+
+cl_int map_status(ClStatus status) {
+  switch (status) {
+    case ClStatus::kSuccess: return CL_SUCCESS;
+    case ClStatus::kDeviceNotFound: return CL_DEVICE_NOT_FOUND;
+    case ClStatus::kInvalidValue: return CL_INVALID_VALUE;
+    case ClStatus::kInvalidContext: return CL_INVALID_CONTEXT;
+    case ClStatus::kInvalidCommandQueue: return CL_INVALID_COMMAND_QUEUE;
+    case ClStatus::kInvalidKernel: return CL_INVALID_KERNEL;
+    case ClStatus::kInvalidOperation: return CL_INVALID_OPERATION;
+    case ClStatus::kOutOfResources: return CL_OUT_OF_RESOURCES;
+    case ClStatus::kInvalidEventWaitList: return CL_INVALID_EVENT_WAIT_LIST;
+  }
+  return CL_INVALID_VALUE;
+}
+
+cl_int store_event(cl_event* out, const Event& event) {
+  if (out == nullptr) return CL_SUCCESS;
+  EventBody proto;
+  proto.event = event;
+  *out = reinterpret_cast<cl_event>(alloc_handle(std::move(proto)));
+  return CL_SUCCESS;
+}
+
+}  // namespace
+
+cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
+                            cl_uint blocking_write, std::size_t offset,
+                            std::size_t size, const void* ptr,
+                            cl_event* event) {
+  auto* q = reinterpret_cast<QueueBody*>(queue);
+  auto* m = reinterpret_cast<MemBody*>(buffer);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (m->buffer->device() != q->queue->device()) return CL_INVALID_MEM_OBJECT;
+  Event ev;
+  ClStatus s = q->queue->enqueue_write(*m->buffer, offset, ptr, size,
+                                       blocking_write == CL_TRUE, &ev);
+  if (s != ClStatus::kSuccess) return map_status(s);
+  return store_event(event, ev);
+}
+
+cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
+                           cl_uint blocking_read, std::size_t offset,
+                           std::size_t size, void* ptr, cl_event* event) {
+  auto* q = reinterpret_cast<QueueBody*>(queue);
+  auto* m = reinterpret_cast<MemBody*>(buffer);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (m == nullptr) return CL_INVALID_MEM_OBJECT;
+  if (m->buffer->device() != q->queue->device()) return CL_INVALID_MEM_OBJECT;
+  Event ev;
+  ClStatus s = q->queue->enqueue_read(*m->buffer, offset, ptr, size,
+                                      blocking_read == CL_TRUE, &ev);
+  if (s != ClStatus::kSuccess) return map_status(s);
+  return store_event(event, ev);
+}
+
+cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
+                              std::size_t global_work_size,
+                              std::size_t local_work_size, cl_event* event) {
+  auto* q = reinterpret_cast<QueueBody*>(queue);
+  auto* k = reinterpret_cast<KernelBody*>(kernel);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  if (k == nullptr) return CL_INVALID_KERNEL;
+  if (local_work_size == 0 || global_work_size == 0) return CL_INVALID_VALUE;
+  Event ev;
+  ClStatus s = q->queue->enqueue_ndrange(
+      k->kernel,
+      Dim3{static_cast<std::uint32_t>(global_work_size), 1, 1},
+      Dim3{static_cast<std::uint32_t>(local_work_size), 1, 1}, &ev);
+  if (s != ClStatus::kSuccess) return map_status(s);
+  return store_event(event, ev);
+}
+
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list) {
+  if (num_events == 0 || event_list == nullptr) {
+    return CL_INVALID_EVENT_WAIT_LIST;
+  }
+  std::vector<Event> events;
+  events.reserve(num_events);
+  for (cl_uint i = 0; i < num_events; ++i) {
+    auto* e = reinterpret_cast<EventBody*>(event_list[i]);
+    if (e == nullptr) return CL_INVALID_EVENT;
+    events.push_back(e->event);
+  }
+  return Event::wait_for_events(events).ok() ? CL_SUCCESS : CL_INVALID_EVENT;
+}
+
+cl_int clFinish(cl_command_queue queue) {
+  auto* q = reinterpret_cast<QueueBody*>(queue);
+  if (q == nullptr) return CL_INVALID_COMMAND_QUEUE;
+  return q->queue->finish().ok() ? CL_SUCCESS : CL_INVALID_COMMAND_QUEUE;
+}
+
+cl_int clRetainMemObject(cl_mem memobj) {
+  return retain(reinterpret_cast<MemBody*>(memobj));
+}
+cl_int clReleaseMemObject(cl_mem memobj) {
+  return release(reinterpret_cast<MemBody*>(memobj));
+}
+cl_int clRetainKernel(cl_kernel kernel) {
+  return retain(reinterpret_cast<KernelBody*>(kernel));
+}
+cl_int clReleaseKernel(cl_kernel kernel) {
+  return release(reinterpret_cast<KernelBody*>(kernel));
+}
+cl_int clRetainEvent(cl_event event) {
+  return retain(reinterpret_cast<EventBody*>(event));
+}
+cl_int clReleaseEvent(cl_event event) {
+  return release(reinterpret_cast<EventBody*>(event));
+}
+cl_int clReleaseCommandQueue(cl_command_queue queue) {
+  return release(reinterpret_cast<QueueBody*>(queue));
+}
+cl_int clReleaseContext(cl_context context) {
+  return release(reinterpret_cast<ContextBody*>(context));
+}
+
+std::size_t clSimLiveHandles() {
+  return registry().live.load(std::memory_order_relaxed);
+}
+
+}  // namespace hs::oclx::capi

@@ -1,0 +1,121 @@
+// Raw OpenCL-1.2-style C API over the oclx classes — the surface the
+// paper's code actually programs against (clGetPlatformIDs ...
+// clEnqueueNDRangeKernel ... clWaitForEvents), with opaque handle types
+// and clRetain/clRelease reference counting.
+//
+// Deviations from real OpenCL, by necessity of the simulation:
+//  * kernels are created from a C++ callable (clCreateKernelFromCallback)
+//    instead of compiled source — there is no OpenCL C compiler here;
+//  * buffers are allocated on the context's first device at creation
+//    (real OpenCL migrates buffers lazily between context devices);
+//    enqueues from queues on other devices fail with CL_INVALID_MEM_OBJECT.
+// Everything else — discovery flow, in-order queues, events, the
+// non-thread-safe cl_kernel — follows the standard's semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gpusim/device.hpp"
+
+namespace hs::oclx::capi {
+
+using cl_int = std::int32_t;
+using cl_uint = std::uint32_t;
+using cl_ulong = std::uint64_t;
+
+// Error codes (values match the OpenCL headers).
+inline constexpr cl_int CL_SUCCESS = 0;
+inline constexpr cl_int CL_DEVICE_NOT_FOUND = -1;
+inline constexpr cl_int CL_OUT_OF_RESOURCES = -5;
+inline constexpr cl_int CL_INVALID_VALUE = -30;
+inline constexpr cl_int CL_INVALID_PLATFORM = -32;
+inline constexpr cl_int CL_INVALID_DEVICE = -33;
+inline constexpr cl_int CL_INVALID_CONTEXT = -34;
+inline constexpr cl_int CL_INVALID_COMMAND_QUEUE = -36;
+inline constexpr cl_int CL_INVALID_MEM_OBJECT = -38;
+inline constexpr cl_int CL_INVALID_KERNEL = -48;
+inline constexpr cl_int CL_INVALID_EVENT_WAIT_LIST = -57;
+inline constexpr cl_int CL_INVALID_EVENT = -58;
+inline constexpr cl_int CL_INVALID_OPERATION = -59;
+
+// Device-info queries (subset).
+inline constexpr cl_uint CL_DEVICE_NAME = 0x102B;
+inline constexpr cl_uint CL_DEVICE_MAX_COMPUTE_UNITS = 0x1002;
+inline constexpr cl_uint CL_DEVICE_GLOBAL_MEM_SIZE = 0x101F;
+
+inline constexpr cl_uint CL_TRUE = 1;
+inline constexpr cl_uint CL_FALSE = 0;
+
+// Opaque handle types.
+using cl_platform_id = struct _cl_platform_id*;
+using cl_device_id = struct _cl_device_id*;
+using cl_context = struct _cl_context*;
+using cl_command_queue = struct _cl_command_queue*;
+using cl_mem = struct _cl_mem*;
+using cl_kernel = struct _cl_kernel*;
+using cl_event = struct _cl_event*;
+
+/// Binds the simulated machine behind the platform list (analogous to
+/// installing an ICD). Pass nullptr to unbind.
+void clSimBindMachine(gpusim::Machine* machine);
+
+// --- discovery -------------------------------------------------------------
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id* platforms,
+                        cl_uint* num_platforms);
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_uint num_entries,
+                      cl_device_id* devices, cl_uint* num_devices);
+cl_int clGetDeviceInfo(cl_device_id device, cl_uint param_name,
+                       std::size_t param_value_size, void* param_value,
+                       std::size_t* param_value_size_ret);
+
+// --- context / queue ---------------------------------------------------------
+cl_context clCreateContext(const cl_device_id* devices, cl_uint num_devices,
+                           cl_int* errcode_ret);
+cl_command_queue clCreateCommandQueue(cl_context context, cl_device_id device,
+                                      cl_int* errcode_ret);
+
+// --- memory -------------------------------------------------------------------
+cl_mem clCreateBuffer(cl_context context, std::size_t size,
+                      cl_int* errcode_ret);
+
+// --- kernels --------------------------------------------------------------------
+/// Simulation-specific kernel creation: `body` runs once per work-item
+/// (may return an integral cost or void). Replaces clCreateProgram/
+/// clBuildProgram/clCreateKernel.
+cl_kernel clCreateKernelFromCallback(
+    cl_context context, const char* name,
+    std::function<std::uint64_t(const gpusim::ThreadCtx&)> body,
+    cl_int* errcode_ret);
+
+// --- enqueue ---------------------------------------------------------------------
+cl_int clEnqueueWriteBuffer(cl_command_queue queue, cl_mem buffer,
+                            cl_uint blocking_write, std::size_t offset,
+                            std::size_t size, const void* ptr,
+                            cl_event* event);
+cl_int clEnqueueReadBuffer(cl_command_queue queue, cl_mem buffer,
+                           cl_uint blocking_read, std::size_t offset,
+                           std::size_t size, void* ptr, cl_event* event);
+/// 1D NDRange (work_dim fixed at 1, as all of the paper's kernels are).
+cl_int clEnqueueNDRangeKernel(cl_command_queue queue, cl_kernel kernel,
+                              std::size_t global_work_size,
+                              std::size_t local_work_size, cl_event* event);
+
+// --- synchronization ----------------------------------------------------------------
+cl_int clWaitForEvents(cl_uint num_events, const cl_event* event_list);
+cl_int clFinish(cl_command_queue queue);
+
+// --- retain/release ------------------------------------------------------------------
+cl_int clRetainMemObject(cl_mem memobj);
+cl_int clReleaseMemObject(cl_mem memobj);
+cl_int clRetainKernel(cl_kernel kernel);
+cl_int clReleaseKernel(cl_kernel kernel);
+cl_int clRetainEvent(cl_event event);
+cl_int clReleaseEvent(cl_event event);
+cl_int clReleaseCommandQueue(cl_command_queue queue);
+cl_int clReleaseContext(cl_context context);
+
+/// Live handle count across all types (leak checking in tests).
+std::size_t clSimLiveHandles();
+
+}  // namespace hs::oclx::capi

@@ -1,0 +1,241 @@
+// SPar GPU auto-offload — the paper's stated future work (§VI): "we intend
+// to automatically generate parallel OpenCL and CUDA code through the SPar
+// compilation toolchain."
+//
+// This extension does exactly that for map-shaped stages: the programmer
+// writes only a per-element function, and the lowering generates the whole
+// GPU offload path the paper had to hand-write in §IV — per-replica device
+// selection (round-robin, thread-local cudaSetDevice), a stream/command
+// queue per worker, device buffer management, host<->device transfers, and
+// the kernel launch — for either the CUDA-style or OpenCL-style backend.
+//
+//   spar::ToStream region("pipeline");
+//   region.source<std::vector<float>>(...);
+//   spar::gpu_map_stage<float>(region,
+//       {.machine = &machine, .backend = spar::GpuBackend::kCuda,
+//        .replicas = 4},
+//       [](float x) { return x * 2.0f + 1.0f; });   // runs on the GPU
+//   region.last_stage<std::vector<float>>(...);
+//
+// Stream items are std::vector<T> batches (T trivially copyable); each
+// element maps to one simulated GPU thread.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "cudax/cudax.hpp"
+#include "oclx/oclx.hpp"
+#include "spar/spar.hpp"
+
+namespace hs::spar {
+
+enum class GpuBackend { kCuda, kOpenCl };
+
+/// Offload configuration for an auto-generated GPU stage.
+struct GpuOffload {
+  gpusim::Machine* machine = nullptr;
+  GpuBackend backend = GpuBackend::kCuda;
+  int replicas = 1;
+  std::uint32_t block_size = 256;  ///< threads per block / work-group
+};
+
+namespace detail {
+
+/// Worker node generated for the CUDA backend.
+template <typename T, typename Fn>
+class CudaMapWorker final : public flow::Node {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "GPU-offloaded element types must be trivially copyable");
+
+ public:
+  CudaMapWorker(const GpuOffload& offload, Fn fn)
+      : offload_(offload), fn_(std::move(fn)) {}
+
+  void on_init(int replica_id) override {
+    device_ = replica_id % offload_.machine->device_count();
+    if (cudax::cudaSetDevice(device_) != cudax::cudaError::cudaSuccess ||
+        cudax::cudaStreamCreate(&stream_) != cudax::cudaError::cudaSuccess) {
+      throw std::runtime_error("gpu_map_stage: CUDA init failed: " +
+                               cudax::last_error_message());
+    }
+  }
+
+  flow::SvcResult svc(flow::Item in) override {
+    std::vector<T> batch = in.take<std::vector<T>>();
+    const std::size_t n = batch.size();
+    if (n == 0) {
+      return flow::SvcResult::Out(
+          flow::Item::of<std::vector<T>>(std::move(batch)));
+    }
+    (void)cudax::cudaSetDevice(device_);
+    ensure_capacity(n * sizeof(T));
+    if (cudax::cudaMemcpyAsync(dev_in_, batch.data(), n * sizeof(T),
+                               cudax::cudaMemcpyKind::cudaMemcpyHostToDevice,
+                               stream_) != cudax::cudaError::cudaSuccess) {
+      throw std::runtime_error("gpu_map_stage: h2d failed");
+    }
+    const T* in_ptr = static_cast<const T*>(dev_in_);
+    T* out_ptr = static_cast<T*>(dev_out_);
+    Fn fn = fn_;
+    auto e = cudax::launch_kernel(
+        cudax::Dim3{
+            static_cast<std::uint32_t>((n + offload_.block_size - 1) /
+                                       offload_.block_size),
+            1, 1},
+        cudax::Dim3{offload_.block_size, 1, 1}, stream_,
+        [in_ptr, out_ptr, n, fn](const cudax::ThreadCtx& ctx) {
+          std::uint64_t i = ctx.global_x();
+          if (i < n) out_ptr[i] = fn(in_ptr[i]);
+        });
+    if (e != cudax::cudaError::cudaSuccess) {
+      throw std::runtime_error("gpu_map_stage: launch failed: " +
+                               cudax::last_error_message());
+    }
+    if (cudax::cudaMemcpyAsync(batch.data(), dev_out_, n * sizeof(T),
+                               cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
+                               stream_) != cudax::cudaError::cudaSuccess ||
+        cudax::cudaStreamSynchronize(stream_) !=
+            cudax::cudaError::cudaSuccess) {
+      throw std::runtime_error("gpu_map_stage: d2h failed");
+    }
+    return flow::SvcResult::Out(
+        flow::Item::of<std::vector<T>>(std::move(batch)));
+  }
+
+  void on_end() override {
+    (void)cudax::cudaSetDevice(device_);
+    if (dev_in_ != nullptr) (void)cudax::cudaFree(dev_in_);
+    if (dev_out_ != nullptr) (void)cudax::cudaFree(dev_out_);
+  }
+
+ private:
+  void ensure_capacity(std::size_t bytes) {
+    if (bytes <= capacity_) return;
+    if (dev_in_ != nullptr) (void)cudax::cudaFree(dev_in_);
+    if (dev_out_ != nullptr) (void)cudax::cudaFree(dev_out_);
+    if (cudax::cudaMalloc(&dev_in_, bytes) != cudax::cudaError::cudaSuccess ||
+        cudax::cudaMalloc(&dev_out_, bytes) !=
+            cudax::cudaError::cudaSuccess) {
+      throw std::runtime_error("gpu_map_stage: device allocation failed: " +
+                               cudax::last_error_message());
+    }
+    capacity_ = bytes;
+  }
+
+  GpuOffload offload_;
+  Fn fn_;
+  int device_ = 0;
+  cudax::cudaStream_t stream_{};
+  void* dev_in_ = nullptr;
+  void* dev_out_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// Worker node generated for the OpenCL backend. Follows the paper's fix
+/// for cl_kernel thread-affinity: the kernel object is created inside the
+/// owning worker thread.
+template <typename T, typename Fn>
+class OclMapWorker final : public flow::Node {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "GPU-offloaded element types must be trivially copyable");
+
+ public:
+  OclMapWorker(const GpuOffload& offload, Fn fn)
+      : offload_(offload), fn_(std::move(fn)) {}
+
+  void on_init(int replica_id) override {
+    auto platforms = oclx::Platform::get(offload_.machine);
+    if (platforms.empty()) {
+      throw std::runtime_error("gpu_map_stage: no OpenCL platform");
+    }
+    devices_ = platforms[0].devices();
+    device_index_ = static_cast<std::size_t>(replica_id) % devices_.size();
+    auto ctx = oclx::Context::create(devices_);
+    if (!ctx.ok()) throw std::runtime_error(ctx.status().ToString());
+    context_ = std::make_unique<oclx::Context>(std::move(ctx).value());
+    auto queue =
+        oclx::CommandQueue::create(*context_, devices_[device_index_]);
+    if (!queue.ok()) throw std::runtime_error(queue.status().ToString());
+    queue_ = std::make_unique<oclx::CommandQueue>(std::move(queue).value());
+  }
+
+  flow::SvcResult svc(flow::Item in) override {
+    std::vector<T> batch = in.take<std::vector<T>>();
+    const std::size_t n = batch.size();
+    if (n == 0) {
+      return flow::SvcResult::Out(
+          flow::Item::of<std::vector<T>>(std::move(batch)));
+    }
+    auto buf = oclx::Buffer::create(*context_, devices_[device_index_],
+                                    n * sizeof(T));
+    if (!buf.ok()) throw std::runtime_error(buf.status().ToString());
+    if (queue_->enqueue_write(buf.value(), 0, batch.data(), n * sizeof(T),
+                              /*blocking=*/false,
+                              nullptr) != oclx::ClStatus::kSuccess) {
+      throw std::runtime_error("gpu_map_stage: write failed");
+    }
+    T* data = static_cast<T*>(buf.value().data());
+    Fn fn = fn_;
+    // One kernel object per item, created on this thread (§IV-A).
+    oclx::Kernel kernel = oclx::Kernel::create(
+        "spar_gpu_map", [data, n, fn](const oclx::ThreadCtx& ctx) {
+          std::uint64_t i = ctx.global_x();
+          if (i < n) data[i] = fn(data[i]);
+        });
+    const std::uint32_t ls = offload_.block_size;
+    std::uint32_t global =
+        static_cast<std::uint32_t>((n + ls - 1) / ls * ls);
+    if (queue_->enqueue_ndrange(kernel, oclx::Dim3{global, 1, 1},
+                                oclx::Dim3{ls, 1, 1},
+                                nullptr) != oclx::ClStatus::kSuccess) {
+      throw std::runtime_error("gpu_map_stage: ndrange failed: " +
+                               queue_->last_error());
+    }
+    oclx::Event done;
+    if (queue_->enqueue_read(buf.value(), 0, batch.data(), n * sizeof(T),
+                             /*blocking=*/false,
+                             &done) != oclx::ClStatus::kSuccess) {
+      throw std::runtime_error("gpu_map_stage: read failed");
+    }
+    if (!oclx::Event::wait_for_events({done}).ok()) {
+      throw std::runtime_error("gpu_map_stage: wait failed");
+    }
+    return flow::SvcResult::Out(
+        flow::Item::of<std::vector<T>>(std::move(batch)));
+  }
+
+ private:
+  GpuOffload offload_;
+  Fn fn_;
+  std::vector<oclx::DeviceId> devices_;
+  std::size_t device_index_ = 0;
+  std::unique_ptr<oclx::Context> context_;
+  std::unique_ptr<oclx::CommandQueue> queue_;
+};
+
+}  // namespace detail
+
+/// Appends an auto-generated GPU map stage to `region`: each stream item
+/// (a std::vector<T>) is offloaded to a simulated GPU and transformed
+/// element-wise by `fn` (one element per GPU thread). `fn` must be a
+/// copyable, stateless callable T -> T. Replicas round-robin across the
+/// machine's devices. The caller must have bound `offload.machine` to
+/// cudax when using the CUDA backend.
+template <typename T, typename Fn>
+ToStream& gpu_map_stage(ToStream& region, const GpuOffload& offload, Fn fn) {
+  if (offload.backend == GpuBackend::kCuda) {
+    region.stage_nodes(Replicate(offload.replicas), [offload, fn] {
+      return std::make_unique<detail::CudaMapWorker<T, Fn>>(offload, fn);
+    });
+  } else {
+    region.stage_nodes(Replicate(offload.replicas), [offload, fn] {
+      return std::make_unique<detail::OclMapWorker<T, Fn>>(offload, fn);
+    });
+  }
+  return region;
+}
+
+}  // namespace hs::spar

@@ -1,0 +1,47 @@
+// Blocked-range parallel_for on the task pool (TBB's map pattern).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "taskx/pool.hpp"
+
+namespace hs::taskx {
+
+/// Applies `body(begin, end)` over [first, last) split into chunks of at
+/// most `grain` indices. Blocks until all chunks complete; the calling
+/// thread helps execute chunks. `body` must be safe to invoke concurrently
+/// on disjoint ranges.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t first, std::size_t last,
+                  std::size_t grain, const Body& body) {
+  if (first >= last) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = (last - first + grain - 1) / grain;
+  std::atomic<std::size_t> remaining{count};
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t b = first + c * grain;
+    const std::size_t e = b + grain < last ? b + grain : last;
+    pool.submit([&body, &remaining, b, e] {
+      body(b, e);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  pool.help_while([&remaining] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+/// Element-wise convenience: body(index).
+template <typename Body>
+void parallel_for_each_index(ThreadPool& pool, std::size_t first,
+                             std::size_t last, std::size_t grain,
+                             const Body& body) {
+  parallel_for(pool, first, last, grain,
+               [&body](std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i) body(i);
+               });
+}
+
+}  // namespace hs::taskx

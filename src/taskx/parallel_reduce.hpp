@@ -1,0 +1,31 @@
+// Blocked-range parallel_reduce on the task pool (TBB's reduce pattern).
+#pragma once
+
+#include <mutex>
+
+#include "taskx/parallel_for.hpp"
+
+namespace hs::taskx {
+
+/// Reduces [first, last) in chunks of at most `grain`: `body(b, e, acc)`
+/// folds a range into a chunk-local accumulator (seeded with `identity`),
+/// and `join(lhs, rhs)` combines accumulators. `join` must be associative;
+/// chunk combination order is unspecified (as with tbb::parallel_reduce
+/// without affinity). Blocks until complete; the caller helps execute.
+template <typename T, typename RangeBody, typename Join>
+T parallel_reduce(ThreadPool& pool, std::size_t first, std::size_t last,
+                  std::size_t grain, T identity, const RangeBody& body,
+                  const Join& join) {
+  T result = identity;
+  std::mutex mu;
+  parallel_for(pool, first, last, grain,
+               [&](std::size_t b, std::size_t e) {
+                 T local = identity;
+                 body(b, e, local);
+                 std::lock_guard<std::mutex> lock(mu);
+                 result = join(result, local);
+               });
+  return result;
+}
+
+}  // namespace hs::taskx

@@ -1,0 +1,248 @@
+#include "taskx/pipeline.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "taskx/pool.hpp"
+
+namespace hs::taskx {
+
+namespace {
+
+/// One in-flight stream element.
+struct Token {
+  std::uint64_t seq = 0;
+  Item payload;
+  std::size_t next_filter = 0;
+  bool dropped = false;
+};
+
+}  // namespace
+
+struct Pipeline::Impl {
+  struct Filter {
+    FilterMode mode;
+    std::function<Item(Item)> fn;
+    std::string name;
+
+    // Serial-gate state (unused for kParallel).
+    std::mutex mu;
+    bool busy = false;
+    std::uint64_t next_seq = 0;                 // kSerialInOrder
+    std::map<std::uint64_t, Token> parked_seq;  // kSerialInOrder
+    std::deque<Token> parked_any;               // kSerialOutOfOrder
+  };
+
+  std::function<std::optional<Item>()> source;
+  std::vector<std::unique_ptr<Filter>> filters;
+  bool ran = false;
+
+  // --- run state ---
+  ThreadPool* pool = nullptr;
+  std::mutex source_mu;
+  bool source_done = false;
+  std::uint64_t next_token_seq = 0;
+  std::size_t live_tokens = 0;  // guarded by source_mu
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_error;
+  std::atomic<std::uint64_t> processed{0};
+
+  void fail(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = std::move(s);
+    }
+    failed.store(true, std::memory_order_release);
+  }
+
+  Item apply(Filter& f, Item in) {
+    try {
+      return f.fn(std::move(in));
+    } catch (const std::exception& e) {
+      fail(Internal(f.name + ": " + e.what()));
+    } catch (...) {
+      fail(Internal(f.name + ": unknown exception"));
+    }
+    return Item{};
+  }
+
+  /// Pulls the next source item; updates token bookkeeping. Returns false
+  /// when the stream is exhausted (the caller's token retires).
+  bool refill(Token& tok) {
+    std::lock_guard<std::mutex> lock(source_mu);
+    if (!source_done && !failed.load(std::memory_order_acquire)) {
+      std::optional<Item> next;
+      try {
+        next = source();
+      } catch (const std::exception& e) {
+        fail(Internal(std::string("source: ") + e.what()));
+        next = std::nullopt;
+      }
+      if (next.has_value()) {
+        tok.seq = next_token_seq++;
+        tok.payload = std::move(*next);
+        tok.next_filter = 0;
+        tok.dropped = false;
+        return true;
+      }
+      source_done = true;
+    }
+    // Token retires.
+    if (--live_tokens == 0) done.store(true, std::memory_order_release);
+    return false;
+  }
+
+  /// Runs a serial filter whose gate the caller has acquired, releases the
+  /// gate (waking the next parked token), then returns so the caller can
+  /// continue the token past this filter.
+  void run_serial_acquired(std::size_t fi, Token& tok) {
+    Filter& f = *filters[fi];
+    if (!tok.dropped && !failed.load(std::memory_order_acquire)) {
+      tok.payload = apply(f, std::move(tok.payload));
+      if (!tok.payload.has_value()) tok.dropped = true;
+    }
+    // Release: wake the next eligible parked token, transferring the gate.
+    std::optional<Token> resume;
+    {
+      std::lock_guard<std::mutex> lock(f.mu);
+      f.busy = false;
+      if (f.mode == FilterMode::kSerialInOrder) {
+        ++f.next_seq;
+        auto it = f.parked_seq.find(f.next_seq);
+        if (it != f.parked_seq.end()) {
+          resume = std::move(it->second);
+          f.parked_seq.erase(it);
+          f.busy = true;
+        }
+      } else {
+        if (!f.parked_any.empty()) {
+          resume = std::move(f.parked_any.front());
+          f.parked_any.pop_front();
+          f.busy = true;
+        }
+      }
+    }
+    if (resume.has_value()) {
+      pool->submit([this, fi, t = std::move(*resume)]() mutable {
+        run_serial_acquired(fi, t);
+        ++t.next_filter;
+        advance(std::move(t));
+      });
+    }
+  }
+
+  /// Drives a token through the remaining filters; parks at busy serial
+  /// gates; recycles through the source after the last filter.
+  void advance(Token tok) {
+    for (;;) {
+      if (tok.next_filter >= filters.size()) {
+        if (!tok.dropped) processed.fetch_add(1, std::memory_order_relaxed);
+        tok.payload.reset();
+        if (!refill(tok)) return;
+        continue;
+      }
+      Filter& f = *filters[tok.next_filter];
+      if (f.mode == FilterMode::kParallel) {
+        if (!tok.dropped && !failed.load(std::memory_order_acquire)) {
+          tok.payload = apply(f, std::move(tok.payload));
+          if (!tok.payload.has_value()) tok.dropped = true;
+        }
+        ++tok.next_filter;
+        continue;
+      }
+      // Serial gate: enter or park.
+      {
+        std::lock_guard<std::mutex> lock(f.mu);
+        bool my_turn = f.mode == FilterMode::kSerialOutOfOrder ||
+                       tok.seq == f.next_seq;
+        if (f.busy || !my_turn) {
+          if (f.mode == FilterMode::kSerialInOrder) {
+            f.parked_seq.emplace(tok.seq, std::move(tok));
+          } else {
+            f.parked_any.push_back(std::move(tok));
+          }
+          return;  // resumed later by the releasing thread
+        }
+        f.busy = true;
+      }
+      run_serial_acquired(tok.next_filter, tok);
+      ++tok.next_filter;
+    }
+  }
+};
+
+Pipeline::Pipeline(std::function<std::optional<Item>()> source)
+    : impl_(std::make_unique<Impl>()) {
+  assert(source && "null source");
+  impl_->source = std::move(source);
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::add_filter(FilterMode mode, std::function<Item(Item)> fn,
+                          std::string name) {
+  assert(fn && "null filter");
+  auto f = std::make_unique<Impl::Filter>();
+  f->mode = mode;
+  f->fn = std::move(fn);
+  f->name = std::move(name);
+  impl_->filters.push_back(std::move(f));
+}
+
+Status Pipeline::run(ThreadPool& pool, std::size_t max_live_tokens) {
+  Impl& im = *impl_;
+  if (im.ran) return FailedPrecondition("pipeline already ran");
+  im.ran = true;
+  if (max_live_tokens == 0) {
+    return InvalidArgument("max_live_tokens must be >= 1");
+  }
+  if (im.filters.empty()) {
+    return InvalidArgument("pipeline needs at least one filter");
+  }
+  im.pool = &pool;
+
+  // Seed up to max_live_tokens tokens from the source.
+  std::vector<Token> seeds;
+  {
+    std::lock_guard<std::mutex> lock(im.source_mu);
+    for (std::size_t i = 0; i < max_live_tokens; ++i) {
+      std::optional<Item> next;
+      try {
+        next = im.source();
+      } catch (const std::exception& e) {
+        im.fail(Internal(std::string("source: ") + e.what()));
+        next = std::nullopt;
+      }
+      if (!next.has_value()) {
+        im.source_done = true;
+        break;
+      }
+      Token tok;
+      tok.seq = im.next_token_seq++;
+      tok.payload = std::move(*next);
+      seeds.push_back(std::move(tok));
+    }
+    im.live_tokens = seeds.size();
+    if (seeds.empty()) im.done.store(true, std::memory_order_release);
+  }
+  for (Token& tok : seeds) {
+    pool.submit([&im, t = std::move(tok)]() mutable { im.advance(std::move(t)); });
+  }
+
+  pool.help_while([&im] { return im.done.load(std::memory_order_acquire); });
+
+  std::lock_guard<std::mutex> lock(im.err_mu);
+  return im.first_error;
+}
+
+std::uint64_t Pipeline::items_processed() const {
+  return impl_->processed.load(std::memory_order_relaxed);
+}
+
+}  // namespace hs::taskx

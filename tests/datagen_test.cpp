@@ -1,0 +1,94 @@
+// Tests for the corpus generators: determinism, exact sizing, and — the
+// property the Fig. 5 reproduction rests on — that the three corpora order
+// the same way as the paper's datasets on duplication and compressibility.
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.hpp"
+
+namespace hs::datagen {
+namespace {
+
+constexpr std::uint64_t kTestSize = 2 * 1024 * 1024;
+
+TEST(CorpusTest, ExactSizeAndDeterminism) {
+  for (CorpusKind kind : {CorpusKind::kParsecLike, CorpusKind::kSourceLike,
+                          CorpusKind::kSilesiaLike}) {
+    CorpusSpec spec;
+    spec.kind = kind;
+    spec.bytes = kTestSize;
+    spec.seed = 7;
+    auto a = generate(spec);
+    auto b = generate(spec);
+    EXPECT_EQ(a.size(), kTestSize) << corpus_name(kind);
+    EXPECT_EQ(a, b) << corpus_name(kind);
+    spec.seed = 8;
+    auto c = generate(spec);
+    EXPECT_NE(a, c) << corpus_name(kind);
+  }
+}
+
+TEST(CorpusTest, ParseKindNames) {
+  EXPECT_EQ(parse_corpus_kind("parsec").value_or(CorpusKind::kSilesiaLike),
+            CorpusKind::kParsecLike);
+  EXPECT_EQ(parse_corpus_kind("Linux").value_or(CorpusKind::kParsecLike),
+            CorpusKind::kSourceLike);
+  EXPECT_EQ(parse_corpus_kind("SILESIA").value_or(CorpusKind::kParsecLike),
+            CorpusKind::kSilesiaLike);
+  EXPECT_FALSE(parse_corpus_kind("bogus").ok());
+}
+
+TEST(CorpusTest, SourceLikeLooksLikeSource) {
+  CorpusSpec spec;
+  spec.kind = CorpusKind::kSourceLike;
+  spec.bytes = 256 * 1024;
+  auto data = generate(spec);
+  std::string text(data.begin(), data.end());
+  EXPECT_NE(text.find("GNU General Public License"), std::string::npos);
+  EXPECT_NE(text.find("static int"), std::string::npos);
+  // Printable content.
+  std::size_t printable = 0;
+  for (std::uint8_t b : data) {
+    if (b == '\n' || b == '\t' || (b >= 0x20 && b < 0x7F)) ++printable;
+  }
+  EXPECT_GT(printable, data.size() * 99 / 100);
+}
+
+TEST(CorpusTest, DuplicationOrderingMatchesDatasets) {
+  // Linux-kernel-source >> parsec-native > silesia on duplicate content,
+  // the ordering behind Fig. 5's per-dataset throughput differences.
+  auto prof = [](CorpusKind kind) {
+    CorpusSpec spec;
+    spec.kind = kind;
+    spec.bytes = kTestSize;
+    auto data = generate(spec);
+    return profile(data);
+  };
+  CorpusProfile source = prof(CorpusKind::kSourceLike);
+  CorpusProfile parsec = prof(CorpusKind::kParsecLike);
+  CorpusProfile silesia = prof(CorpusKind::kSilesiaLike);
+
+  EXPECT_GT(source.duplicate_block_fraction, 0.35);
+  EXPECT_GT(parsec.duplicate_block_fraction, 0.15);
+  EXPECT_LT(silesia.duplicate_block_fraction, 0.10);
+  EXPECT_GT(source.duplicate_block_fraction,
+            parsec.duplicate_block_fraction);
+  EXPECT_GT(parsec.duplicate_block_fraction,
+            silesia.duplicate_block_fraction);
+
+  // Source text compresses hardest; silesia (with noise segments) least.
+  EXPECT_LT(source.lzss_ratio, 0.6);
+  EXPECT_LT(source.lzss_ratio, silesia.lzss_ratio);
+  // All three contain enough blocks for a meaningful dedup run.
+  EXPECT_GT(source.block_count, 50u);
+  EXPECT_GT(parsec.block_count, 50u);
+  EXPECT_GT(silesia.block_count, 50u);
+}
+
+TEST(CorpusTest, ProfileOfEmptyIsZero) {
+  CorpusProfile p = profile({});
+  EXPECT_EQ(p.block_count, 0u);
+  EXPECT_EQ(p.duplicate_block_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace hs::datagen

@@ -1,0 +1,438 @@
+// Tests for the Dedup application: stage correctness, container format
+// (including corruption handling), cross-variant archive equivalence,
+// end-to-end roundtrips on all three corpora, and Fig. 5 model shape.
+#include <gtest/gtest.h>
+
+#include "cudax/cudax.hpp"
+#include "datagen/corpus.hpp"
+#include "dedup/container.hpp"
+#include "dedup/modeled.hpp"
+#include "dedup/pipelines.hpp"
+#include "dedup/stages.hpp"
+
+namespace hs::dedup {
+namespace {
+
+DedupConfig test_config() {
+  DedupConfig cfg;
+  cfg.batch_size = 64 * 1024;
+  cfg.rabin.min_block = 256;
+  cfg.rabin.max_block = 8192;
+  cfg.rabin.mask = 0x3FF;  // ~1 kB blocks
+  cfg.lzss.window_size = 128;
+  return cfg;
+}
+
+std::vector<std::uint8_t> test_input(std::size_t bytes = 300 * 1024) {
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = bytes;
+  spec.seed = 123;
+  return datagen::generate(spec);
+}
+
+// ---- stages -----------------------------------------------------------------------
+
+TEST(StagesTest, FragmentationCoversInputExactly) {
+  auto input = test_input();
+  DedupConfig cfg = test_config();
+  auto batches = fragment_input(input, cfg);
+  ASSERT_GT(batches.size(), 1u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(batches[i].index, i);
+    EXPECT_LE(batches[i].data.size(), cfg.batch_size);
+    total += batches[i].data.size();
+    // Blocks tile the batch.
+    std::uint32_t pos = 0;
+    for (const BlockInfo& block : batches[i].blocks) {
+      EXPECT_EQ(block.start, pos);
+      pos += block.len;
+    }
+    EXPECT_EQ(pos, batches[i].data.size());
+  }
+  EXPECT_EQ(total, input.size());
+}
+
+TEST(StagesTest, HashMatchesDirectSha1) {
+  auto input = test_input(64 * 1024);
+  DedupConfig cfg = test_config();
+  auto batches = fragment_input(input, cfg);
+  Batch& batch = batches[0];
+  hash_blocks(batch);
+  const BlockInfo& block = batch.blocks[0];
+  auto direct = kernels::Sha1::hash(std::span<const std::uint8_t>(
+      batch.data.data() + block.start, block.len));
+  EXPECT_EQ(block.digest, direct);
+}
+
+TEST(StagesTest, DupCacheAssignsStableIds) {
+  DupCache cache;
+  auto input = test_input();
+  DedupConfig cfg = test_config();
+  auto batches = fragment_input(input, cfg);
+  std::uint64_t max_id = 0;
+  std::uint64_t uniques = 0;
+  for (Batch& batch : batches) {
+    hash_blocks(batch);
+    cache.check(batch);
+    for (const BlockInfo& block : batch.blocks) {
+      if (block.duplicate) {
+        EXPECT_LT(block.global_id, uniques)
+            << "duplicate must reference an earlier unique";
+      } else {
+        EXPECT_EQ(block.global_id, uniques);
+        ++uniques;
+      }
+      max_id = std::max(max_id, block.global_id);
+    }
+  }
+  EXPECT_EQ(cache.unique_count(), uniques);
+  EXPECT_GT(uniques, 0u);
+  EXPECT_LT(max_id, uniques);
+}
+
+TEST(StagesTest, ParsecLikeInputHasDuplicates) {
+  DupCache cache;
+  auto input = test_input();
+  auto batches = fragment_input(input, test_config());
+  std::uint64_t dups = 0, total = 0;
+  for (Batch& batch : batches) {
+    hash_blocks(batch);
+    cache.check(batch);
+    for (const BlockInfo& b : batch.blocks) {
+      dups += b.duplicate ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(dups, total / 20);  // the corpus is built to contain duplicates
+}
+
+TEST(StagesTest, CompressFromMatchesEqualsDirect) {
+  auto input = test_input(128 * 1024);
+  DedupConfig cfg = test_config();
+  auto batches = fragment_input(input, cfg);
+  DupCache cache;
+  for (Batch& batch : batches) {
+    hash_blocks(batch);
+    cache.check(batch);
+  }
+  Batch direct = batches[0];
+  Batch via_gpu_path = batches[0];
+  compress_blocks_cpu(direct, cfg);
+  find_batch_matches(via_gpu_path, cfg);
+  compress_blocks_from_matches(via_gpu_path, cfg);
+  ASSERT_EQ(direct.blocks.size(), via_gpu_path.blocks.size());
+  for (std::size_t k = 0; k < direct.blocks.size(); ++k) {
+    EXPECT_EQ(direct.blocks[k].compressed, via_gpu_path.blocks[k].compressed)
+        << "block " << k;
+  }
+}
+
+TEST(StagesTest, CostAccountingIsPositiveAndConsistent) {
+  auto input = test_input(64 * 1024);
+  DedupConfig cfg = test_config();
+  auto batches = fragment_input(input, cfg);
+  Batch& b = batches[0];
+  EXPECT_GT(batch_sha1_rounds(b), b.blocks.size());  // > 1 round per block
+  EXPECT_GT(batch_match_cost(b, cfg), b.data.size());  // >= 1 unit per byte
+  hash_blocks(b);
+  DupCache cache;
+  cache.check(b);
+  compress_blocks_cpu(b, cfg);
+  EXPECT_GT(batch_output_bytes(b), 0u);
+}
+
+// Parameterized fragmentation sweep: exact coverage for any batch size.
+class FragmentSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FragmentSweep, BatchesAndBlocksTileTheInput) {
+  auto input = test_input(150 * 1024 + 37);  // deliberately unaligned
+  DedupConfig cfg = test_config();
+  cfg.batch_size = GetParam();
+  auto batches = fragment_input(input, cfg);
+  std::size_t total = 0;
+  for (const Batch& b : batches) {
+    EXPECT_LE(b.data.size(), cfg.batch_size);
+    std::uint32_t pos = 0;
+    for (const BlockInfo& block : b.blocks) {
+      EXPECT_EQ(block.start, pos);
+      pos += block.len;
+    }
+    EXPECT_EQ(pos, b.data.size());
+    total += b.data.size();
+  }
+  EXPECT_EQ(total, input.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FragmentSweep,
+                         ::testing::Values(4096u, 16384u, 65536u, 262144u,
+                                           1048576u));
+
+TEST(StagesTest, VariableFragmentationCoversInputWithVaryingBatches) {
+  auto input = test_input(512 * 1024);
+  DedupConfig cfg = test_config();
+  cfg.batch_size = 64 * 1024;
+  auto batches = fragment_input_variable(input, cfg);
+  ASSERT_GT(batches.size(), 2u);
+  std::size_t total = 0;
+  std::size_t min_size = input.size(), max_size = 0;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(batches[i].index, i);
+    total += batches[i].data.size();
+    min_size = std::min(min_size, batches[i].data.size());
+    max_size = std::max(max_size, batches[i].data.size());
+  }
+  EXPECT_EQ(total, input.size());
+  // Content-defined boundaries: sizes genuinely vary.
+  EXPECT_GT(max_size, min_size);
+}
+
+// ---- container ----------------------------------------------------------------------
+
+TEST(ContainerTest, RoundtripSequential) {
+  auto input = test_input();
+  DedupConfig cfg = test_config();
+  auto archive = archive_sequential(input, cfg);
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+  EXPECT_LT(archive.value().size(), input.size());  // actually deduped+compressed
+  auto back = extract(archive.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(ContainerTest, InspectCountsBlocks) {
+  auto input = test_input();
+  DedupConfig cfg = test_config();
+  auto archive = archive_sequential(input, cfg);
+  ASSERT_TRUE(archive.ok());
+  auto info = inspect(archive.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().original_size, input.size());
+  EXPECT_GT(info.value().unique_blocks, 0u);
+  EXPECT_GT(info.value().duplicate_blocks, 0u);
+  EXPECT_GT(info.value().compressed_payload_bytes, 0u);
+}
+
+TEST(ContainerTest, CorruptionIsDetected) {
+  auto input = test_input(100 * 1024);
+  DedupConfig cfg = test_config();
+  auto archive = archive_sequential(input, cfg);
+  ASSERT_TRUE(archive.ok());
+
+  {  // bad magic
+    auto bad = archive.value();
+    bad[0] ^= 0xFF;
+    EXPECT_EQ(extract(bad).status().code(), ErrorCode::kDataLoss);
+  }
+  {  // truncated
+    auto bad = archive.value();
+    bad.resize(bad.size() / 2);
+    EXPECT_FALSE(extract(bad).ok());
+  }
+  {  // flipped payload byte: either LZSS structure or SHA-1 must catch it
+    auto bad = archive.value();
+    bad[bad.size() / 2] ^= 0x01;
+    EXPECT_FALSE(extract(bad).ok());
+  }
+  {  // missing trailer
+    auto bad = archive.value();
+    bad.resize(bad.size() - 10);
+    EXPECT_FALSE(extract(bad).ok());
+  }
+}
+
+TEST(ContainerTest, WriterEnforcesOrder) {
+  DedupConfig cfg = test_config();
+  ArchiveWriter writer(cfg);
+  Batch batch;
+  batch.index = 1;  // skipped 0
+  EXPECT_EQ(writer.append(batch).code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(ContainerTest, EmptyInputRoundtrip) {
+  DedupConfig cfg = test_config();
+  auto archive = archive_sequential({}, cfg);
+  ASSERT_TRUE(archive.ok());
+  auto back = extract(archive.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+// ---- cross-variant equivalence ---------------------------------------------------------
+
+class VariantEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    input_ = test_input(200 * 1024);
+    cfg_ = test_config();
+    auto ref = archive_sequential(input_, cfg_);
+    ASSERT_TRUE(ref.ok());
+    reference_ = std::move(ref).value();
+  }
+  std::vector<std::uint8_t> input_;
+  DedupConfig cfg_;
+  std::vector<std::uint8_t> reference_;
+};
+
+TEST_F(VariantEquivalenceTest, SparCpuMatches) {
+  auto r = archive_spar_cpu(input_, cfg_, 4);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), reference_);
+}
+
+TEST_F(VariantEquivalenceTest, SparCudaMatches) {
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  auto r = archive_spar_cuda(input_, cfg_, 4, *machine);
+  cudax::unbind_machine();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), reference_);
+  std::uint64_t launches = machine->device(0).counters().kernels_launched +
+                           machine->device(1).counters().kernels_launched;
+  // Two kernels (hash + FindMatch) per batch.
+  EXPECT_EQ(launches, 2 * ((input_.size() + cfg_.batch_size - 1) /
+                           cfg_.batch_size));
+}
+
+TEST_F(VariantEquivalenceTest, OpenClSingleThreadMatchesBothKernelForms) {
+  for (bool batched : {true, false}) {
+    auto machine = gpusim::Machine::Create(1, gpusim::DeviceSpec::TitanXP());
+    auto r = archive_opencl_single_thread(input_, cfg_, *machine, batched);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), reference_) << "batched=" << batched;
+  }
+}
+
+TEST_F(VariantEquivalenceTest, PerBlockKernelsLaunchFarMore) {
+  auto m1 = gpusim::Machine::Create(1, gpusim::DeviceSpec::TitanXP());
+  auto m2 = gpusim::Machine::Create(1, gpusim::DeviceSpec::TitanXP());
+  ASSERT_TRUE(archive_opencl_single_thread(input_, cfg_, *m1, true).ok());
+  ASSERT_TRUE(archive_opencl_single_thread(input_, cfg_, *m2, false).ok());
+  EXPECT_GT(m2->device(0).counters().kernels_launched,
+            5 * m1->device(0).counters().kernels_launched);
+}
+
+// ---- roundtrip across all corpora --------------------------------------------------------
+
+class CorpusRoundtrip
+    : public ::testing::TestWithParam<datagen::CorpusKind> {};
+
+TEST_P(CorpusRoundtrip, SequentialArchiveExtracts) {
+  datagen::CorpusSpec spec;
+  spec.kind = GetParam();
+  spec.bytes = 256 * 1024;
+  auto input = datagen::generate(spec);
+  DedupConfig cfg = test_config();
+  auto archive = archive_sequential(input, cfg);
+  ASSERT_TRUE(archive.ok());
+  auto back = extract(archive.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpora, CorpusRoundtrip,
+                         ::testing::Values(datagen::CorpusKind::kParsecLike,
+                                           datagen::CorpusKind::kSourceLike,
+                                           datagen::CorpusKind::kSilesiaLike));
+
+// ---- Fig. 5 model shape --------------------------------------------------------------------
+
+class Fig5ModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::CorpusSpec spec;
+    spec.kind = datagen::CorpusKind::kParsecLike;
+    spec.bytes = 1024 * 1024;
+    auto input = datagen::generate(spec);
+    DedupConfig cfg = test_config();
+    cfg.batch_size = 128 * 1024;
+    trace_ = new DedupTrace(build_trace(input, cfg));
+    cfg_ = new Fig5Config();
+    cfg_->dedup = cfg;
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete cfg_;
+  }
+  static DedupTrace* trace_;
+  static Fig5Config* cfg_;
+};
+
+DedupTrace* Fig5ModelTest::trace_ = nullptr;
+Fig5Config* Fig5ModelTest::cfg_ = nullptr;
+
+TEST_F(Fig5ModelTest, TraceAccounting) {
+  EXPECT_EQ(trace_->input_bytes, 1024u * 1024u);
+  EXPECT_EQ(trace_->batches.size(), 8u);
+  EXPECT_GT(trace_->unique_blocks, 0u);
+  EXPECT_GT(trace_->duplicate_blocks, 0u);
+  EXPECT_GT(trace_->output_bytes, 0u);
+  EXPECT_LT(trace_->output_bytes, trace_->input_bytes);
+}
+
+TEST_F(Fig5ModelTest, BatchedKernelIsTheBigWin) {
+  // The paper's central Dedup finding: without the single batched
+  // FindMatch kernel, GPU performance is "very poor".
+  Fig5Config batched = *cfg_;
+  Fig5Config per_block = *cfg_;
+  per_block.batched_kernel = false;
+  auto fast = run_fig5(*trace_, batched, Fig5Backend::kSparCuda);
+  auto slow = run_fig5(*trace_, per_block, Fig5Backend::kSparCuda);
+  EXPECT_GT(fast.throughput_mb_s, 1.5 * slow.throughput_mb_s);
+  EXPECT_GT(slow.kernel_launches, fast.kernel_launches);
+}
+
+TEST_F(Fig5ModelTest, SparCudaBeatsCpuAndSingleThread) {
+  auto spar_cuda = run_fig5(*trace_, *cfg_, Fig5Backend::kSparCuda);
+  auto spar_cpu = run_fig5(*trace_, *cfg_, Fig5Backend::kSparCpu);
+  auto cuda_1t = run_fig5(*trace_, *cfg_, Fig5Backend::kCudaSingle);
+  auto seq = run_fig5(*trace_, *cfg_, Fig5Backend::kSequential);
+  EXPECT_GT(spar_cuda.throughput_mb_s, spar_cpu.throughput_mb_s);
+  EXPECT_GT(spar_cuda.throughput_mb_s, cuda_1t.throughput_mb_s);
+  EXPECT_GT(spar_cpu.throughput_mb_s, seq.throughput_mb_s);
+}
+
+TEST_F(Fig5ModelTest, TwoMemSpacesHelpOpenClNotCuda) {
+  // §V-B: "the optimization of 2x memory space version increased
+  // performance for OpenCL. However, it was not the case for CUDA."
+  Fig5Config one = *cfg_;
+  Fig5Config two = *cfg_;
+  two.mem_spaces = 2;
+  auto ocl1 = run_fig5(*trace_, one, Fig5Backend::kOclSingle);
+  auto ocl2 = run_fig5(*trace_, two, Fig5Backend::kOclSingle);
+  auto cuda1 = run_fig5(*trace_, one, Fig5Backend::kCudaSingle);
+  auto cuda2 = run_fig5(*trace_, two, Fig5Backend::kCudaSingle);
+  EXPECT_GT(ocl2.throughput_mb_s, ocl1.throughput_mb_s * 1.02);
+  EXPECT_LT(std::abs(cuda2.throughput_mb_s - cuda1.throughput_mb_s),
+            cuda1.throughput_mb_s * 0.05);
+}
+
+TEST_F(Fig5ModelTest, VariableBatchesAreSlower) {
+  // DESIGN.md §4.3: the paper refactored to fixed-size batches; the
+  // original content-defined batch boundaries must model slower.
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = 2 * 1024 * 1024;
+  auto input = datagen::generate(spec);
+  DedupConfig dcfg = cfg_->dedup;
+  auto fixed = build_trace(input, dcfg, false);
+  auto variable = build_trace(input, dcfg, true);
+  auto r_fixed = run_fig5(fixed, *cfg_, Fig5Backend::kSparCuda);
+  auto r_var = run_fig5(variable, *cfg_, Fig5Backend::kSparCuda);
+  EXPECT_GT(r_fixed.throughput_mb_s, r_var.throughput_mb_s);
+}
+
+TEST_F(Fig5ModelTest, LabelsDescribeVariants) {
+  Fig5Config c = *cfg_;
+  c.mem_spaces = 2;
+  c.devices = 2;
+  auto r = run_fig5(*trace_, c, Fig5Backend::kSparOcl);
+  EXPECT_EQ(r.label, "spar+opencl 2x-mem 2gpu");
+  c.batched_kernel = false;
+  auto r2 = run_fig5(*trace_, c, Fig5Backend::kCudaSingle);
+  EXPECT_NE(r2.label.find("per-block-kernels"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hs::dedup

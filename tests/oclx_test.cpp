@@ -1,0 +1,238 @@
+// Tests for the OpenCL-style shim: discovery workflow, buffers, command
+// queues, events, and the non-thread-safe cl_kernel semantics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "oclx/oclx.hpp"
+
+namespace hs::oclx {
+namespace {
+
+class OclxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+    platforms_ = Platform::get(machine_.get());
+    ASSERT_EQ(platforms_.size(), 1u);
+    devices_ = platforms_[0].devices();
+    ASSERT_EQ(devices_.size(), 2u);
+  }
+  std::unique_ptr<gpusim::Machine> machine_;
+  std::vector<Platform> platforms_;
+  std::vector<DeviceId> devices_;
+};
+
+TEST_F(OclxTest, DiscoveryWorkflow) {
+  EXPECT_EQ(platforms_[0].name(), "HetStream SimCL");
+  EXPECT_EQ(devices_[0].name(), "SimTitanXP");
+  EXPECT_EQ(devices_[0].max_compute_units(), 30u);
+  EXPECT_EQ(devices_[0].global_mem_size(), 12ull * 1024 * 1024 * 1024);
+}
+
+TEST_F(OclxTest, NoMachineNoPlatform) {
+  EXPECT_TRUE(Platform::get(nullptr).empty());
+}
+
+TEST_F(OclxTest, ContextValidation) {
+  EXPECT_FALSE(Context::create({}).ok());
+  auto ctx = Context::create(devices_);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(ctx.value().devices().size(), 2u);
+}
+
+TEST_F(OclxTest, BufferLifecycleAndOom) {
+  auto ctx = Context::create({devices_[0]});
+  ASSERT_TRUE(ctx.ok());
+  {
+    auto buf = Buffer::create(ctx.value(), devices_[0], 1 << 20);
+    ASSERT_TRUE(buf.ok());
+    EXPECT_EQ(machine_->device(0).memory_used(), 1u << 20);
+  }
+  // RAII free
+  EXPECT_EQ(machine_->device(0).memory_used(), 0u);
+  // Exceeding the 12 GB device fails like the paper's 10 MB-batch OOM.
+  auto big = Buffer::create(ctx.value(), devices_[0], 20ull << 30);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), ErrorCode::kOutOfMemory);
+  // Buffer on a device outside the context is rejected.
+  EXPECT_FALSE(Buffer::create(ctx.value(), devices_[1], 64).ok());
+}
+
+TEST_F(OclxTest, WriteReadRoundtrip) {
+  auto ctx = Context::create({devices_[0]});
+  ASSERT_TRUE(ctx.ok());
+  auto q = CommandQueue::create(ctx.value(), devices_[0]);
+  ASSERT_TRUE(q.ok());
+  auto buf = Buffer::create(ctx.value(), devices_[0], 1024);
+  ASSERT_TRUE(buf.ok());
+
+  std::vector<std::uint8_t> host(1024);
+  std::iota(host.begin(), host.end(), 0);
+  ASSERT_EQ(q.value().enqueue_write(buf.value(), 0, host.data(), 1024,
+                                    /*blocking=*/true, nullptr),
+            ClStatus::kSuccess);
+  std::vector<std::uint8_t> back(1024, 0xFF);
+  ASSERT_EQ(q.value().enqueue_read(buf.value(), 0, back.data(), 1024,
+                                   /*blocking=*/true, nullptr),
+            ClStatus::kSuccess);
+  EXPECT_EQ(host, back);
+}
+
+TEST_F(OclxTest, OutOfExtentAccessRejected) {
+  auto ctx = Context::create({devices_[0]});
+  auto q = CommandQueue::create(ctx.value(), devices_[0]);
+  auto buf = Buffer::create(ctx.value(), devices_[0], 64);
+  ASSERT_TRUE(q.ok() && buf.ok());
+  std::uint8_t tmp[128] = {};
+  EXPECT_EQ(q.value().enqueue_write(buf.value(), 32, tmp, 64, true, nullptr),
+            ClStatus::kInvalidValue);
+  EXPECT_EQ(q.value().enqueue_read(buf.value(), 0, tmp, 128, true, nullptr),
+            ClStatus::kInvalidValue);
+}
+
+TEST_F(OclxTest, NdrangeKernelComputes) {
+  auto ctx = Context::create({devices_[0]});
+  auto q = CommandQueue::create(ctx.value(), devices_[0]);
+  auto buf = Buffer::create(ctx.value(), devices_[0], 1000 * sizeof(int));
+  ASSERT_TRUE(q.ok() && buf.ok());
+  int* data = static_cast<int*>(buf.value().data());
+  Kernel k = Kernel::create("square", [=](const ThreadCtx& ctx2) {
+    std::uint64_t i = ctx2.global_x();  // get_global_id(0)
+    if (i < 1000) data[i] = static_cast<int>(i * i);
+  });
+  Event done;
+  ASSERT_EQ(q.value().enqueue_ndrange(k, Dim3{1024, 1, 1}, Dim3{256, 1, 1},
+                                      &done),
+            ClStatus::kSuccess);
+  auto t = done.wait();
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(t.value(), 0.0);
+  EXPECT_EQ(data[31], 31 * 31);
+}
+
+TEST_F(OclxTest, KernelThreadAffinityEnforced) {
+  // The paper: "cl_kernel objects ... are not thread-safe and must be
+  // allocated for each thread."
+  auto ctx = Context::create({devices_[0]});
+  auto q = CommandQueue::create(ctx.value(), devices_[0]);
+  ASSERT_TRUE(q.ok());
+  Kernel k = Kernel::create("noop", [](const ThreadCtx&) {});
+  ASSERT_EQ(q.value().enqueue_ndrange(k, Dim3{32, 1, 1}, Dim3{32, 1, 1},
+                                      nullptr),
+            ClStatus::kSuccess);  // claims ownership for this thread
+
+  ClStatus other = ClStatus::kSuccess;
+  std::string msg;
+  std::thread t([&] {
+    auto q2 = CommandQueue::create(ctx.value(), devices_[0]);
+    ASSERT_TRUE(q2.ok());
+    other = q2.value().enqueue_ndrange(k, Dim3{32, 1, 1}, Dim3{32, 1, 1},
+                                       nullptr);
+    msg = q2.value().last_error();
+  });
+  t.join();
+  EXPECT_EQ(other, ClStatus::kInvalidOperation);
+  EXPECT_NE(msg.find("not thread-safe"), std::string::npos);
+}
+
+TEST_F(OclxTest, KernelAcquireTransfersOwnership) {
+  auto ctx = Context::create({devices_[0]});
+  Kernel k = Kernel::create("noop", [](const ThreadCtx&) {});
+  {
+    auto q = CommandQueue::create(ctx.value(), devices_[0]);
+    ASSERT_TRUE(q.ok());
+    ASSERT_EQ(q.value().enqueue_ndrange(k, Dim3{32, 1, 1}, Dim3{32, 1, 1},
+                                        nullptr),
+              ClStatus::kSuccess);
+  }
+  ClStatus other = ClStatus::kInvalidOperation;
+  std::thread t([&] {
+    auto q2 = CommandQueue::create(ctx.value(), devices_[0]);
+    ASSERT_TRUE(q2.ok());
+    k.acquire();  // explicit transfer
+    other = q2.value().enqueue_ndrange(k, Dim3{32, 1, 1}, Dim3{32, 1, 1},
+                                       nullptr);
+  });
+  t.join();
+  EXPECT_EQ(other, ClStatus::kSuccess);
+}
+
+TEST_F(OclxTest, PerItemKernelPatternWorksAcrossThreads) {
+  // The paper's fix: allocate one cl_kernel (and queue) per stream item,
+  // so worker threads never share kernel objects.
+  auto ctx = Context::create({devices_[0]});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 16; ++i) {
+        Kernel k = Kernel::create("per-item", [](const ThreadCtx&) {});
+        auto q = CommandQueue::create(ctx.value(), devices_[0]);
+        if (!q.ok() ||
+            q.value().enqueue_ndrange(k, Dim3{64, 1, 1}, Dim3{64, 1, 1},
+                                      nullptr) != ClStatus::kSuccess) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(machine_->device(0).counters().kernels_launched, 64u);
+}
+
+TEST_F(OclxTest, EventsAndWaitForEvents) {
+  auto ctx = Context::create(devices_);
+  ASSERT_TRUE(ctx.ok());
+  auto q0 = CommandQueue::create(ctx.value(), devices_[0]);
+  auto q1 = CommandQueue::create(ctx.value(), devices_[1]);
+  ASSERT_TRUE(q0.ok() && q1.ok());
+  Kernel k0 = Kernel::create("a", [](const ThreadCtx&) -> std::uint64_t {
+    return 40000;
+  });
+  Kernel k1 = Kernel::create("b", [](const ThreadCtx&) -> std::uint64_t {
+    return 20000;
+  });
+  Event e0, e1;
+  ASSERT_EQ(q0.value().enqueue_ndrange(k0, Dim3{4096, 1, 1}, Dim3{256, 1, 1},
+                                       &e0),
+            ClStatus::kSuccess);
+  ASSERT_EQ(q1.value().enqueue_ndrange(k1, Dim3{4096, 1, 1}, Dim3{256, 1, 1},
+                                       &e1),
+            ClStatus::kSuccess);
+  auto joint = Event::wait_for_events({e0, e1});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_DOUBLE_EQ(joint.value(),
+                   std::max(e0.wait().value(), e1.wait().value()));
+  EXPECT_FALSE(Event::wait_for_events({}).ok());
+  EXPECT_FALSE(Event().wait().ok());
+}
+
+TEST_F(OclxTest, GlobalSizeRoundsUpToWorkgroups) {
+  auto ctx = Context::create({devices_[0]});
+  auto q = CommandQueue::create(ctx.value(), devices_[0]);
+  ASSERT_TRUE(q.ok());
+  std::atomic<int> invocations{0};
+  Kernel k = Kernel::create("count", [&](const ThreadCtx&) {
+    ++invocations;
+  });
+  // global=100, local=32 -> 4 groups -> 128 invocations (with guard checks
+  // left to the kernel, as in real OpenCL code).
+  ASSERT_EQ(q.value().enqueue_ndrange(k, Dim3{100, 1, 1}, Dim3{32, 1, 1},
+                                      nullptr),
+            ClStatus::kSuccess);
+  EXPECT_EQ(invocations.load(), 128);
+}
+
+TEST_F(OclxTest, StatusNames) {
+  EXPECT_EQ(status_name(ClStatus::kSuccess), "CL_SUCCESS");
+  EXPECT_EQ(status_name(ClStatus::kInvalidOperation), "CL_INVALID_OPERATION");
+  EXPECT_EQ(status_name(ClStatus::kOutOfResources), "CL_OUT_OF_RESOURCES");
+}
+
+}  // namespace
+}  // namespace hs::oclx

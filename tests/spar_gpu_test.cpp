@@ -1,0 +1,187 @@
+// Tests for the SPar GPU auto-offload extension (the paper's §VI future
+// work): map stages generated for the CUDA and OpenCL backends produce
+// results identical to the CPU computation, distribute across devices, and
+// respect the shims' semantics (thread-local device state, per-thread
+// kernel objects).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "cudax/cudax.hpp"
+#include "spar/gpu_stage.hpp"
+
+namespace hs::spar {
+namespace {
+
+/// Reference pipeline output: batches of floats, each x -> x * 2 + 1.
+std::vector<std::vector<float>> expected_batches(int nbatches, int batch) {
+  std::vector<std::vector<float>> out;
+  for (int b = 0; b < nbatches; ++b) {
+    std::vector<float> v(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      v[static_cast<std::size_t>(i)] =
+          static_cast<float>(b * batch + i) * 2.0f + 1.0f;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::function<std::optional<std::vector<float>>()> batch_source(int nbatches,
+                                                                int batch) {
+  return [b = 0, nbatches, batch]() mutable
+             -> std::optional<std::vector<float>> {
+    if (b >= nbatches) return std::nullopt;
+    std::vector<float> v(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      v[static_cast<std::size_t>(i)] = static_cast<float>(b * batch + i);
+    }
+    ++b;
+    return v;
+  };
+}
+
+class SparGpuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+    cudax::bind_machine(machine_.get());
+  }
+  void TearDown() override { cudax::unbind_machine(); }
+
+  std::vector<std::vector<float>> run_backend(GpuBackend backend,
+                                              int replicas) {
+    ToStream region("gpu-map");
+    region.source<std::vector<float>>(batch_source(12, 100));
+    GpuOffload offload;
+    offload.machine = machine_.get();
+    offload.backend = backend;
+    offload.replicas = replicas;
+    gpu_map_stage<float>(region, offload,
+                         [](float x) { return x * 2.0f + 1.0f; });
+    std::vector<std::vector<float>> got;
+    region.last_stage<std::vector<float>>(
+        [&](std::vector<float> v) { got.push_back(std::move(v)); });
+    Status s = region.run();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return got;
+  }
+
+  std::unique_ptr<gpusim::Machine> machine_;
+};
+
+TEST_F(SparGpuTest, CudaBackendMatchesCpu) {
+  auto got = run_backend(GpuBackend::kCuda, 3);
+  EXPECT_EQ(got, expected_batches(12, 100));
+  // Work actually went to the simulated GPUs, spread across both.
+  EXPECT_GT(machine_->device(0).counters().kernels_launched, 0u);
+  EXPECT_GT(machine_->device(1).counters().kernels_launched, 0u);
+  std::uint64_t total = machine_->device(0).counters().kernels_launched +
+                        machine_->device(1).counters().kernels_launched;
+  EXPECT_EQ(total, 12u);
+}
+
+TEST_F(SparGpuTest, OpenClBackendMatchesCpu) {
+  auto got = run_backend(GpuBackend::kOpenCl, 3);
+  EXPECT_EQ(got, expected_batches(12, 100));
+  std::uint64_t total = machine_->device(0).counters().kernels_launched +
+                        machine_->device(1).counters().kernels_launched;
+  EXPECT_EQ(total, 12u);
+}
+
+TEST_F(SparGpuTest, SingleReplicaWorks) {
+  auto got = run_backend(GpuBackend::kCuda, 1);
+  EXPECT_EQ(got, expected_batches(12, 100));
+}
+
+TEST_F(SparGpuTest, EmptyBatchesPassThrough) {
+  ToStream region("gpu-empty");
+  region.source<std::vector<float>>(
+      [b = 0]() mutable -> std::optional<std::vector<float>> {
+        if (b >= 3) return std::nullopt;
+        ++b;
+        return std::vector<float>{};
+      });
+  GpuOffload offload;
+  offload.machine = machine_.get();
+  gpu_map_stage<float>(region, offload, [](float x) { return x; });
+  int received = 0;
+  region.last_stage<std::vector<float>>([&](std::vector<float> v) {
+    EXPECT_TRUE(v.empty());
+    ++received;
+  });
+  ASSERT_TRUE(region.run().ok());
+  EXPECT_EQ(received, 3);
+  EXPECT_EQ(machine_->device(0).counters().kernels_launched, 0u);
+}
+
+TEST_F(SparGpuTest, NonTrivialElementTypeStillComputes) {
+  // A trivially-copyable struct element.
+  struct Pixel {
+    float r, g, b;
+  };
+  ToStream region("gpu-struct");
+  region.source<std::vector<Pixel>>(
+      [b = 0]() mutable -> std::optional<std::vector<Pixel>> {
+        if (b >= 4) return std::nullopt;
+        std::vector<Pixel> v(50);
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          v[i] = Pixel{static_cast<float>(b), static_cast<float>(i), 0.5f};
+        }
+        ++b;
+        return v;
+      });
+  GpuOffload offload;
+  offload.machine = machine_.get();
+  offload.replicas = 2;
+  gpu_map_stage<Pixel>(region, offload, [](Pixel p) {
+    return Pixel{p.r * 0.5f, p.g * 0.5f, p.b * 0.5f};
+  });
+  int checked = 0;
+  region.last_stage<std::vector<Pixel>>([&](std::vector<Pixel> v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_FLOAT_EQ(v[i].g, static_cast<float>(i) * 0.5f);
+    }
+    ++checked;
+  });
+  ASSERT_TRUE(region.run().ok());
+  EXPECT_EQ(checked, 4);
+}
+
+TEST_F(SparGpuTest, ComposesWithCpuStages) {
+  // CPU pre-stage -> GPU map -> CPU post-stage, order preserved.
+  ToStream region("mixed");
+  region.source<std::vector<float>>(batch_source(8, 64));
+  region.stage<std::vector<float>, std::vector<float>>(
+      Replicate(2), [](std::vector<float> v) {
+        for (float& x : v) x += 10.0f;  // CPU stage
+        return v;
+      });
+  GpuOffload offload;
+  offload.machine = machine_.get();
+  offload.replicas = 2;
+  gpu_map_stage<float>(region, offload, [](float x) { return x * x; });
+  std::vector<float> firsts;
+  region.last_stage<std::vector<float>>(
+      [&](std::vector<float> v) { firsts.push_back(v[0]); });
+  ASSERT_TRUE(region.run().ok());
+  ASSERT_EQ(firsts.size(), 8u);
+  for (int b = 0; b < 8; ++b) {
+    float expect = (static_cast<float>(b * 64) + 10.0f);
+    EXPECT_FLOAT_EQ(firsts[static_cast<std::size_t>(b)], expect * expect);
+  }
+}
+
+TEST_F(SparGpuTest, DeviceMemoryIsReleased) {
+  {
+    auto got = run_backend(GpuBackend::kCuda, 2);
+    ASSERT_EQ(got.size(), 12u);
+  }
+  EXPECT_EQ(machine_->device(0).memory_used(), 0u);
+  EXPECT_EQ(machine_->device(1).memory_used(), 0u);
+}
+
+}  // namespace
+}  // namespace hs::spar
