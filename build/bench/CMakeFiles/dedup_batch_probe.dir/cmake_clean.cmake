@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_batch_probe.dir/dedup_batch_probe.cpp.o"
+  "CMakeFiles/dedup_batch_probe.dir/dedup_batch_probe.cpp.o.d"
+  "dedup_batch_probe"
+  "dedup_batch_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_batch_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

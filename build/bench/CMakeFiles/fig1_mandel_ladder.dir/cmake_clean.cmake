@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mandel_ladder.dir/fig1_mandel_ladder.cpp.o"
+  "CMakeFiles/fig1_mandel_ladder.dir/fig1_mandel_ladder.cpp.o.d"
+  "fig1_mandel_ladder"
+  "fig1_mandel_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mandel_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mandel_models.dir/fig4_mandel_models.cpp.o"
+  "CMakeFiles/fig4_mandel_models.dir/fig4_mandel_models.cpp.o.d"
+  "fig4_mandel_models"
+  "fig4_mandel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mandel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

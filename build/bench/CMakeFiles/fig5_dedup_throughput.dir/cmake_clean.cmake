@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dedup_throughput.dir/fig5_dedup_throughput.cpp.o"
+  "CMakeFiles/fig5_dedup_throughput.dir/fig5_dedup_throughput.cpp.o.d"
+  "fig5_dedup_throughput"
+  "fig5_dedup_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dedup_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_probe.dir/occupancy_probe.cpp.o"
+  "CMakeFiles/occupancy_probe.dir/occupancy_probe.cpp.o.d"
+  "occupancy_probe"
+  "occupancy_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for occupancy_probe.
+# This may be replaced when dependencies are built.

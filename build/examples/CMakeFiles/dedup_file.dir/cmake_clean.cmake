@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_file.dir/dedup_file.cpp.o"
+  "CMakeFiles/dedup_file.dir/dedup_file.cpp.o.d"
+  "dedup_file"
+  "dedup_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

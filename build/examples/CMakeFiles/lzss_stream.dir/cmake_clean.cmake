@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_stream.dir/lzss_stream.cpp.o"
+  "CMakeFiles/lzss_stream.dir/lzss_stream.cpp.o.d"
+  "lzss_stream"
+  "lzss_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_corpus.dir/make_corpus.cpp.o"
+  "CMakeFiles/make_corpus.dir/make_corpus.cpp.o.d"
+  "make_corpus"
+  "make_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot_stream.dir/mandelbrot_stream.cpp.o"
+  "CMakeFiles/mandelbrot_stream.dir/mandelbrot_stream.cpp.o.d"
+  "mandelbrot_stream"
+  "mandelbrot_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_analytics.dir/sensor_analytics.cpp.o"
+  "CMakeFiles/sensor_analytics.dir/sensor_analytics.cpp.o.d"
+  "sensor_analytics"
+  "sensor_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgpu_tour.dir/simgpu_tour.cpp.o"
+  "CMakeFiles/simgpu_tour.dir/simgpu_tour.cpp.o.d"
+  "simgpu_tour"
+  "simgpu_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgpu_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spar_gpu_offload.dir/spar_gpu_offload.cpp.o"
+  "CMakeFiles/spar_gpu_offload.dir/spar_gpu_offload.cpp.o.d"
+  "spar_gpu_offload"
+  "spar_gpu_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spar_gpu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

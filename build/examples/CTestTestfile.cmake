@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--items=50" "--workers=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mandelbrot "/root/repo/build/examples/mandelbrot_stream" "--dim=64" "--niter=200" "--runtime=spar-cuda" "--out=example_mandel.pgm")
+set_tests_properties(example_mandelbrot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dedup "/root/repo/build/examples/dedup_file" "demo" "--input-size=200kb")
+set_tests_properties(example_dedup PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_simgpu "/root/repo/build/examples/simgpu_tour")
+set_tests_properties(example_simgpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lzss "/root/repo/build/examples/lzss_stream" "demo" "--input-size=200kb")
+set_tests_properties(example_lzss PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spar_gpu "/root/repo/build/examples/spar_gpu_offload" "--batches=4" "--batch-size=512")
+set_tests_properties(example_spar_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sensor "/root/repo/build/examples/sensor_analytics" "--events=20000")
+set_tests_properties(example_sensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_corpus "/root/repo/build/examples/make_corpus" "parsec" "example_corpus.bin" "--size=256kb")
+set_tests_properties(example_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("des")
+subdirs("gpusim")
+subdirs("cudax")
+subdirs("oclx")
+subdirs("flow")
+subdirs("taskx")
+subdirs("spar")
+subdirs("kernels")
+subdirs("datagen")
+subdirs("perfmodel")
+subdirs("mandel")
+subdirs("dedup")
+subdirs("lzssapp")

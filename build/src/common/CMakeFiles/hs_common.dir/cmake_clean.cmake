@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_common.dir/cli.cpp.o"
+  "CMakeFiles/hs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hs_common.dir/format.cpp.o"
+  "CMakeFiles/hs_common.dir/format.cpp.o.d"
+  "CMakeFiles/hs_common.dir/status.cpp.o"
+  "CMakeFiles/hs_common.dir/status.cpp.o.d"
+  "CMakeFiles/hs_common.dir/table.cpp.o"
+  "CMakeFiles/hs_common.dir/table.cpp.o.d"
+  "libhs_common.a"
+  "libhs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_cudax.dir/cudax.cpp.o"
+  "CMakeFiles/hs_cudax.dir/cudax.cpp.o.d"
+  "libhs_cudax.a"
+  "libhs_cudax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_cudax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

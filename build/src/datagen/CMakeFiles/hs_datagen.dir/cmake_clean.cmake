@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_datagen.dir/corpus.cpp.o"
+  "CMakeFiles/hs_datagen.dir/corpus.cpp.o.d"
+  "libhs_datagen.a"
+  "libhs_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

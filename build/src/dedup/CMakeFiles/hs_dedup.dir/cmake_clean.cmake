@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_dedup.dir/container.cpp.o"
+  "CMakeFiles/hs_dedup.dir/container.cpp.o.d"
+  "CMakeFiles/hs_dedup.dir/modeled.cpp.o"
+  "CMakeFiles/hs_dedup.dir/modeled.cpp.o.d"
+  "CMakeFiles/hs_dedup.dir/pipelines.cpp.o"
+  "CMakeFiles/hs_dedup.dir/pipelines.cpp.o.d"
+  "CMakeFiles/hs_dedup.dir/stages.cpp.o"
+  "CMakeFiles/hs_dedup.dir/stages.cpp.o.d"
+  "libhs_dedup.a"
+  "libhs_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_des.dir/timeline.cpp.o"
+  "CMakeFiles/hs_des.dir/timeline.cpp.o.d"
+  "CMakeFiles/hs_des.dir/trace_export.cpp.o"
+  "CMakeFiles/hs_des.dir/trace_export.cpp.o.d"
+  "libhs_des.a"
+  "libhs_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_flow.dir/pipeline.cpp.o"
+  "CMakeFiles/hs_flow.dir/pipeline.cpp.o.d"
+  "libhs_flow.a"
+  "libhs_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/hs_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hs_gpusim.dir/device.cpp.o"
+  "CMakeFiles/hs_gpusim.dir/device.cpp.o.d"
+  "libhs_gpusim.a"
+  "libhs_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

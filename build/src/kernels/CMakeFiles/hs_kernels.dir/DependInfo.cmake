@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/huffman.cpp" "src/kernels/CMakeFiles/hs_kernels.dir/huffman.cpp.o" "gcc" "src/kernels/CMakeFiles/hs_kernels.dir/huffman.cpp.o.d"
+  "/root/repo/src/kernels/lzss.cpp" "src/kernels/CMakeFiles/hs_kernels.dir/lzss.cpp.o" "gcc" "src/kernels/CMakeFiles/hs_kernels.dir/lzss.cpp.o.d"
+  "/root/repo/src/kernels/rabin.cpp" "src/kernels/CMakeFiles/hs_kernels.dir/rabin.cpp.o" "gcc" "src/kernels/CMakeFiles/hs_kernels.dir/rabin.cpp.o.d"
+  "/root/repo/src/kernels/sha1.cpp" "src/kernels/CMakeFiles/hs_kernels.dir/sha1.cpp.o" "gcc" "src/kernels/CMakeFiles/hs_kernels.dir/sha1.cpp.o.d"
+  "/root/repo/src/kernels/sha256.cpp" "src/kernels/CMakeFiles/hs_kernels.dir/sha256.cpp.o" "gcc" "src/kernels/CMakeFiles/hs_kernels.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

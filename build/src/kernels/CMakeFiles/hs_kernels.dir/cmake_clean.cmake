@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_kernels.dir/huffman.cpp.o"
+  "CMakeFiles/hs_kernels.dir/huffman.cpp.o.d"
+  "CMakeFiles/hs_kernels.dir/lzss.cpp.o"
+  "CMakeFiles/hs_kernels.dir/lzss.cpp.o.d"
+  "CMakeFiles/hs_kernels.dir/rabin.cpp.o"
+  "CMakeFiles/hs_kernels.dir/rabin.cpp.o.d"
+  "CMakeFiles/hs_kernels.dir/sha1.cpp.o"
+  "CMakeFiles/hs_kernels.dir/sha1.cpp.o.d"
+  "CMakeFiles/hs_kernels.dir/sha256.cpp.o"
+  "CMakeFiles/hs_kernels.dir/sha256.cpp.o.d"
+  "libhs_kernels.a"
+  "libhs_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_lzssapp.dir/lzss_stream.cpp.o"
+  "CMakeFiles/hs_lzssapp.dir/lzss_stream.cpp.o.d"
+  "libhs_lzssapp.a"
+  "libhs_lzssapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_lzssapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

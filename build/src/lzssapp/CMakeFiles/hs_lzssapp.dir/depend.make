@@ -1,0 +1,2 @@
+# Empty dependencies file for hs_lzssapp.
+# This may be replaced when dependencies are built.

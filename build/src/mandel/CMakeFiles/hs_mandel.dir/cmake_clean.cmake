@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_mandel.dir/calibrate.cpp.o"
+  "CMakeFiles/hs_mandel.dir/calibrate.cpp.o.d"
+  "CMakeFiles/hs_mandel.dir/iteration_map.cpp.o"
+  "CMakeFiles/hs_mandel.dir/iteration_map.cpp.o.d"
+  "CMakeFiles/hs_mandel.dir/modeled.cpp.o"
+  "CMakeFiles/hs_mandel.dir/modeled.cpp.o.d"
+  "CMakeFiles/hs_mandel.dir/pipelines.cpp.o"
+  "CMakeFiles/hs_mandel.dir/pipelines.cpp.o.d"
+  "libhs_mandel.a"
+  "libhs_mandel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_mandel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

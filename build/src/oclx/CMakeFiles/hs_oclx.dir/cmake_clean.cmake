@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_oclx.dir/cl_api.cpp.o"
+  "CMakeFiles/hs_oclx.dir/cl_api.cpp.o.d"
+  "CMakeFiles/hs_oclx.dir/oclx.cpp.o"
+  "CMakeFiles/hs_oclx.dir/oclx.cpp.o.d"
+  "libhs_oclx.a"
+  "libhs_oclx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_oclx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhs_oclx.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_perfmodel.dir/host_model.cpp.o"
+  "CMakeFiles/hs_perfmodel.dir/host_model.cpp.o.d"
+  "libhs_perfmodel.a"
+  "libhs_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_spar.dir/spar.cpp.o"
+  "CMakeFiles/hs_spar.dir/spar.cpp.o.d"
+  "libhs_spar.a"
+  "libhs_spar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_spar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

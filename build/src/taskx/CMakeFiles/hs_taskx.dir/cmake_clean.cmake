@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_taskx.dir/pipeline.cpp.o"
+  "CMakeFiles/hs_taskx.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hs_taskx.dir/pool.cpp.o"
+  "CMakeFiles/hs_taskx.dir/pool.cpp.o.d"
+  "libhs_taskx.a"
+  "libhs_taskx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_taskx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

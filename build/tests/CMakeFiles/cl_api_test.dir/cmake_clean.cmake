@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_api_test.dir/cl_api_test.cpp.o"
+  "CMakeFiles/cl_api_test.dir/cl_api_test.cpp.o.d"
+  "cl_api_test"
+  "cl_api_test.pdb"
+  "cl_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudax_test.dir/cudax_test.cpp.o"
+  "CMakeFiles/cudax_test.dir/cudax_test.cpp.o.d"
+  "cudax_test"
+  "cudax_test.pdb"
+  "cudax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

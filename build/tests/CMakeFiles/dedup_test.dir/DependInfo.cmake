@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dedup_test.cpp" "tests/CMakeFiles/dedup_test.dir/dedup_test.cpp.o" "gcc" "tests/CMakeFiles/dedup_test.dir/dedup_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dedup/CMakeFiles/hs_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/hs_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/spar/CMakeFiles/hs_spar.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/hs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudax/CMakeFiles/hs_cudax.dir/DependInfo.cmake"
+  "/root/repo/build/src/oclx/CMakeFiles/hs_oclx.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/hs_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/hs_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/hs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

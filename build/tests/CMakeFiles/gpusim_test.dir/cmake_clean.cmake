@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_test.dir/gpusim_test.cpp.o"
+  "CMakeFiles/gpusim_test.dir/gpusim_test.cpp.o.d"
+  "gpusim_test"
+  "gpusim_test.pdb"
+  "gpusim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

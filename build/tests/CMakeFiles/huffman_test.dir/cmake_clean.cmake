@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huffman_test.dir/huffman_test.cpp.o"
+  "CMakeFiles/huffman_test.dir/huffman_test.cpp.o.d"
+  "huffman_test"
+  "huffman_test.pdb"
+  "huffman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huffman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

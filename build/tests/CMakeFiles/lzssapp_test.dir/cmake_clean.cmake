@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzssapp_test.dir/lzssapp_test.cpp.o"
+  "CMakeFiles/lzssapp_test.dir/lzssapp_test.cpp.o.d"
+  "lzssapp_test"
+  "lzssapp_test.pdb"
+  "lzssapp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzssapp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandel_test.dir/mandel_test.cpp.o"
+  "CMakeFiles/mandel_test.dir/mandel_test.cpp.o.d"
+  "mandel_test"
+  "mandel_test.pdb"
+  "mandel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

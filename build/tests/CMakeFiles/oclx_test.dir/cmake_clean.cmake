@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oclx_test.dir/oclx_test.cpp.o"
+  "CMakeFiles/oclx_test.dir/oclx_test.cpp.o.d"
+  "oclx_test"
+  "oclx_test.pdb"
+  "oclx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oclx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

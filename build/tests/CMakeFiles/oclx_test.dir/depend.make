@@ -1,0 +1,2 @@
+# Empty dependencies file for oclx_test.
+# This may be replaced when dependencies are built.

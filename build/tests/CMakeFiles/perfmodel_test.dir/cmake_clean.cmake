@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_test.dir/perfmodel_test.cpp.o"
+  "CMakeFiles/perfmodel_test.dir/perfmodel_test.cpp.o.d"
+  "perfmodel_test"
+  "perfmodel_test.pdb"
+  "perfmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

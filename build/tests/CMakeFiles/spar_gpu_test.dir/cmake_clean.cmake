@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spar_gpu_test.dir/spar_gpu_test.cpp.o"
+  "CMakeFiles/spar_gpu_test.dir/spar_gpu_test.cpp.o.d"
+  "spar_gpu_test"
+  "spar_gpu_test.pdb"
+  "spar_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spar_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

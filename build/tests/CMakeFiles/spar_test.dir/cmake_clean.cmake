@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spar_test.dir/spar_test.cpp.o"
+  "CMakeFiles/spar_test.dir/spar_test.cpp.o.d"
+  "spar_test"
+  "spar_test.pdb"
+  "spar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskx_test.dir/taskx_test.cpp.o"
+  "CMakeFiles/taskx_test.dir/taskx_test.cpp.o.d"
+  "taskx_test"
+  "taskx_test.pdb"
+  "taskx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

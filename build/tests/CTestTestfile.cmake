@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/taskx_test[1]_include.cmake")
+include("/root/repo/build/tests/spar_test[1]_include.cmake")
+include("/root/repo/build/tests/cudax_test[1]_include.cmake")
+include("/root/repo/build/tests/oclx_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/mandel_test[1]_include.cmake")
+include("/root/repo/build/tests/dedup_test[1]_include.cmake")
+include("/root/repo/build/tests/spar_gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/huffman_test[1]_include.cmake")
+include("/root/repo/build/tests/lzssapp_test[1]_include.cmake")
+include("/root/repo/build/tests/cl_api_test[1]_include.cmake")
