@@ -10,11 +10,19 @@
 //        --batch=N (default 32) | --map-cache=DIR
 //        --trace-dir=DIR  (dump each variant's modeled schedule as Chrome
 //                          trace JSON, viewable in ui.perfetto.dev)
+//        --faults=SPEC    (run the functional SPar+CUDA pipeline under an
+//                          injected fault plan — see gpusim/fault_plan.hpp
+//                          for the spec grammar, e.g. "d2h.p=0.1,lost.nth=50"
+//                          — and verify the image is bit-exact vs fault-free)
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "cudax/cudax.hpp"
+#include "gpusim/fault_plan.hpp"
 #include "mandel/calibrate.hpp"
 #include "mandel/modeled.hpp"
+#include "mandel/pipelines.hpp"
 
 namespace hs {
 namespace {
@@ -29,6 +37,61 @@ struct PaperRef {
   const char* time;
   const char* speedup;
 };
+
+/// --faults demo: the real (functional) SPar+CUDA pipeline under an
+/// injected fault plan must produce the bit-exact fault-free image.
+/// Returns 0 on success.
+int run_fault_demo(const std::string& spec, kernels::MandelParams params) {
+  auto plan = gpusim::FaultPlan::Parse(spec);
+  if (!plan.ok()) {
+    std::cerr << "[bench] bad --faults spec: " << plan.status().ToString()
+              << "\n";
+    return 1;
+  }
+  // The functional pipeline computes for real; keep the workload modest.
+  params.dim = std::min(params.dim, 256);
+  params.niter = std::min(params.niter, 2000);
+
+  auto clean_machine =
+      gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(clean_machine.get());
+  auto clean = mandel::render_spar_cuda(params, 4, *clean_machine);
+  cudax::unbind_machine();
+  if (!clean.ok()) {
+    std::cerr << "[bench] fault-free run failed: " << clean.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  for (int d = 0; d < machine->device_count(); ++d) {
+    machine->device(d).set_fault_plan(plan.value());
+  }
+  cudax::bind_machine(machine.get());
+  RetryStats stats;
+  auto faulty = mandel::render_spar_cuda(params, 4, *machine, &stats);
+  cudax::unbind_machine();
+
+  std::cout << "\n--faults=" << spec << " (dim=" << params.dim
+            << ", functional SPar+CUDA pipeline)\n";
+  for (int d = 0; d < machine->device_count(); ++d) {
+    std::cout << "  device " << d << ": "
+              << machine->device(d).fault_telemetry().ToString() << "\n";
+  }
+  std::cout << "  recovery: " << stats.ToString() << "\n";
+  if (!faulty.ok()) {
+    std::cerr << "[bench] faulty run failed: " << faulty.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (faulty.value() != clean.value()) {
+    std::cerr << "[bench] FAULT DEMO MISMATCH: image differs from fault-free "
+                 "run\n";
+    return 1;
+  }
+  std::cout << "  image bit-exact vs fault-free run: OK\n";
+  return 0;
+}
 
 int run(int argc, const char** argv) {
   auto args_or = CliArgs::Parse(argc, argv);
@@ -132,6 +195,10 @@ int run(int argc, const char** argv) {
     std::cout << "\npaper columns: reported at dim=2000, niter=200000 on "
                  "2x Titan XP; modeled columns use the calibrated simulator "
                  "(DESIGN.md S2). Checksums of all variants verified equal.\n";
+  }
+
+  if (const std::string spec = args.get_string("faults", ""); !spec.empty()) {
+    if (int rc = run_fault_demo(spec, params); rc != 0) return rc;
   }
 
   // Cross-variant functional check: every rung rendered the same image.

@@ -1,0 +1,147 @@
+// Bounded retry with exponential backoff, used by the GPU-facing stream
+// stages to absorb transient device failures (failed copies, spurious launch
+// errors, transient allocation pressure) before degrading to the CPU path.
+//
+// Policy and telemetry are deliberately tiny: stages run per stream item, so
+// the fast path (first attempt succeeds) must cost one branch and one relaxed
+// atomic increment. Delays reuse the escalating Backoff from backoff.hpp for
+// sub-sleep waits and fall back to sleep_for once the exponential delay
+// exceeds the spin range.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/status.hpp"
+
+namespace hs {
+
+/// When an operation may be re-attempted. Transient device errors (kInternal)
+/// and allocation pressure (kOutOfMemory) are retriable; a lost device
+/// (kUnavailable) never recovers by retrying on the same device, and genuine
+/// programming errors (kInvalidArgument, ...) must surface immediately.
+[[nodiscard]] inline bool default_retriable(ErrorCode code) {
+  return code == ErrorCode::kInternal || code == ErrorCode::kOutOfMemory;
+}
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 4;
+  /// Delay before the first retry; doubles (times `multiplier`) per retry.
+  std::chrono::microseconds base_delay{50};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_delay{5000};
+  bool (*retriable)(ErrorCode) = &default_retriable;
+};
+
+/// One recorded give-up or retry, for post-run inspection in tests/benches.
+struct RetryEvent {
+  std::string op;       ///< operation label, e.g. "mandel.h2d"
+  int attempt = 0;      ///< 1-based attempt number that failed
+  ErrorCode code = ErrorCode::kOk;
+  bool gave_up = false; ///< true if this failure exhausted the policy
+};
+
+/// Thread-safe telemetry shared by all replicas of a fault-tolerant stage.
+/// Counters are relaxed atomics; the event log is bounded and mutex-guarded
+/// (it is only written on failures, which are off the fast path by
+/// definition).
+class RetryStats {
+ public:
+  std::atomic<std::uint64_t> attempts{0};        ///< operation attempts
+  std::atomic<std::uint64_t> retries{0};         ///< re-attempts after failure
+  std::atomic<std::uint64_t> exhausted{0};       ///< gave up after max_attempts
+  std::atomic<std::uint64_t> cpu_fallbacks{0};   ///< items computed on the CPU path
+  std::atomic<std::uint64_t> device_losses{0};   ///< sticky device losses observed
+  std::atomic<std::uint64_t> device_switches{0}; ///< migrations to a surviving device
+
+  void record_failure(std::string op, int attempt, ErrorCode code,
+                      bool gave_up) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(RetryEvent{std::move(op), attempt, code, gave_up});
+    }
+  }
+
+  [[nodiscard]] std::vector<RetryEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  [[nodiscard]] std::uint64_t recoveries() const {
+    return retries.load() + cpu_fallbacks.load() + device_switches.load();
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  static constexpr std::size_t kMaxEvents = 1024;
+  mutable std::mutex mu_;
+  std::vector<RetryEvent> events_;
+};
+
+inline std::string RetryStats::ToString() const {
+  std::string out = "attempts=" + std::to_string(attempts.load()) +
+                    " retries=" + std::to_string(retries.load()) +
+                    " exhausted=" + std::to_string(exhausted.load()) +
+                    " cpu_fallbacks=" + std::to_string(cpu_fallbacks.load()) +
+                    " device_losses=" + std::to_string(device_losses.load()) +
+                    " device_switches=" + std::to_string(device_switches.load());
+  return out;
+}
+
+namespace detail {
+
+inline void retry_delay(const RetryPolicy& policy, int retry_index) {
+  double scale = 1.0;
+  for (int i = 0; i < retry_index; ++i) scale *= policy.multiplier;
+  auto delay = std::chrono::microseconds(
+      static_cast<std::int64_t>(static_cast<double>(policy.base_delay.count()) * scale));
+  if (delay > policy.max_delay) delay = policy.max_delay;
+  if (delay.count() <= 0) {
+    Backoff b;
+    b.pause();
+    return;
+  }
+  std::this_thread::sleep_for(delay);
+}
+
+}  // namespace detail
+
+/// Run `op` (a callable returning Status) up to policy.max_attempts times.
+/// Non-retriable codes surface immediately. `stats` may be null.
+template <typename F>
+Status retry_status(const RetryPolicy& policy, RetryStats* stats,
+                    std::string_view label, F&& op) {
+  Status last;
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (stats != nullptr) stats->attempts.fetch_add(1, std::memory_order_relaxed);
+    last = op();
+    if (last.ok()) return last;
+    const bool can_retry =
+        attempt < max_attempts && policy.retriable != nullptr &&
+        policy.retriable(last.code());
+    if (stats != nullptr) {
+      stats->record_failure(std::string(label), attempt, last.code(),
+                            /*gave_up=*/!can_retry);
+      if (can_retry) {
+        stats->retries.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats->exhausted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!can_retry) return last;
+    detail::retry_delay(policy, attempt - 1);
+  }
+  return last;
+}
+
+}  // namespace hs

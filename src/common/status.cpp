@@ -15,6 +15,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kAborted: return "ABORTED";
     case ErrorCode::kDataLoss: return "DATA_LOSS";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ enum class ErrorCode : std::uint8_t {
   kUnimplemented,
   kAborted,
   kDataLoss,           ///< corrupt container / failed checksum
+  kUnavailable,        ///< device lost / not available (sticky)
 };
 
 /// Human-readable name of an ErrorCode (stable, for logs and tests).
@@ -92,6 +93,9 @@ inline Status Aborted(std::string msg) {
 inline Status DataLoss(std::string msg) {
   return {ErrorCode::kDataLoss, std::move(msg)};
 }
+inline Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
 
 /// A value-or-error. Minimal expected<> stand-in: value() asserts on error,
 /// so callers must check ok() first (tests enforce the error paths).
@@ -130,3 +134,32 @@ class Result {
 };
 
 }  // namespace hs
+
+// --- error-propagation macros -------------------------------------------
+//
+// HS_RETURN_IF_ERROR(expr): evaluate a Status-returning expression once and
+// return it from the enclosing function if it is not OK.
+//
+// HS_ASSIGN_OR_RETURN(lhs, expr): evaluate a Result<T>-returning expression;
+// on error return its Status, otherwise move the value into `lhs` (which may
+// be a new declaration, e.g. `HS_ASSIGN_OR_RETURN(auto v, Compute())`).
+
+#define HS_STATUS_CONCAT_IMPL_(a, b) a##b
+#define HS_STATUS_CONCAT_(a, b) HS_STATUS_CONCAT_IMPL_(a, b)
+
+#define HS_RETURN_IF_ERROR(expr)                                      \
+  do {                                                                \
+    if (::hs::Status hs_status_tmp_ = (expr); !hs_status_tmp_.ok()) { \
+      return hs_status_tmp_;                                          \
+    }                                                                 \
+  } while (false)
+
+#define HS_ASSIGN_OR_RETURN(lhs, expr) \
+  HS_ASSIGN_OR_RETURN_IMPL_(HS_STATUS_CONCAT_(hs_result_tmp_, __LINE__), lhs, expr)
+
+#define HS_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) {                                \
+    return result.status();                          \
+  }                                                  \
+  lhs = std::move(result).value()

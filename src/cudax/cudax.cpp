@@ -68,8 +68,32 @@ std::string_view error_name(cudaError e) {
       return "cudaErrorInvalidResourceHandle";
     case cudaError::cudaErrorNotReady: return "cudaErrorNotReady";
     case cudaError::cudaErrorNoDevice: return "cudaErrorNoDevice";
+    case cudaError::cudaErrorLaunchFailure: return "cudaErrorLaunchFailure";
+    case cudaError::cudaErrorDevicesUnavailable:
+      return "cudaErrorDevicesUnavailable";
   }
   return "cudaErrorUnknown";
+}
+
+cudaError error_from_status(const Status& s) {
+  switch (s.code()) {
+    case ErrorCode::kOk: return cudaError::cudaSuccess;
+    case ErrorCode::kOutOfMemory: return cudaError::cudaErrorMemoryAllocation;
+    case ErrorCode::kUnavailable: return cudaError::cudaErrorDevicesUnavailable;
+    case ErrorCode::kInternal: return cudaError::cudaErrorLaunchFailure;
+    default: return cudaError::cudaErrorInvalidValue;
+  }
+}
+
+ErrorCode error_code_of(cudaError e) {
+  switch (e) {
+    case cudaError::cudaSuccess: return ErrorCode::kOk;
+    case cudaError::cudaErrorMemoryAllocation: return ErrorCode::kOutOfMemory;
+    case cudaError::cudaErrorDevicesUnavailable: return ErrorCode::kUnavailable;
+    case cudaError::cudaErrorLaunchFailure: return ErrorCode::kInternal;
+    case cudaError::cudaErrorNoDevice: return ErrorCode::kFailedPrecondition;
+    default: return ErrorCode::kInvalidArgument;
+  }
 }
 
 const std::string& last_error_message() { return tls_error; }
@@ -223,8 +247,12 @@ cudaError cudaMalloc(void** ptr, std::size_t bytes) {
   if (dev == nullptr) return cudaError::cudaErrorNoDevice;
   auto r = dev->malloc(bytes);
   if (!r.ok()) {
-    return detail::fail(cudaError::cudaErrorMemoryAllocation,
-                        r.status().ToString());
+    // Allocation failures keep CUDA's classic code except when the device
+    // itself is gone, which is a distinct, non-retriable condition.
+    cudaError e = r.status().code() == ErrorCode::kUnavailable
+                      ? cudaError::cudaErrorDevicesUnavailable
+                      : cudaError::cudaErrorMemoryAllocation;
+    return detail::fail(e, r.status().ToString());
   }
   *ptr = r.value();
   return cudaError::cudaSuccess;
@@ -286,8 +314,7 @@ cudaError do_copy(void* dst, const void* src, std::size_t bytes,
       break;
   }
   if (!r.ok()) {
-    return detail::fail(cudaError::cudaErrorInvalidValue,
-                        r.status().ToString());
+    return detail::fail(error_from_status(r.status()), r.status().ToString());
   }
   return cudaError::cudaSuccess;
 }
@@ -310,8 +337,7 @@ cudaError cudaMemset(void* dst, int value, std::size_t bytes) {
   if (dev == nullptr) return cudaError::cudaErrorNoDevice;
   auto r = dev->memset(dst, value, bytes, dev->default_stream());
   if (!r.ok()) {
-    return detail::fail(cudaError::cudaErrorInvalidValue,
-                        r.status().ToString());
+    return detail::fail(error_from_status(r.status()), r.status().ToString());
   }
   return cudaError::cudaSuccess;
 }
@@ -325,8 +351,7 @@ cudaError cudaMemsetAsync(void* dst, int value, std::size_t bytes,
   }
   auto r = dev->memset(dst, value, bytes, sid);
   if (!r.ok()) {
-    return detail::fail(cudaError::cudaErrorInvalidValue,
-                        r.status().ToString());
+    return detail::fail(error_from_status(r.status()), r.status().ToString());
   }
   return cudaError::cudaSuccess;
 }

@@ -38,10 +38,21 @@ enum class cudaError : std::uint8_t {
   cudaErrorInvalidResourceHandle,
   cudaErrorNotReady,
   cudaErrorNoDevice,
+  cudaErrorLaunchFailure,        ///< transient kernel/copy execution failure
+  cudaErrorDevicesUnavailable,   ///< device lost / not available (sticky)
 };
 
 /// Human-readable error name.
 std::string_view error_name(cudaError e);
+
+/// Maps a simulator Status onto the closest cudaError (used by every memory
+/// and execution entry point, so injected faults surface with the code a real
+/// CUDA application would see).
+cudaError error_from_status(const Status& s);
+
+/// Inverse of error_from_status, for callers that translate API results back
+/// into Status for the common retry machinery.
+ErrorCode error_code_of(cudaError e);
 
 /// Thread-local detailed message for the last failing call on this thread.
 const std::string& last_error_message();
@@ -192,8 +203,7 @@ cudaError launch_kernel(const Dim3& grid, const Dim3& block,
   }
   auto r = dev->launch(grid, block, attrs, sid, std::forward<F>(body));
   if (!r.ok()) {
-    return detail::fail(cudaError::cudaErrorInvalidValue,
-                        r.status().ToString());
+    return detail::fail(error_from_status(r.status()), r.status().ToString());
   }
   return cudaError::cudaSuccess;
 }

@@ -16,6 +16,11 @@ constexpr char kMagic[8] = {'H', 'S', 'D', 'E', 'D', 'U', 'P', '1'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8 + 4 + 4;
 
+/// Cap on allocations driven by untrusted header fields. Sizes above this
+/// are still decoded correctly (vectors grow on demand); the cap only stops
+/// a corrupted length field from triggering a huge up-front reserve.
+constexpr std::size_t kMaxPrealloc = std::size_t{64} << 20;
+
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
   out.push_back(v);
 }
@@ -87,20 +92,42 @@ Result<Header> read_header(Reader& r) {
       !r.u64(hdr.batch_count) || !r.u32(window) || !r.u32(min_match)) {
     return DataLoss("truncated archive header");
   }
+  // Anything unreadable is data loss from the reader's point of view: a
+  // flipped version or codec byte is indistinguishable from corruption.
   if (version != kVersion) {
-    return FailedPrecondition("unsupported archive version " +
-                              std::to_string(version));
+    return DataLoss("unsupported archive version " + std::to_string(version));
   }
   if (codec > static_cast<std::uint32_t>(DedupCodec::kLzssHuffman)) {
-    return FailedPrecondition("unknown archive codec " +
-                              std::to_string(codec));
+    return DataLoss("unknown archive codec " + std::to_string(codec));
   }
   hdr.codec = static_cast<DedupCodec>(codec);
+  if (min_match > (1u << kernels::LzssParams::kOffsetBits)) {
+    return DataLoss("implausible LZSS min_match in header");
+  }
   hdr.lzss.window_size = window;
   hdr.lzss.min_match = min_match;
   hdr.lzss.max_match = min_match + 15;
   if (!hdr.lzss.valid()) return DataLoss("invalid LZSS parameters in header");
   return hdr;
+}
+
+/// Validates one unique block's untrusted lengths before anything is
+/// allocated from them: the block must fit its batch, and an entropy-coded
+/// payload's LZSS length must be plausible for the raw length (LZSS adds at
+/// most one flag byte per 8 items plus slack).
+Status check_block_lengths(std::uint32_t raw_len, std::uint64_t decoded,
+                           std::uint32_t original_len) {
+  if (raw_len > original_len || decoded + raw_len > original_len) {
+    return DataLoss("unique block exceeds its batch size");
+  }
+  return OkStatus();
+}
+
+Status check_lzss_len(std::uint32_t lzss_len, std::uint32_t raw_len) {
+  if (lzss_len > std::uint64_t{raw_len} + raw_len / 8 + 16) {
+    return DataLoss("implausible entropy-coded block length");
+  }
+  return OkStatus();
 }
 
 }  // namespace
@@ -163,14 +190,13 @@ std::vector<std::uint8_t> ArchiveWriter::finish(
 Result<std::vector<std::uint8_t>> extract(
     std::span<const std::uint8_t> archive) {
   Reader r(archive);
-  auto hdr = read_header(r);
-  if (!hdr.ok()) return hdr.status();
+  HS_ASSIGN_OR_RETURN(const Header hdr, read_header(r));
 
   std::vector<std::uint8_t> out;
-  out.reserve(hdr.value().original_size);
+  out.reserve(std::min<std::uint64_t>(hdr.original_size, kMaxPrealloc));
   std::vector<std::pair<std::size_t, std::uint32_t>> unique_blocks;  // (pos,len)
 
-  for (std::uint64_t b = 0; b < hdr.value().batch_count; ++b) {
+  for (std::uint64_t b = 0; b < hdr.batch_count; ++b) {
     std::uint64_t index = 0;
     std::uint32_t original_len = 0, block_count = 0;
     if (!r.u64(index) || !r.u32(original_len) || !r.u32(block_count)) {
@@ -187,8 +213,8 @@ Result<std::vector<std::uint8_t>> extract(
         if (!r.u32(raw_len) || !r.u32(comp_len) || !r.bytes(comp_len, payload)) {
           return DataLoss("truncated unique block");
         }
-        Result<std::vector<std::uint8_t>> block =
-            DataLoss("unreachable codec path");
+        HS_RETURN_IF_ERROR(check_block_lengths(raw_len, decoded, original_len));
+        std::vector<std::uint8_t> block;
         if (tag == 2) {
           // Entropy-coded block: u32 lzss_len | huffman(lzss(block)).
           if (payload.size() < 4) return DataLoss("truncated codec prefix");
@@ -196,16 +222,17 @@ Result<std::vector<std::uint8_t>> extract(
           for (int i = 0; i < 4; ++i) {
             lzss_len |= static_cast<std::uint32_t>(payload[i]) << (8 * i);
           }
-          auto lz = kernels::huffman_decode(payload.subspan(4), lzss_len);
-          if (!lz.ok()) return lz.status();
-          block = kernels::lzss_decode(lz.value(), raw_len,
-                                       hdr.value().lzss);
+          HS_RETURN_IF_ERROR(check_lzss_len(lzss_len, raw_len));
+          HS_ASSIGN_OR_RETURN(
+              auto lz, kernels::huffman_decode(payload.subspan(4), lzss_len));
+          HS_ASSIGN_OR_RETURN(block,
+                              kernels::lzss_decode(lz, raw_len, hdr.lzss));
         } else {
-          block = kernels::lzss_decode(payload, raw_len, hdr.value().lzss);
+          HS_ASSIGN_OR_RETURN(
+              block, kernels::lzss_decode(payload, raw_len, hdr.lzss));
         }
-        if (!block.ok()) return block.status();
         unique_blocks.emplace_back(out.size(), raw_len);
-        out.insert(out.end(), block.value().begin(), block.value().end());
+        out.insert(out.end(), block.begin(), block.end());
         decoded += raw_len;
       } else if (tag == 1) {
         std::uint64_t ref = 0;
@@ -215,6 +242,7 @@ Result<std::vector<std::uint8_t>> extract(
                           std::to_string(ref) + ")");
         }
         auto [pos, len] = unique_blocks[ref];
+        HS_RETURN_IF_ERROR(check_block_lengths(len, decoded, original_len));
         // Self-copy from already-decoded output.
         out.insert(out.end(), out.begin() + static_cast<long>(pos),
                    out.begin() + static_cast<long>(pos + len));
@@ -228,7 +256,7 @@ Result<std::vector<std::uint8_t>> extract(
     }
   }
 
-  if (out.size() != hdr.value().original_size) {
+  if (out.size() != hdr.original_size) {
     return DataLoss("archive decoded size mismatch");
   }
   std::span<const std::uint8_t> trailer;
@@ -243,12 +271,11 @@ Result<std::vector<std::uint8_t>> extract(
 
 Result<ArchiveInfo> inspect(std::span<const std::uint8_t> archive) {
   Reader r(archive);
-  auto hdr = read_header(r);
-  if (!hdr.ok()) return hdr.status();
+  HS_ASSIGN_OR_RETURN(const Header hdr, read_header(r));
   ArchiveInfo info;
-  info.original_size = hdr.value().original_size;
-  info.batch_count = hdr.value().batch_count;
-  for (std::uint64_t b = 0; b < hdr.value().batch_count; ++b) {
+  info.original_size = hdr.original_size;
+  info.batch_count = hdr.batch_count;
+  for (std::uint64_t b = 0; b < hdr.batch_count; ++b) {
     std::uint64_t index = 0;
     std::uint32_t original_len = 0, block_count = 0;
     if (!r.u64(index) || !r.u32(original_len) || !r.u32(block_count)) {
@@ -304,12 +331,10 @@ struct ParsedBatch {
 Result<std::vector<std::uint8_t>> extract_parallel(
     std::span<const std::uint8_t> archive, int replicas) {
   Reader r(archive);
-  auto hdr = read_header(r);
-  if (!hdr.ok()) return hdr.status();
-  const Header header = hdr.value();
+  HS_ASSIGN_OR_RETURN(const Header header, read_header(r));
 
   std::vector<std::uint8_t> out;
-  out.reserve(header.original_size);
+  out.reserve(std::min<std::uint64_t>(header.original_size, kMaxPrealloc));
   std::vector<std::pair<std::size_t, std::uint32_t>> unique_blocks;
   Status pipeline_error;
 
@@ -327,6 +352,7 @@ Result<std::vector<std::uint8_t>> extract_parallel(
               throw std::runtime_error("truncated or misordered batch");
             }
             ++b;
+            std::uint64_t claimed = 0;  // unique raw bytes declared so far
             for (std::uint32_t k = 0; k < block_count; ++k) {
               std::uint8_t tag = 0;
               if (!r.u8(tag)) throw std::runtime_error("truncated block tag");
@@ -342,6 +368,14 @@ Result<std::vector<std::uint8_t>> extract_parallel(
                 if (!r.u32(block.raw_len) || !r.u32(comp_len) ||
                     !r.bytes(comp_len, block.payload)) {
                   throw std::runtime_error("truncated unique block");
+                }
+                // Bound the decode farm's allocations before handing the
+                // untrusted length over.
+                claimed += block.raw_len;
+                if (block.raw_len > batch.original_len ||
+                    claimed > batch.original_len) {
+                  throw std::runtime_error(
+                      "unique block exceeds its batch size");
                 }
               } else {
                 throw std::runtime_error("unknown block tag");
@@ -371,6 +405,10 @@ Result<std::vector<std::uint8_t>> extract_parallel(
                   for (int i = 0; i < 4; ++i) {
                     lzss_len |= static_cast<std::uint32_t>(payload[i])
                                 << (8 * i);
+                  }
+                  if (Status s = check_lzss_len(lzss_len, block.raw_len);
+                      !s.ok()) {
+                    throw std::runtime_error(s.ToString());
                   }
                   auto lz =
                       kernels::huffman_decode(payload.subspan(4), lzss_len);

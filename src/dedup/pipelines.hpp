@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/status.hpp"
 #include "dedup/container.hpp"
 #include "gpusim/device.hpp"
@@ -33,9 +34,16 @@ Result<std::vector<std::uint8_t>> archive_spar_cpu(
 /// simulated GPUs (device chosen round-robin per worker, per-thread
 /// cudaSetDevice, per-worker streams) — the Fig. 3 graph as implemented in
 /// the paper. `machine` must be bound to cudax by the caller.
+///
+/// Fault tolerance: transient device errors retry under `policy`; a lost
+/// device is excluded permanently and workers migrate to a survivor or run
+/// the equivalent CPU stage (hash_blocks / compress_blocks_cpu), so the
+/// archive is bit-identical under any injected fault sequence. Pass `stats`
+/// for per-attempt telemetry (null to skip).
 Result<std::vector<std::uint8_t>> archive_spar_cuda(
     std::span<const std::uint8_t> input, const DedupConfig& config,
-    int replicas, gpusim::Machine& machine);
+    int replicas, gpusim::Machine& machine, RetryStats* stats = nullptr,
+    const RetryPolicy& policy = {});
 
 /// Single-host-thread OpenCL-shim version. `batched_kernel` selects the
 /// paper's optimized single FindMatch kernel per batch (true) or the

@@ -14,6 +14,15 @@
 
 namespace hs::flow {
 
+std::string FailureReport::ToString() const {
+  std::string out;
+  for (const StageFailure& f : failures) {
+    if (!out.empty()) out += "; ";
+    out += f.stage + ": " + f.status.ToString();
+  }
+  return out;
+}
+
 namespace {
 
 /// Internal transport: items plus control markers.
@@ -29,20 +38,25 @@ struct Envelope {
   Item item;
 };
 
-/// Shared run state: abort flag + first error.
+/// Shared run state: abort flag, per-stage failures, and a progress counter
+/// the watchdog monitors (bumped on every queue transfer and completed svc).
 struct RunState {
   std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> progress{0};
   std::mutex mu;
-  Status first_error;
+  std::vector<StageFailure> failures;
 
-  void fail(Status s) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (first_error.ok()) first_error = std::move(s);
+  void fail(std::string stage, Status s) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      failures.push_back(StageFailure{std::move(stage), std::move(s)});
+    }
     abort.store(true, std::memory_order_release);
   }
   [[nodiscard]] bool aborted() const {
     return abort.load(std::memory_order_acquire);
   }
+  void tick() { progress.fetch_add(1, std::memory_order_relaxed); }
 };
 
 /// An SPSC queue with blocking push/pop honoring the wait mode and abort.
@@ -61,6 +75,7 @@ class Channel {
       if (state_->aborted()) return false;
       wait_not_full(backoff);
     }
+    state_->tick();
     if (mode_ == WaitMode::kBlocking) cv_not_empty_.notify_one();
     return true;
   }
@@ -74,13 +89,17 @@ class Channel {
       if (state_->aborted()) return false;
       wait_not_empty(backoff);
     }
+    state_->tick();
     if (mode_ == WaitMode::kBlocking) cv_not_full_.notify_one();
     return true;
   }
 
   bool try_pop(Envelope& out) {
     bool ok = queue_.try_pop(out);
-    if (ok && mode_ == WaitMode::kBlocking) cv_not_full_.notify_one();
+    if (ok) {
+      state_->tick();
+      if (mode_ == WaitMode::kBlocking) cv_not_full_.notify_one();
+    }
     return ok;
   }
   [[nodiscard]] bool has_space() const {
@@ -133,12 +152,13 @@ class Unit {
     try {
       run();
     } catch (const std::exception& e) {
-      state_->fail(Internal(name_ + ": " + e.what()));
+      state_->fail(name_, Internal(name_ + ": " + e.what()));
       propagate_eos_on_abort();
     } catch (...) {
-      state_->fail(Internal(name_ + ": unknown exception"));
+      state_->fail(name_, Internal(name_ + ": unknown exception"));
       propagate_eos_on_abort();
     }
+    done_.store(true, std::memory_order_release);
   }
 
   virtual void run() = 0;
@@ -146,6 +166,17 @@ class Unit {
   virtual void propagate_eos_on_abort() {}
 
   [[nodiscard]] UnitReport report() const { return {name_, stats_}; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// True once the unit's thread function returned (reports are safe to
+  /// read; the thread is joinable without blocking).
+  [[nodiscard]] bool done() const {
+    return done_.load(std::memory_order_acquire);
+  }
+  /// True while user code (svc) is on this unit's stack — the watchdog's
+  /// culprit heuristic.
+  [[nodiscard]] bool in_user_code() const {
+    return in_svc_.load(std::memory_order_acquire);
+  }
 
  protected:
   template <typename F>
@@ -160,10 +191,24 @@ class Unit {
     return cleanup(f());
   }
 
+  /// Runs one svc call with the in-user-code flag raised and a progress
+  /// tick on completion (so a pipeline whose queues are idle but whose
+  /// stages still finish work is not flagged as stalled).
+  template <typename F>
+  SvcResult guarded_svc(F&& f) {
+    in_svc_.store(true, std::memory_order_release);
+    SvcResult r = timed(std::forward<F>(f));
+    in_svc_.store(false, std::memory_order_release);
+    state_->tick();
+    return r;
+  }
+
   std::string name_;
   RunState* state_;
   bool collect_stats_;
   NodeStats stats_;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> in_svc_{false};
 };
 
 /// Routes items from a node to one or more downstream channels, stamping
@@ -236,7 +281,7 @@ class SourceUnit final : public Unit {
     NodeAccess::bind(*node_, &router_, /*emit_allowed=*/true);
     node_->on_init(0);
     while (!state_->aborted()) {
-      SvcResult r = timed([&] { return node_->svc(Item{}); });
+      SvcResult r = guarded_svc([&] { return node_->svc(Item{}); });
       if (r.kind == SvcResult::Kind::kEos) break;
       if (r.kind == SvcResult::Kind::kItem) {
         ++stats_.items_out;
@@ -280,7 +325,7 @@ class StageUnit final : public Unit {
       if (env.kind == EnvKind::kHole) continue;  // holes die at collectors
       ++stats_.items_in;
       std::uint64_t seq = env.seq;
-      SvcResult r = timed([&] { return node_->svc(std::move(env.item)); });
+      SvcResult r = guarded_svc([&] { return node_->svc(std::move(env.item)); });
       if (r.kind == SvcResult::Kind::kEos) break;
       Envelope out;
       out.seq = propagate_seq_ ? seq : router_.take_seq();
@@ -350,7 +395,7 @@ class CollectorUnit final : public Unit {
     std::size_t eos_seen = 0;
     std::size_t cursor = 0;
     Backoff backoff;
-    while (eos_seen < ins_.size() && !state_->aborted()) {
+    while (eos_seen < ins_.size()) {
       Envelope env;
       bool got = false;
       for (std::size_t probe = 0; probe < ins_.size(); ++probe) {
@@ -362,6 +407,10 @@ class CollectorUnit final : public Unit {
         }
       }
       if (!got) {
+        // Drained every input: on abort the missing EOS sentinels will
+        // never arrive (a worker may have died before broadcasting), so
+        // stop merging instead of spinning forever.
+        if (state_->aborted()) break;
         backoff.pause();
         continue;
       }
@@ -434,23 +483,46 @@ struct FarmStage {
 };
 using StageDesc = std::variant<PlainStage, FarmStage>;
 
-}  // namespace
-
-struct Pipeline::Impl {
+/// Everything a runtime thread touches. Shared (via shared_ptr) between the
+/// Pipeline and the threads themselves so that a thread detached by the
+/// watchdog can keep running against valid nodes/channels/state even after
+/// run_and_wait() returned and the Pipeline was destroyed.
+struct RunCore {
   PipelineOptions options;
-  std::vector<StageDesc> stages;
-  std::vector<std::unique_ptr<Node>> farm_nodes;  // keep workers alive
+  std::vector<std::unique_ptr<Node>> nodes;  // every node the units reference
   std::vector<std::unique_ptr<Channel>> channels;
   std::vector<std::unique_ptr<Unit>> units;
-  std::vector<UnitReport> reports;
   RunState state;
-  bool ran = false;
+
+  // Completion signalling for run_and_wait's supervision loop.
+  std::mutex comp_mu;
+  std::condition_variable comp_cv;
+  std::size_t done_count = 0;
 
   Channel* new_channel() {
     channels.push_back(std::make_unique<Channel>(options.queue_capacity,
                                                  options.wait_mode, &state));
     return channels.back().get();
   }
+
+  void signal_done() {
+    {
+      std::lock_guard<std::mutex> lock(comp_mu);
+      ++done_count;
+    }
+    comp_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+struct Pipeline::Impl {
+  PipelineOptions options;
+  std::vector<StageDesc> stages;
+  std::shared_ptr<RunCore> core;
+  std::vector<UnitReport> reports;
+  FailureReport failure_report;
+  bool ran = false;
 };
 
 Pipeline::Pipeline(PipelineOptions options)
@@ -500,12 +572,15 @@ Status Pipeline::run_and_wait() {
     return InvalidArgument("last stage must be a plain sink, not a farm");
   }
 
+  im.core = std::make_shared<RunCore>();
+  std::shared_ptr<RunCore> core = im.core;
+  core->options = im.options;
   const bool stats = im.options.collect_stats;
 
   // Wire stages back to front so each stage knows its downstream channel(s).
   // `entry` = the channel feeding the already-built downstream subgraph.
   Channel* entry = nullptr;
-  std::vector<std::unique_ptr<Unit>>& units = im.units;
+  std::vector<std::unique_ptr<Unit>>& units = core->units;
 
   for (std::size_t idx = im.stages.size(); idx-- > 0;) {
     StageDesc& desc = im.stages[idx];
@@ -514,16 +589,17 @@ Status Pipeline::run_and_wait() {
     if (entry != nullptr) outs.push_back(entry);
 
     if (auto* plain = std::get_if<PlainStage>(&desc)) {
+      Node* node = plain->node.get();
+      core->nodes.push_back(std::move(plain->node));
       Router router(outs, SchedPolicy::kRoundRobin);
       if (is_source) {
         units.push_back(std::make_unique<SourceUnit>(
-            plain->name, &im.state, stats, plain->node.get(),
-            std::move(router)));
+            plain->name, &core->state, stats, node, std::move(router)));
         entry = nullptr;
       } else {
-        Channel* in = im.new_channel();
+        Channel* in = core->new_channel();
         units.push_back(std::make_unique<StageUnit>(
-            plain->name, &im.state, stats, plain->node.get(), in,
+            plain->name, &core->state, stats, node, in,
             std::move(router), /*propagate_seq=*/false, /*replica_id=*/0));
         entry = in;
       }
@@ -535,55 +611,135 @@ Status Pipeline::run_and_wait() {
     std::vector<Channel*> worker_outs;
     worker_outs.reserve(static_cast<std::size_t>(farm.options.replicas));
     for (int w = 0; w < farm.options.replicas; ++w) {
-      worker_outs.push_back(im.new_channel());
+      worker_outs.push_back(core->new_channel());
     }
     units.push_back(std::make_unique<CollectorUnit>(
-        farm.name + ".collector", &im.state, worker_outs,
+        farm.name + ".collector", &core->state, worker_outs,
         Router(outs, SchedPolicy::kRoundRobin), farm.options.ordered));
 
     // workers: per-worker in channel -> per-worker out channel
     std::vector<Channel*> worker_ins;
     worker_ins.reserve(static_cast<std::size_t>(farm.options.replicas));
     for (int w = 0; w < farm.options.replicas; ++w) {
-      Channel* win = im.new_channel();
+      Channel* win = core->new_channel();
       worker_ins.push_back(win);
       auto node = farm.factory();
       assert(node && "worker factory returned null");
       units.push_back(std::make_unique<StageUnit>(
-          farm.name + ".w" + std::to_string(w), &im.state, stats, node.get(),
+          farm.name + ".w" + std::to_string(w), &core->state, stats, node.get(),
           win, Router({worker_outs[static_cast<std::size_t>(w)]},
                       SchedPolicy::kRoundRobin),
           /*propagate_seq=*/farm.options.ordered, /*replica_id=*/w));
-      im.farm_nodes.push_back(std::move(node));
+      core->nodes.push_back(std::move(node));
     }
 
     // emitter: in channel -> worker channels
-    Channel* farm_in = im.new_channel();
+    Channel* farm_in = core->new_channel();
     units.push_back(std::make_unique<EmitterUnit>(
-        farm.name + ".emitter", &im.state, farm_in,
+        farm.name + ".emitter", &core->state, farm_in,
         Router(worker_ins, farm.options.policy)));
     entry = farm_in;
   }
 
-  // Launch all units; jthread joins on destruction.
+  // Launch all units. Threads capture the shared core so a detached stuck
+  // thread can never outlive the state it references.
+  std::vector<std::thread> threads;
+  threads.reserve(units.size());
+  for (auto& unit : units) {
+    Unit* u = unit.get();
+    threads.emplace_back([core, u] {
+      (*u)();
+      core->signal_done();
+    });
+  }
+
+  // Supervision loop: wait for completion, running the stall watchdog when
+  // enabled. "Progress" is queue traffic + completed svc calls; if it stays
+  // flat past the timeout while threads are still live, abort with the
+  // stuck stage named, give the healthy units one more timeout period to
+  // unwind, then detach whatever is left.
+  const bool watchdog = im.options.stall_timeout_seconds > 0.0;
+  const auto timeout =
+      std::chrono::duration<double>(im.options.stall_timeout_seconds);
+  bool watchdog_fired = false;
   {
-    std::vector<std::jthread> threads;
-    threads.reserve(units.size());
-    for (auto& unit : units) {
-      threads.emplace_back([&unit] { (*unit)(); });
+    std::unique_lock<std::mutex> lock(core->comp_mu);
+    std::uint64_t last_progress =
+        core->state.progress.load(std::memory_order_relaxed);
+    auto last_change = Clock::now();
+    auto fired_at = last_change;
+    while (core->done_count < units.size()) {
+      core->comp_cv.wait_for(lock, std::chrono::milliseconds(20));
+      if (core->done_count >= units.size()) break;
+      if (!watchdog) continue;
+      const auto now = Clock::now();
+      const std::uint64_t p =
+          core->state.progress.load(std::memory_order_relaxed);
+      if (p != last_progress) {
+        last_progress = p;
+        last_change = now;
+        continue;
+      }
+      if (!watchdog_fired) {
+        if (now - last_change >= timeout) {
+          watchdog_fired = true;
+          fired_at = now;
+          // Culprit: a live unit currently inside user code; otherwise the
+          // first unit that has not finished.
+          std::string stuck;
+          for (const auto& unit : units) {
+            if (!unit->done() && unit->in_user_code()) {
+              stuck = unit->name();
+              break;
+            }
+          }
+          if (stuck.empty()) {
+            for (const auto& unit : units) {
+              if (!unit->done()) {
+                stuck = unit->name();
+                break;
+              }
+            }
+          }
+          core->state.fail(
+              stuck, Aborted("stage '" + stuck + "' stalled for " +
+                             std::to_string(im.options.stall_timeout_seconds) +
+                             "s (watchdog abort)"));
+        }
+      } else if (now - fired_at >= timeout) {
+        break;  // grace period over; detach the stragglers
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (units[i]->done()) {
+      threads[i].join();
+    } else {
+      threads[i].detach();  // kept safe by the thread's shared_ptr<RunCore>
     }
   }
 
   im.reports.clear();
   im.reports.reserve(units.size());
-  for (auto& unit : units) im.reports.push_back(unit->report());
+  for (auto& unit : units) {
+    // A detached (stuck) unit may still be mutating its stats; report the
+    // name only.
+    im.reports.push_back(unit->done() ? unit->report()
+                                      : UnitReport{unit->name(), {}});
+  }
 
-  std::lock_guard<std::mutex> lock(im.state.mu);
-  return im.state.first_error;
+  std::lock_guard<std::mutex> lock(core->state.mu);
+  im.failure_report.failures = core->state.failures;
+  return im.failure_report.first();
 }
 
 const std::vector<UnitReport>& Pipeline::reports() const {
   return impl_->reports;
+}
+
+const FailureReport& Pipeline::failure_report() const {
+  return impl_->failure_report;
 }
 
 }  // namespace hs::flow

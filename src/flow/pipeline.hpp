@@ -41,6 +41,13 @@ struct PipelineOptions {
   std::size_t queue_capacity = 512;
   WaitMode wait_mode = WaitMode::kBackoff;
   bool collect_stats = false;  ///< measure per-node wall busy time
+  /// Stage-stall watchdog: when > 0 and no runtime thread makes progress
+  /// (queue traffic or completed svc calls) for this many seconds while the
+  /// stream is still live, the run aborts with kAborted naming the stuck
+  /// stage instead of hanging run_and_wait() forever. The stuck thread is
+  /// detached; the runtime's shared state stays alive until it unwinds.
+  /// 0 disables the watchdog (the default).
+  double stall_timeout_seconds = 0.0;
 };
 
 struct FarmOptions {
@@ -53,6 +60,27 @@ struct FarmOptions {
 struct UnitReport {
   std::string name;
   NodeStats stats;
+};
+
+/// One stage's failure during a run (exception escaping svc(), or the
+/// watchdog naming a stalled stage).
+struct StageFailure {
+  std::string stage;
+  Status status;
+};
+
+/// Structured per-stage failure record for a run. Replaces "first stage
+/// error wins": every failing stage is recorded in the order the runtime
+/// observed the failures; the first one is what run_and_wait() returns.
+struct FailureReport {
+  std::vector<StageFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] Status first() const {
+    return failures.empty() ? OkStatus() : failures.front().status;
+  }
+  /// "stage-a: INTERNAL: ...; stage-b: ABORTED: ..." (empty when ok).
+  [[nodiscard]] std::string ToString() const;
 };
 
 /// A runnable stream graph. Build with add_stage()/add_farm() in pipeline
@@ -74,11 +102,16 @@ class Pipeline {
 
   /// Runs the whole graph and blocks until end-of-stream has flushed
   /// through the sink. Returns the first stage error (an exception thrown
-  /// from svc()) or a validation error; OK otherwise. Single-shot.
+  /// from svc(), or a watchdog abort) or a validation error; OK otherwise.
+  /// The full per-stage picture is in failure_report(). Single-shot.
   Status run_and_wait();
 
   /// Per-thread activity reports; valid after run_and_wait().
   [[nodiscard]] const std::vector<UnitReport>& reports() const;
+
+  /// Every stage failure of the run, in observation order; valid after
+  /// run_and_wait() (empty on success).
+  [[nodiscard]] const FailureReport& failure_report() const;
 
   /// Total number of runtime threads the current graph will spawn.
   [[nodiscard]] int thread_count() const;

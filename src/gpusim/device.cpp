@@ -20,6 +20,7 @@ Device::Device(Machine* machine, std::uint32_t index, DeviceSpec spec)
 Result<void*> Device::malloc(std::uint64_t bytes) {
   std::lock_guard<std::mutex> lock(machine_->mutex_);
   if (bytes == 0) return InvalidArgument("zero-byte device allocation");
+  if (Status s = fault_check_locked(FaultSite::kAlloc); !s.ok()) return s;
   if (memory_used_ + bytes > spec_.memory_bytes) {
     return OutOfMemory("device " + std::to_string(index_) + " out of memory: " +
                        std::to_string(memory_used_) + " + " +
@@ -135,6 +136,11 @@ Result<OpHandle> Device::memcpy_impl(void* dst, const void* src,
       break;
   }
 
+  const FaultSite site = dir == CopyDir::kHostToDevice ? FaultSite::kH2D
+                         : dir == CopyDir::kDeviceToHost ? FaultSite::kD2H
+                                                         : FaultSite::kLaunch;
+  if (Status s = fault_check_locked(site); !s.ok()) return s;
+
   // Functional execution happens immediately; virtual timing is modeled.
   std::memmove(dst, src, bytes);
 
@@ -171,6 +177,7 @@ Result<OpHandle> Device::memset(void* dst, int value, std::uint64_t bytes,
   if (!owns_range(dst, bytes)) {
     return OutOfRange("memset range outside device allocations");
   }
+  if (Status s = fault_check_locked(FaultSite::kLaunch); !s.ok()) return s;
   std::memset(dst, value, bytes);
   // On-device fill at ~memory bandwidth (same model as d2d copies).
   double duration = copy_duration_seconds(spec_, CopyDir::kDeviceToDevice,
@@ -235,6 +242,56 @@ double Device::compute_busy_seconds() const {
 DeviceCounters Device::counters() const {
   std::lock_guard<std::mutex> lock(machine_->mutex_);
   return counters_;
+}
+
+// ---- fault injection -------------------------------------------------------
+
+void Device::set_fault_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  fault_plan_ = std::move(plan);
+  lost_ = fault_plan_->device_lost();
+}
+
+void Device::clear_fault_plan() {
+  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  fault_plan_.reset();
+  lost_ = false;
+}
+
+bool Device::lost() const {
+  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  return lost_;
+}
+
+void Device::mark_lost() {
+  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  lost_ = true;
+}
+
+FaultTelemetry Device::fault_telemetry() const {
+  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  return fault_plan_ ? fault_plan_->telemetry() : FaultTelemetry{};
+}
+
+Status Device::fault_check_locked(FaultSite site) {
+  if (lost_) {
+    return Unavailable("device " + std::to_string(index_) + " lost");
+  }
+  if (!fault_plan_) return OkStatus();
+  Status s = fault_plan_->on_op(site);
+  if (!s.ok() && s.code() == ErrorCode::kUnavailable) lost_ = true;
+  return s;
+}
+
+int pick_surviving_device(Machine& machine, int hint) {
+  const int n = machine.device_count();
+  if (n <= 0) return -1;
+  const int start = ((hint % n) + n) % n;
+  for (int k = 0; k < n; ++k) {
+    const int d = (start + k) % n;
+    if (!machine.device(d).lost()) return d;
+  }
+  return -1;
 }
 
 // ---- Machine ---------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "common/status.hpp"
 #include "des/timeline.hpp"
 #include "gpusim/cost_model.hpp"
+#include "gpusim/fault_plan.hpp"
 #include "gpusim/spec.hpp"
 
 namespace hs::gpusim {
@@ -149,6 +151,20 @@ class Device {
   /// divide by the machine makespan).
   [[nodiscard]] double compute_busy_seconds() const;
 
+  // --- fault injection -----------------------------------------------------
+  /// Attaches (replaces) a fault plan; subsequent fallible operations consult
+  /// it. A sticky device-lost fault marks the device lost permanently.
+  void set_fault_plan(FaultPlan plan);
+  void clear_fault_plan();
+  /// True once a sticky device-lost fault fired (or mark_lost was called).
+  /// Lost devices fail every subsequent operation with kUnavailable;
+  /// schedulers use this to exclude the device from round-robin.
+  [[nodiscard]] bool lost() const;
+  /// Administratively loses the device (tests / chaos drills).
+  void mark_lost();
+  /// Snapshot of the attached plan's telemetry (empty if no plan).
+  [[nodiscard]] FaultTelemetry fault_telemetry() const;
+
  private:
   friend class Machine;
 
@@ -156,6 +172,10 @@ class Device {
 
   Status validate_launch(const Dim3& grid, const Dim3& block,
                          const KernelAttributes& attrs) const;
+  /// Consults the fault plan (and lost flag) for one operation. Caller must
+  /// hold the machine lock. Ordered after argument validation so genuine
+  /// programming errors surface even under an aggressive plan.
+  Status fault_check_locked(FaultSite site);
   Result<OpHandle> memcpy_impl(void* dst, const void* src, std::uint64_t bytes,
                                StreamId stream, CopyDir dir, HostMem host_mem);
   /// Records an operation of `duration` on `kind`'s engine, chained after
@@ -183,6 +203,9 @@ class Device {
 
   std::vector<des::TaskId> stream_last_;  // per-stream chain tail
   DeviceCounters counters_;
+
+  std::optional<FaultPlan> fault_plan_;
+  bool lost_ = false;
 };
 
 /// The simulated machine: a shared Timeline, N devices, and optional host
@@ -231,6 +254,11 @@ class Machine {
   std::vector<std::unique_ptr<Device>> devices_;
 };
 
+/// Round-robin device choice excluding lost devices: the first non-lost
+/// device at or after `hint` (mod device_count). Returns -1 when every
+/// device is lost — callers then degrade to their CPU path.
+int pick_surviving_device(Machine& machine, int hint);
+
 // ---- template implementation ----------------------------------------------
 
 template <typename F>
@@ -242,6 +270,7 @@ Result<OpHandle> Device::launch(const Dim3& grid, const Dim3& block,
   if (stream >= stream_last_.size()) {
     return InvalidArgument("unknown stream id");
   }
+  if (Status s = fault_check_locked(FaultSite::kLaunch); !s.ok()) return s;
 
   WarpCostAccumulator acc(spec_.warp_size, divergence_);
   ThreadCtx ctx;

@@ -1,0 +1,128 @@
+// Deterministic, seed-driven fault injection for simulated devices.
+//
+// A FaultPlan is attached to a Device and consulted (under the machine lock)
+// before every fallible device operation: allocations, H2D/D2H transfers and
+// kernel launches (device-to-device copies and memsets count as
+// compute-engine ops and report under the launch site). A plan combines any
+// number of rules:
+//
+//   * nth-op        — fail exactly the k-th operation of a site (one-shot),
+//   * probabilistic — fail each operation of a site with probability p,
+//                     drawn from the plan's own seeded xoshiro256** stream,
+//   * sticky lost   — after triggering, the device is permanently lost and
+//                     every subsequent operation fails with kUnavailable
+//                     (cudaErrorDevicesUnavailable / CL_DEVICE_NOT_AVAILABLE
+//                     at the API shims).
+//
+// Determinism: all randomness comes from the plan's seed, and all counters
+// are per-device op counts taken under the machine lock. Single-threaded
+// drivers replay identically; multi-threaded drivers see the same fault
+// *decisions* per op index, while the thread that observes each fault depends
+// on scheduling — recovery must therefore be interleaving-agnostic, which is
+// exactly what the equivalence tests assert.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace hs::gpusim {
+
+/// Where a fault can strike. kLaunch also covers memset and D2D copies
+/// (compute-engine operations).
+enum class FaultSite : std::uint8_t { kAlloc = 0, kH2D, kD2H, kLaunch };
+
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+std::string_view fault_site_name(FaultSite site);
+
+/// One injected fault, for post-run inspection.
+struct FaultRecord {
+  FaultSite site = FaultSite::kAlloc;
+  std::uint64_t site_op = 0;    ///< 1-based op index within the site
+  std::uint64_t global_op = 0;  ///< 1-based op index across all sites
+  ErrorCode code = ErrorCode::kOk;
+  bool sticky = false;          ///< true for device-lost faults
+};
+
+struct FaultTelemetry {
+  std::array<std::uint64_t, kFaultSiteCount> ops_seen{};
+  std::array<std::uint64_t, kFaultSiteCount> faults_injected{};
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_faults = 0;
+  bool device_lost = false;
+  std::vector<FaultRecord> records;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() : FaultPlan(0x5eedf417ull) {}
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  /// Fail the `nth` operation (1-based) of `site`, once. Default codes:
+  /// kOutOfMemory for allocations, kInternal (transient) elsewhere.
+  FaultPlan& fail_nth(FaultSite site, std::uint64_t nth);
+  FaultPlan& fail_nth(FaultSite site, std::uint64_t nth, ErrorCode code);
+
+  /// Fail each operation of `site` with probability `rate` in [0, 1].
+  FaultPlan& fail_probabilistic(FaultSite site, double rate);
+  FaultPlan& fail_probabilistic(FaultSite site, double rate, ErrorCode code);
+
+  /// Permanently lose the device at its `nth` operation overall (any site).
+  FaultPlan& lose_device_at(std::uint64_t nth_global_op);
+  /// Permanently lose the device with probability `rate` per operation.
+  FaultPlan& lose_device_probabilistic(double rate);
+
+  /// Parses a `--faults=` spec: comma-separated clauses over sites
+  /// {alloc, h2d, d2h, launch, any} plus the pseudo-site `lost`:
+  ///
+  ///   seed=<u64>        PRNG seed for probabilistic rules (default 42)
+  ///   <site>.nth=<k>    one-shot failure at the site's k-th op
+  ///   <site>.p=<rate>   per-op failure probability
+  ///   lost.nth=<k>      sticky device-lost at the k-th op overall
+  ///   lost.p=<rate>     sticky device-lost probability per op
+  ///
+  /// Example: "seed=7,h2d.p=0.05,alloc.nth=3,lost.nth=200".
+  static Result<FaultPlan> Parse(std::string_view spec);
+
+  /// Consulted by Device before executing an operation; returns the injected
+  /// error, or OK to let the operation proceed. Caller holds the machine
+  /// lock (the plan itself is unsynchronized).
+  Status on_op(FaultSite site);
+
+  [[nodiscard]] bool device_lost() const { return lost_; }
+  [[nodiscard]] const FaultTelemetry& telemetry() const { return telemetry_; }
+
+ private:
+  struct Rule {
+    enum class Kind : std::uint8_t { kNth, kProbabilistic } kind = Kind::kNth;
+    bool sticky = false;    ///< device-lost rule
+    bool any_site = false;  ///< matches the global op counter / every site
+    FaultSite site = FaultSite::kAlloc;
+    std::uint64_t nth = 0;
+    double rate = 0.0;
+    ErrorCode code = ErrorCode::kInternal;
+    bool fired = false;  ///< nth rules are one-shot
+  };
+
+  static ErrorCode default_code(FaultSite site) {
+    return site == FaultSite::kAlloc ? ErrorCode::kOutOfMemory
+                                     : ErrorCode::kInternal;
+  }
+
+  Status inject(FaultSite site, const Rule& rule);
+
+  Xoshiro256 rng_;
+  std::vector<Rule> rules_;
+  bool lost_ = false;
+  FaultTelemetry telemetry_;
+};
+
+}  // namespace hs::gpusim

@@ -67,7 +67,7 @@ Result<std::vector<std::uint8_t>> render_flow(const MandelParams& params,
                    store_line(image, params.dim, line);
                  }),
                  "show");
-  if (Status s = pipe.run_and_wait(); !s.ok()) return s;
+  HS_RETURN_IF_ERROR(pipe.run_and_wait());
   return image;
 }
 
@@ -92,7 +92,7 @@ Result<std::vector<std::uint8_t>> render_taskx(const MandelParams& params,
                     store_line(image, params.dim, item.as<Line>());
                     return item;
                   });
-  if (Status s = pipe.run(pool, max_tokens); !s.ok()) return s;
+  HS_RETURN_IF_ERROR(pipe.run(pool, max_tokens));
   return image;
 }
 
@@ -112,88 +112,169 @@ Result<std::vector<std::uint8_t>> render_spar(const MandelParams& params,
   region.last_stage<Line>([&image, &params](Line line) {
     store_line(image, params.dim, line);
   });
-  if (Status s = region.run(); !s.ok()) return s;
+  HS_RETURN_IF_ERROR(region.run());
   return image;
 }
 
 namespace {
 
+/// Maps a shim error to the Status the retry layer reasons about.
+Status cuda_status(cudax::cudaError e, const char* what) {
+  if (e == cudax::cudaError::cudaSuccess) return OkStatus();
+  return Status(cudax::error_code_of(e),
+                std::string(what) + ": " + cudax::last_error_message());
+}
+
 /// SPar middle-stage worker offloading to the CUDA shim. Owns a per-thread
 /// stream on a round-robin-chosen device; cudaSetDevice is called from
 /// on_init because its effect is thread-local (§IV-A).
+///
+/// Degradation ladder per item: retry transient errors on the current
+/// device, migrate to a surviving device when the current one is lost, and
+/// compute the line on the CPU when no device remains usable. Every rung
+/// produces the same bytes, so the image is bit-exact under any fault
+/// sequence.
 class CudaLineWorker final : public flow::Node {
  public:
-  CudaLineWorker(const MandelParams& params, gpusim::Machine* machine)
-      : params_(params), machine_(machine) {}
+  CudaLineWorker(const MandelParams& params, gpusim::Machine* machine,
+                 RetryStats* stats, RetryPolicy policy)
+      : params_(params), machine_(machine), stats_(stats), policy_(policy) {}
 
   void on_init(int replica_id) override {
-    device_ = replica_id % machine_->device_count();
-    ok_ = cudax::cudaSetDevice(device_) == cudax::cudaError::cudaSuccess &&
-          cudax::cudaStreamCreate(&stream_) == cudax::cudaError::cudaSuccess &&
-          cudax::cudaMalloc(&dev_row_, static_cast<std::size_t>(params_.dim)) ==
-              cudax::cudaError::cudaSuccess;
+    replica_ = replica_id;
+    (void)try_setup(replica_id);
   }
 
   flow::SvcResult svc(flow::Item in) override {
-    if (!ok_) throw std::runtime_error("CUDA worker initialization failed");
     Line line = in.take<Line>();
     line.pixels.resize(static_cast<std::size_t>(params_.dim));
-    const MandelParams p = params_;
-    const int i = line.index;
-    auto* dev_row = static_cast<std::uint8_t*>(dev_row_);
-    cudax::cudaError e = cudax::launch_kernel(
-        cudax::Dim3{static_cast<std::uint32_t>((p.dim + 255) / 256), 1, 1},
-        cudax::Dim3{256, 1, 1}, stream_,
-        [p, i, dev_row](const cudax::ThreadCtx& ctx) -> std::uint64_t {
-          std::uint64_t j = ctx.global_x();
-          if (j >= static_cast<std::uint64_t>(p.dim)) return 1;
-          int k = kernels::mandel_iterations(p, i, static_cast<int>(j));
-          dev_row[j] = kernels::mandel_color(k, p.niter);
-          return static_cast<std::uint64_t>(k) + 1;
-        });
-    if (e != cudax::cudaError::cudaSuccess) {
-      throw std::runtime_error("kernel launch failed: " +
-                               cudax::last_error_message());
-    }
-    e = cudax::cudaMemcpyAsync(line.pixels.data(), dev_row_,
-                               static_cast<std::size_t>(p.dim),
-                               cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
-                               stream_);
-    if (e != cudax::cudaError::cudaSuccess) {
-      throw std::runtime_error("memcpy failed: " +
-                               cudax::last_error_message());
-    }
-    // The real implementation forwards the item with its stream and lets
-    // the last stage synchronize; functionally the simulated copy has
-    // already landed, and the virtual completion is the stream's tail.
-    if (cudax::cudaStreamSynchronize(stream_) !=
-        cudax::cudaError::cudaSuccess) {
-      throw std::runtime_error("stream synchronize failed");
+    if (Status s = render_line(line); !s.ok()) {
+      // Final rung: the bit-exact CPU kernel.
+      kernels::mandel_line(params_, line.index, line.pixels);
+      if (stats_ != nullptr) {
+        stats_->cpu_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     return flow::SvcResult::Out(flow::Item::of<Line>(std::move(line)));
   }
 
   void on_end() override {
-    if (ok_ && dev_row_ != nullptr) {
+    if (gpu_ready_ && dev_row_ != nullptr) {
       (void)cudax::cudaSetDevice(device_);
       (void)cudax::cudaFree(dev_row_);
+      dev_row_ = nullptr;
     }
   }
 
  private:
+  Status render_line(Line& line) {
+    if (!gpu_ready_ && !try_setup(device_ >= 0 ? device_ : replica_)) {
+      return Unavailable("no usable CUDA device");
+    }
+    while (true) {
+      Status s = retry_status(policy_, stats_, "mandel.line",
+                              [&] { return gpu_line_once(line); });
+      if (s.ok() || s.code() != ErrorCode::kUnavailable) return s;
+      // The device died under us: drop it and migrate. pick_surviving_device
+      // skips lost devices, so this loop visits each device at most once.
+      if (stats_ != nullptr) {
+        stats_->device_losses.fetch_add(1, std::memory_order_relaxed);
+      }
+      gpu_ready_ = false;
+      dev_row_ = nullptr;  // allocation is gone with the device
+      if (!try_setup(device_ + 1)) return s;
+      if (stats_ != nullptr) {
+        stats_->device_switches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// One GPU pass over the line: launch, D2H copy, synchronize. Idempotent
+  /// (the kernel rewrites the whole row), so safe to re-run on retry.
+  Status gpu_line_once(Line& line) {
+    const MandelParams p = params_;
+    const int i = line.index;
+    auto* dev_row = static_cast<std::uint8_t*>(dev_row_);
+    Status s = cuda_status(
+        cudax::launch_kernel(
+            cudax::Dim3{static_cast<std::uint32_t>((p.dim + 255) / 256), 1, 1},
+            cudax::Dim3{256, 1, 1}, stream_,
+            [p, i, dev_row](const cudax::ThreadCtx& ctx) -> std::uint64_t {
+              std::uint64_t j = ctx.global_x();
+              if (j >= static_cast<std::uint64_t>(p.dim)) return 1;
+              int k = kernels::mandel_iterations(p, i, static_cast<int>(j));
+              dev_row[j] = kernels::mandel_color(k, p.niter);
+              return static_cast<std::uint64_t>(k) + 1;
+            }),
+        "kernel launch failed");
+    if (!s.ok()) return s;
+    s = cuda_status(
+        cudax::cudaMemcpyAsync(line.pixels.data(), dev_row_,
+                               static_cast<std::size_t>(p.dim),
+                               cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
+                               stream_),
+        "memcpy failed");
+    if (!s.ok()) return s;
+    // The real implementation forwards the item with its stream and lets
+    // the last stage synchronize; functionally the simulated copy has
+    // already landed, and the virtual completion is the stream's tail.
+    return cuda_status(cudax::cudaStreamSynchronize(stream_),
+                       "stream synchronize failed");
+  }
+
+  /// Binds this thread to the first surviving device at or after `hint` and
+  /// allocates the row buffer there. A device that dies during setup is
+  /// skipped; returns false when no device can be set up (CPU mode).
+  bool try_setup(int hint) {
+    int start = hint < 0 ? 0 : hint;
+    while (true) {
+      const int d = gpusim::pick_surviving_device(*machine_, start);
+      if (d < 0) return false;
+      Status s = retry_status(policy_, stats_, "mandel.setup",
+                              [&] { return setup_on(d); });
+      if (s.ok()) {
+        device_ = d;
+        gpu_ready_ = true;
+        return true;
+      }
+      if (s.code() == ErrorCode::kUnavailable) {
+        start = d + 1;  // that device is lost now; try the next survivor
+        continue;
+      }
+      return false;  // persistent non-loss failure: degrade to CPU
+    }
+  }
+
+  Status setup_on(int d) {
+    Status s =
+        cuda_status(cudax::cudaSetDevice(d), "set device failed");
+    if (!s.ok()) return s;
+    s = cuda_status(cudax::cudaStreamCreate(&stream_),
+                    "stream create failed");
+    if (!s.ok()) return s;
+    return cuda_status(
+        cudax::cudaMalloc(&dev_row_, static_cast<std::size_t>(params_.dim)),
+        "row alloc failed");
+  }
+
   MandelParams params_;
   gpusim::Machine* machine_;
-  int device_ = 0;
+  RetryStats* stats_;
+  RetryPolicy policy_;
+  int replica_ = 0;
+  int device_ = -1;
   cudax::cudaStream_t stream_;
   void* dev_row_ = nullptr;
-  bool ok_ = false;
+  bool gpu_ready_ = false;
 };
 
 }  // namespace
 
 Result<std::vector<std::uint8_t>> render_spar_cuda(const MandelParams& params,
                                                    int workers,
-                                                   gpusim::Machine& machine) {
+                                                   gpusim::Machine& machine,
+                                                   RetryStats* stats,
+                                                   const RetryPolicy& policy) {
   if (machine.device_count() == 0) {
     return InvalidArgument("machine has no devices");
   }
@@ -203,13 +284,14 @@ Result<std::vector<std::uint8_t>> render_spar_cuda(const MandelParams& params,
     if (i >= params.dim) return std::nullopt;
     return Line{i++, {}};
   });
-  region.stage_nodes(spar::Replicate(workers), [&params, &machine] {
-    return std::make_unique<CudaLineWorker>(params, &machine);
+  region.stage_nodes(spar::Replicate(workers), [&params, &machine, stats,
+                                                policy] {
+    return std::make_unique<CudaLineWorker>(params, &machine, stats, policy);
   });
   region.last_stage<Line>([&image, &params](Line line) {
     store_line(image, params.dim, line);
   });
-  if (Status s = region.run(); !s.ok()) return s;
+  HS_RETURN_IF_ERROR(region.run());
   return image;
 }
 

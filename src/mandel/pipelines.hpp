@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/status.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/mandel.hpp"
@@ -41,9 +42,16 @@ Result<std::vector<std::uint8_t>> render_spar(const MandelParams& params,
 /// simulated GPU through the CUDA shim (per-thread cudaSetDevice, device
 /// chosen round-robin per item — the paper's multi-GPU scheme). `machine`
 /// must stay bound to cudax for the duration.
-Result<std::vector<std::uint8_t>> render_spar_cuda(const MandelParams& params,
-                                                   int workers,
-                                                   gpusim::Machine& machine);
+///
+/// Fault tolerance: transient device errors (failed copies/launches,
+/// allocation pressure) are retried under `policy`; a lost device is
+/// permanently excluded and its worker migrates to a surviving device or —
+/// when none remain — to the bit-exact CPU kernel path, so the rendered
+/// image is identical under any injected fault sequence. Pass `stats` to
+/// collect per-attempt telemetry (may be shared across calls; null to skip).
+Result<std::vector<std::uint8_t>> render_spar_cuda(
+    const MandelParams& params, int workers, gpusim::Machine& machine,
+    RetryStats* stats = nullptr, const RetryPolicy& policy = {});
 
 /// Single-host-thread OpenCL version with line batches (Listing 2 port per
 /// §IV-A), exercising platform discovery, buffers, queues and events.

@@ -269,7 +269,9 @@ cl_mem clCreateBuffer(cl_context context, std::size_t size,
   auto buf = Buffer::create(*ctx->context, ctx->context->devices().front(),
                             size);
   if (!buf.ok()) {
-    set_err(errcode_ret, CL_OUT_OF_RESOURCES);
+    set_err(errcode_ret, buf.status().code() == ErrorCode::kUnavailable
+                             ? CL_DEVICE_NOT_AVAILABLE
+                             : CL_OUT_OF_RESOURCES);
     return nullptr;
   }
   MemBody proto;
@@ -314,6 +316,7 @@ cl_int map_status(ClStatus status) {
     case ClStatus::kInvalidOperation: return CL_INVALID_OPERATION;
     case ClStatus::kOutOfResources: return CL_OUT_OF_RESOURCES;
     case ClStatus::kInvalidEventWaitList: return CL_INVALID_EVENT_WAIT_LIST;
+    case ClStatus::kDeviceNotAvailable: return CL_DEVICE_NOT_AVAILABLE;
   }
   return CL_INVALID_VALUE;
 }

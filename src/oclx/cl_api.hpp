@@ -27,6 +27,7 @@ using cl_ulong = std::uint64_t;
 // Error codes (values match the OpenCL headers).
 inline constexpr cl_int CL_SUCCESS = 0;
 inline constexpr cl_int CL_DEVICE_NOT_FOUND = -1;
+inline constexpr cl_int CL_DEVICE_NOT_AVAILABLE = -2;
 inline constexpr cl_int CL_OUT_OF_RESOURCES = -5;
 inline constexpr cl_int CL_INVALID_VALUE = -30;
 inline constexpr cl_int CL_INVALID_PLATFORM = -32;

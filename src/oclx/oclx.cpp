@@ -13,8 +13,28 @@ std::string_view status_name(ClStatus s) {
     case ClStatus::kInvalidOperation: return "CL_INVALID_OPERATION";
     case ClStatus::kOutOfResources: return "CL_OUT_OF_RESOURCES";
     case ClStatus::kInvalidEventWaitList: return "CL_INVALID_EVENT_WAIT_LIST";
+    case ClStatus::kDeviceNotAvailable: return "CL_DEVICE_NOT_AVAILABLE";
   }
   return "CL_UNKNOWN";
+}
+
+ClStatus cl_status_from(const Status& s) {
+  switch (s.code()) {
+    case ErrorCode::kOk: return ClStatus::kSuccess;
+    case ErrorCode::kOutOfMemory: return ClStatus::kOutOfResources;
+    case ErrorCode::kUnavailable: return ClStatus::kDeviceNotAvailable;
+    case ErrorCode::kInternal: return ClStatus::kOutOfResources;
+    default: return ClStatus::kInvalidValue;
+  }
+}
+
+ErrorCode error_code_of(ClStatus s) {
+  switch (s) {
+    case ClStatus::kSuccess: return ErrorCode::kOk;
+    case ClStatus::kOutOfResources: return ErrorCode::kOutOfMemory;
+    case ClStatus::kDeviceNotAvailable: return ErrorCode::kUnavailable;
+    default: return ErrorCode::kInvalidArgument;
+  }
 }
 
 // ---- Platform / DeviceId -----------------------------------------------------------
@@ -151,7 +171,7 @@ ClStatus CommandQueue::enqueue_write(Buffer& dst, std::size_t offset,
                                src, bytes, stream_, gpusim::HostMem::kPinned);
   if (!r.ok()) {
     last_error_ = r.status().ToString();
-    return ClStatus::kInvalidValue;
+    return cl_status_from(r.status());
   }
   if (event != nullptr) *event = Event(machine_, r.value());
   if (blocking) (void)device_->sync_stream(stream_);
@@ -174,7 +194,7 @@ ClStatus CommandQueue::enqueue_read(const Buffer& src, std::size_t offset,
       stream_, gpusim::HostMem::kPinned);
   if (!r.ok()) {
     last_error_ = r.status().ToString();
-    return ClStatus::kInvalidValue;
+    return cl_status_from(r.status());
   }
   if (event != nullptr) *event = Event(machine_, r.value());
   if (blocking) (void)device_->sync_stream(stream_);
@@ -211,7 +231,7 @@ ClStatus CommandQueue::enqueue_ndrange(Kernel& kernel, const Dim3& global,
   auto r = kernel.impl_->launch(*device_, global, local, stream_);
   if (!r.ok()) {
     last_error_ = r.status().ToString();
-    return ClStatus::kInvalidValue;
+    return cl_status_from(r.status());
   }
   if (event != nullptr) *event = Event(machine_, r.value());
   return ClStatus::kSuccess;

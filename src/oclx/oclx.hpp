@@ -50,9 +50,19 @@ enum class ClStatus : std::int8_t {
   kInvalidOperation,  ///< e.g. cl_kernel used from a foreign thread
   kOutOfResources,
   kInvalidEventWaitList,
+  kDeviceNotAvailable,  ///< device lost / not available (sticky)
 };
 
 std::string_view status_name(ClStatus s);
+
+/// Maps a simulator Status onto the closest ClStatus; used by the enqueue
+/// paths so injected faults surface as CL_OUT_OF_RESOURCES /
+/// CL_DEVICE_NOT_AVAILABLE rather than a generic invalid-value error.
+ClStatus cl_status_from(const Status& s);
+
+/// Inverse of cl_status_from, for callers feeding CL results into the common
+/// retry machinery.
+ErrorCode error_code_of(ClStatus s);
 
 class Platform;
 class DeviceId;

@@ -3,6 +3,7 @@
 // end-to-end roundtrips on all three corpora, and Fig. 5 model shape.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "cudax/cudax.hpp"
 #include "datagen/corpus.hpp"
 #include "dedup/container.hpp"
@@ -239,6 +240,58 @@ TEST(ContainerTest, CorruptionIsDetected) {
     auto bad = archive.value();
     bad.resize(bad.size() - 10);
     EXPECT_FALSE(extract(bad).ok());
+  }
+}
+
+// Deterministic byte-flip / truncation fuzzing: a corrupted archive must
+// either fail with a corruption code (DATA_LOSS / OUT_OF_RANGE) or — when
+// the flipped byte is dead padding the decoder never reads — extract to
+// the bit-exact original payload. It must never crash, hang, or silently
+// return different bytes.
+TEST(ContainerTest, ByteFlipFuzzNeverCrashesOrCorrupts) {
+  auto input = test_input(40 * 1024);
+  DedupConfig cfg = test_config();
+  auto archive = archive_sequential(input, cfg);
+  ASSERT_TRUE(archive.ok());
+  const std::vector<std::uint8_t>& good = archive.value();
+
+  auto check = [&](const std::vector<std::uint8_t>& bad, std::size_t pos) {
+    auto result = extract(bad);
+    if (result.ok()) {
+      EXPECT_EQ(result.value(), input) << "silent corruption at byte " << pos;
+    } else {
+      ErrorCode code = result.status().code();
+      EXPECT_TRUE(code == ErrorCode::kDataLoss ||
+                  code == ErrorCode::kOutOfRange)
+          << "byte " << pos << ": " << result.status().ToString();
+    }
+  };
+
+  // Exhaustive over the header region (magic, version, codec, sizes, LZSS
+  // parameters): every bit of the first 40 bytes.
+  for (std::size_t pos = 0; pos < std::min<std::size_t>(40, good.size());
+       ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = good;
+      bad[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      check(bad, pos);
+    }
+  }
+
+  // Seeded single-bit flips across the whole archive body.
+  Xoshiro256 rng(2026);
+  for (int it = 0; it < 1500; ++it) {
+    auto bad = good;
+    std::size_t pos = rng.bounded(bad.size());
+    bad[pos] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    check(bad, pos);
+  }
+
+  // Truncations at every stride-97 prefix length.
+  for (std::size_t len = 0; len < good.size(); len += 97) {
+    std::vector<std::uint8_t> bad(good.begin(),
+                                  good.begin() + static_cast<long>(len));
+    check(bad, len);
   }
 }
 

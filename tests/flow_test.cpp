@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -500,6 +501,122 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, OrderedFarmSweep,
     ::testing::Combine(::testing::Values(1, 2, 4, 8),
                        ::testing::Values(2, 16, 256)));
+
+// ---- failure paths & watchdog -----------------------------------------------------
+
+/// A farm worker throwing mid-stream must drain and return an error under
+/// every wait mode: no deadlock, no lost end-of-stream sentinel.
+class FarmFailureSweep : public ::testing::TestWithParam<WaitMode> {};
+
+TEST_P(FarmFailureSweep, ThrowingWorkerDrainsAndErrors) {
+  PipelineOptions opts;
+  opts.wait_mode = GetParam();
+  opts.queue_capacity = 8;
+  Pipeline p(opts);
+  std::atomic<int> sunk{0};
+  p.add_stage(counting_source(20000), "src");
+  p.add_farm(stage_factory<int, int>([](int v) -> int {
+               if (v == 777) throw std::runtime_error("mid-stream failure");
+               return v;
+             }),
+             FarmOptions{.replicas = 4, .ordered = true}, "farm");
+  p.add_stage(make_sink<int>([&](int) { sunk.fetch_add(1); }), "sink");
+  Status s = p.run_and_wait();  // must return, not hang
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInternal);
+  EXPECT_NE(s.message().find("mid-stream failure"), std::string::npos);
+  // The structured report names the failing farm stage.
+  ASSERT_FALSE(p.failure_report().ok());
+  EXPECT_NE(p.failure_report().failures.front().stage.find("farm"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWaitModes, FarmFailureSweep,
+                         ::testing::Values(WaitMode::kSpin, WaitMode::kBackoff,
+                                           WaitMode::kBlocking));
+
+TEST(FailureReportTest, RecordsEveryFailingStage) {
+  Pipeline p;
+  p.add_stage(counting_source(50000), "src");
+  p.add_stage(make_stage<int, int>([](int v) -> int {
+                if (v == 10) throw std::runtime_error("first to die");
+                return v;
+              }),
+              "stage-a");
+  p.add_stage(make_stage<int, int>([](int v) -> int {
+                if (v == 5) throw std::runtime_error("second to die");
+                return v;
+              }),
+              "stage-b");
+  p.add_stage(make_sink<int>([](int) {}), "sink");
+  Status s = p.run_and_wait();
+  ASSERT_FALSE(s.ok());
+  const FailureReport& report = p.failure_report();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.failures.size(), 1u);
+  // run_and_wait returns exactly the first recorded failure.
+  EXPECT_EQ(s.message(), report.first().message());
+  EXPECT_NE(report.ToString().find(report.failures.front().stage),
+            std::string::npos);
+}
+
+TEST(WatchdogTest, HungStageAbortsWithStageName) {
+  PipelineOptions opts;
+  opts.stall_timeout_seconds = 0.3;
+  Pipeline p(opts);
+  p.add_stage(counting_source(100), "src");
+  p.add_stage(make_stage<int, int>([](int v) -> int {
+                if (v == 7) {  // simulate a wedged device call
+                  for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+                }
+                return v;
+              }),
+              "wedged");
+  p.add_stage(make_sink<int>([](int) {}), "sink");
+  auto start = std::chrono::steady_clock::now();
+  Status s = p.run_and_wait();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kAborted);
+  EXPECT_NE(s.message().find("wedged"), std::string::npos);
+  EXPECT_NE(s.message().find("stalled"), std::string::npos);
+  // Fires within the timeout plus the one-timeout grace period (generous
+  // slack for loaded CI machines).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed),
+            std::chrono::milliseconds(5000));
+}
+
+TEST(WatchdogTest, SlowButProgressingStreamIsNotAborted) {
+  PipelineOptions opts;
+  opts.stall_timeout_seconds = 0.25;
+  Pipeline p(opts);
+  std::vector<int> got;
+  p.add_stage(counting_source(20), "src");
+  p.add_stage(make_stage<int, int>([](int v) -> int {
+                // Each item takes ~40 ms — well under the per-progress
+                // timeout even though the whole stream takes ~800 ms.
+                std::this_thread::sleep_for(std::chrono::milliseconds(40));
+                return v;
+              }),
+              "slow");
+  p.add_stage(make_sink<int>([&](int v) { got.push_back(v); }), "sink");
+  ASSERT_TRUE(p.run_and_wait().ok());
+  EXPECT_EQ(got.size(), 20u);
+}
+
+TEST(WatchdogTest, DisabledByDefault) {
+  Pipeline p;  // stall_timeout_seconds == 0
+  std::vector<int> got;
+  p.add_stage(counting_source(10), "src");
+  p.add_stage(make_stage<int, int>([](int v) -> int {
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                return v;
+              }),
+              "leisurely");
+  p.add_stage(make_sink<int>([&](int v) { got.push_back(v); }), "sink");
+  ASSERT_TRUE(p.run_and_wait().ok());
+  EXPECT_EQ(got.size(), 10u);
+}
 
 }  // namespace
 }  // namespace hs::flow
