@@ -100,11 +100,13 @@ inline std::string RetryStats::ToString() const {
 namespace detail {
 
 inline void retry_delay(const RetryPolicy& policy, int retry_index) {
-  double scale = 1.0;
-  for (int i = 0; i < retry_index; ++i) scale *= policy.multiplier;
-  auto delay = std::chrono::microseconds(
-      static_cast<std::int64_t>(static_cast<double>(policy.base_delay.count()) * scale));
-  if (delay > policy.max_delay) delay = policy.max_delay;
+  // Scale and clamp in the double domain: multiplier^retry_index can exceed
+  // the int64 range, and casting an out-of-range double is UB.
+  const double cap = static_cast<double>(policy.max_delay.count());
+  double us = static_cast<double>(policy.base_delay.count());
+  for (int i = 0; i < retry_index && us < cap; ++i) us *= policy.multiplier;
+  if (us > cap) us = cap;
+  auto delay = std::chrono::microseconds(static_cast<std::int64_t>(us));
   if (delay.count() <= 0) {
     Backoff b;
     b.pause();

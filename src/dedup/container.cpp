@@ -1,5 +1,6 @@
 #include "dedup/container.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
 
@@ -243,9 +244,15 @@ Result<std::vector<std::uint8_t>> extract(
         }
         auto [pos, len] = unique_blocks[ref];
         HS_RETURN_IF_ERROR(check_block_lengths(len, decoded, original_len));
-        // Self-copy from already-decoded output.
-        out.insert(out.end(), out.begin() + static_cast<long>(pos),
-                   out.begin() + static_cast<long>(pos + len));
+        // Self-copy from already-decoded output. Grow first, then copy by
+        // index: a self-range insert may reallocate mid-insert (the reserve
+        // above is capped at kMaxPrealloc) and invalidate its own source
+        // iterators.
+        const std::size_t old_size = out.size();
+        out.resize(old_size + len);
+        std::copy(out.begin() + static_cast<long>(pos),
+                  out.begin() + static_cast<long>(pos + len),
+                  out.begin() + static_cast<long>(old_size));
         decoded += len;
       } else {
         return DataLoss("unknown block tag");
@@ -440,8 +447,13 @@ Result<std::vector<std::uint8_t>> extract_parallel(
               throw std::runtime_error("duplicate references a future block");
             }
             auto [pos, len] = unique_blocks[block.ref];
-            out.insert(out.end(), out.begin() + static_cast<long>(pos),
-                       out.begin() + static_cast<long>(pos + len));
+            // Resize-then-copy: a self-range insert could reallocate and
+            // invalidate its source iterators (reserve is capped).
+            const std::size_t old_size = out.size();
+            out.resize(old_size + len);
+            std::copy(out.begin() + static_cast<long>(pos),
+                      out.begin() + static_cast<long>(pos + len),
+                      out.begin() + static_cast<long>(old_size));
             decoded_len += len;
           } else {
             unique_blocks.emplace_back(out.size(), block.raw_len);

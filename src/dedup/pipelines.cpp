@@ -156,6 +156,10 @@ class CudaStageContext {
   }
 
   void release() {
+    if (stream_device_ >= 0) {
+      (void)cudax::cudaStreamDestroy(stream_);
+      stream_device_ = -1;
+    }
     if (!ready_) return;
     (void)cudax::cudaSetDevice(device_);
     for (auto& buf : buffers_) {
@@ -193,8 +197,16 @@ class CudaStageContext {
   Status setup_on(int d) {
     Status s = cuda_status(cudax::cudaSetDevice(d), "cudaSetDevice failed");
     if (!s.ok()) return s;
-    return cuda_status(cudax::cudaStreamCreate(&stream_),
-                       "cudaStreamCreate failed");
+    // One stream per device binding; re-setup after a migration destroys
+    // the previous stream (best effort on a lost device) rather than
+    // leaking one simulated stream per attempt.
+    if (stream_device_ == d) return OkStatus();
+    if (stream_device_ >= 0) (void)cudax::cudaStreamDestroy(stream_);
+    stream_device_ = -1;
+    s = cuda_status(cudax::cudaStreamCreate(&stream_),
+                    "cudaStreamCreate failed");
+    if (s.ok()) stream_device_ = d;
+    return s;
   }
 
   struct Scratch {
@@ -206,6 +218,7 @@ class CudaStageContext {
   RetryStats* stats_;
   RetryPolicy policy_;
   int device_ = -1;
+  int stream_device_ = -1;  ///< device the live stream_ was created on
   bool ready_ = false;
   cudax::cudaStream_t stream_{};
   std::vector<Scratch> buffers_;

@@ -520,6 +520,9 @@ struct Pipeline::Impl {
   PipelineOptions options;
   std::vector<StageDesc> stages;
   std::shared_ptr<RunCore> core;
+  // Threads still running when run_and_wait() returned after a watchdog
+  // abort, paired with their units. The destructor reaps them.
+  std::vector<std::pair<std::thread, Unit*>> stragglers;
   std::vector<UnitReport> reports;
   FailureReport failure_report;
   bool ran = false;
@@ -530,7 +533,35 @@ Pipeline::Pipeline(PipelineOptions options)
   impl_->options = options;
 }
 
-Pipeline::~Pipeline() = default;
+Pipeline::~Pipeline() {
+  Impl& im = *impl_;
+  if (im.stragglers.empty()) return;
+  // Bounded reaper for threads that were still wedged when the watchdog
+  // aborted the run. Node callables routinely capture references to the
+  // caller's stack (declared before the Pipeline, so still alive here);
+  // giving the stragglers one more grace period to observe the abort and
+  // unwind lets the common slow-but-finite case finish safely joined.
+  // Only a thread that is *still* wedged after the grace period is
+  // detached — its shared_ptr<RunCore> keeps the runtime's own state
+  // alive, but any caller state its node references must outlive the
+  // process (see PipelineOptions::stall_timeout_seconds).
+  const auto grace = std::chrono::duration<double>(
+      std::max(im.options.stall_timeout_seconds, 1.0));
+  std::shared_ptr<RunCore> core = im.core;
+  {
+    std::unique_lock<std::mutex> lock(core->comp_mu);
+    core->comp_cv.wait_for(lock, grace, [&] {
+      return core->done_count >= core->units.size();
+    });
+  }
+  for (auto& [thread, unit] : im.stragglers) {
+    if (unit->done()) {
+      thread.join();
+    } else {
+      thread.detach();  // kept safe by the thread's shared_ptr<RunCore>
+    }
+  }
+}
 
 void Pipeline::add_stage(std::unique_ptr<Node> node, std::string name) {
   assert(node && "null stage");
@@ -657,7 +688,7 @@ Status Pipeline::run_and_wait() {
   // enabled. "Progress" is queue traffic + completed svc calls; if it stays
   // flat past the timeout while threads are still live, abort with the
   // stuck stage named, give the healthy units one more timeout period to
-  // unwind, then detach whatever is left.
+  // unwind, then hand whatever is left to the destructor's bounded reaper.
   const bool watchdog = im.options.stall_timeout_seconds > 0.0;
   const auto timeout =
       std::chrono::duration<double>(im.options.stall_timeout_seconds);
@@ -716,7 +747,11 @@ Status Pipeline::run_and_wait() {
     if (units[i]->done()) {
       threads[i].join();
     } else {
-      threads[i].detach();  // kept safe by the thread's shared_ptr<RunCore>
+      // Do not detach while the caller may still unwind state the node
+      // callables reference: hand the thread to the destructor's bounded
+      // reaper, which runs before caller state declared ahead of the
+      // Pipeline is destroyed.
+      im.stragglers.emplace_back(std::move(threads[i]), units[i].get());
     }
   }
 

@@ -44,9 +44,16 @@ struct PipelineOptions {
   /// Stage-stall watchdog: when > 0 and no runtime thread makes progress
   /// (queue traffic or completed svc calls) for this many seconds while the
   /// stream is still live, the run aborts with kAborted naming the stuck
-  /// stage instead of hanging run_and_wait() forever. The stuck thread is
-  /// detached; the runtime's shared state stays alive until it unwinds.
-  /// 0 disables the watchdog (the default).
+  /// stage instead of hanging run_and_wait() forever. A thread still wedged
+  /// inside svc() when run_and_wait() returns is reaped by the Pipeline
+  /// destructor: it gets one more grace period to observe the abort and is
+  /// joined if it unwinds in time. Node callables that capture references
+  /// to caller state must therefore be declared *after* that state, so the
+  /// Pipeline (and its reaper) is destroyed first. A thread that is still
+  /// wedged after the grace period is detached — the runtime's own shared
+  /// state stays alive until it unwinds, but any captured caller state it
+  /// touches afterwards must outlive the process. 0 disables the watchdog
+  /// (the default).
   double stall_timeout_seconds = 0.0;
 };
 

@@ -164,6 +164,10 @@ class CudaLineWorker final : public flow::Node {
       (void)cudax::cudaFree(dev_row_);
       dev_row_ = nullptr;
     }
+    if (stream_device_ >= 0) {
+      (void)cudax::cudaStreamDestroy(stream_);
+      stream_device_ = -1;
+    }
   }
 
  private:
@@ -249,9 +253,18 @@ class CudaLineWorker final : public flow::Node {
     Status s =
         cuda_status(cudax::cudaSetDevice(d), "set device failed");
     if (!s.ok()) return s;
-    s = cuda_status(cudax::cudaStreamCreate(&stream_),
-                    "stream create failed");
-    if (!s.ok()) return s;
+    // One stream per device binding: retried setups reuse the stream they
+    // already created, and a migration destroys the old device's stream
+    // (best effort — resolve fails harmlessly when that device is lost)
+    // instead of leaking one simulated stream per attempt.
+    if (stream_device_ != d) {
+      if (stream_device_ >= 0) (void)cudax::cudaStreamDestroy(stream_);
+      stream_device_ = -1;
+      s = cuda_status(cudax::cudaStreamCreate(&stream_),
+                      "stream create failed");
+      if (!s.ok()) return s;
+      stream_device_ = d;
+    }
     return cuda_status(
         cudax::cudaMalloc(&dev_row_, static_cast<std::size_t>(params_.dim)),
         "row alloc failed");
@@ -263,7 +276,8 @@ class CudaLineWorker final : public flow::Node {
   RetryPolicy policy_;
   int replica_ = 0;
   int device_ = -1;
-  cudax::cudaStream_t stream_;
+  int stream_device_ = -1;  ///< device the live stream_ was created on
+  cudax::cudaStream_t stream_{};
   void* dev_row_ = nullptr;
   bool gpu_ready_ = false;
 };

@@ -202,6 +202,37 @@ TEST(ContainerTest, RoundtripSequential) {
   EXPECT_EQ(back.value(), input);
 }
 
+// Regression: decoding past the container's 64 MB reserve cap used a
+// self-range insert for duplicate blocks; once the output vector grew past
+// its capped capacity mid-insert, the insert's own source iterators were
+// formally invalidated (UB; it happens to survive on common library
+// implementations, so the decoders now resize-then-copy by index). One
+// repeated 64 KB pattern keeps compression cheap (everything past batch 0
+// is duplicate references) while the duplicate self-copies carry the
+// output well past the cap in both extract() and extract_parallel()'s
+// assemble sink.
+TEST(ContainerTest, ExtractBeyondPreallocCapStaysValid) {
+  constexpr std::size_t kCap = std::size_t{64} << 20;  // container kMaxPrealloc
+  const auto pattern = test_input(64 * 1024);
+  std::vector<std::uint8_t> input;
+  input.reserve(kCap + pattern.size());
+  while (input.size() <= kCap) {
+    input.insert(input.end(), pattern.begin(), pattern.end());
+  }
+  DedupConfig cfg = test_config();
+  auto archive = archive_sequential(input, cfg);
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+  ASSERT_LT(archive.value().size(), input.size() / 8);  // dedup kicked in
+
+  auto back = extract(archive.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == input);
+
+  auto par = extract_parallel(archive.value(), 4);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_TRUE(par.value() == input);
+}
+
 TEST(ContainerTest, InspectCountsBlocks) {
   auto input = test_input();
   DedupConfig cfg = test_config();

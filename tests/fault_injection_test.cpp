@@ -184,6 +184,31 @@ TEST(RetryTest, RetriesTransientAndStopsOnUnavailable) {
   EXPECT_FALSE(stats.events().empty());
 }
 
+// Regression: the backoff scale (multiplier^retry_index) used to be cast
+// to int64 microseconds before the max_delay clamp; with enough attempts
+// or a large multiplier the double exceeded the int64 range and the cast
+// was UB. The clamp now happens in the double domain, so even an absurd
+// policy sleeps at most max_delay per retry.
+TEST(RetryTest, BackoffClampsBeforeOverflow) {
+  RetryPolicy policy;
+  policy.max_attempts = 80;  // 2^79 * base_delay vastly exceeds int64 range
+  policy.base_delay = std::chrono::microseconds(1);
+  policy.multiplier = 1e6;
+  policy.max_delay = std::chrono::microseconds(100);
+  int calls = 0;
+  auto start = std::chrono::steady_clock::now();
+  Status s = retry_status(policy, nullptr, "op", [&] {
+    ++calls;
+    return Internal("always broken");
+  });
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(s.code(), ErrorCode::kInternal);
+  EXPECT_EQ(calls, 80);
+  // 79 retries clamped to <= 100 us each; generous slack for slow CI.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed),
+            std::chrono::milliseconds(5000));
+}
+
 TEST(RetryTest, ExhaustsAfterMaxAttempts) {
   RetryStats stats;
   RetryPolicy policy;

@@ -586,6 +586,41 @@ TEST(WatchdogTest, HungStageAbortsWithStageName) {
             std::chrono::milliseconds(5000));
 }
 
+// A stage still wedged when the watchdog aborts run_and_wait() must be
+// joined by the Pipeline destructor once it unwinds within the grace
+// period — not detached immediately. (Node callables routinely capture
+// references to caller stack state declared before the Pipeline; the
+// destructor reaper runs before that state dies.)
+TEST(WatchdogTest, StragglerThatUnwindsIsJoinedByDestructor) {
+  auto release = std::make_shared<std::atomic<bool>>(false);
+  auto finished = std::make_shared<std::atomic<bool>>(false);
+  {
+    PipelineOptions opts;
+    opts.stall_timeout_seconds = 0.2;
+    Pipeline p(opts);
+    p.add_stage(counting_source(100), "src");
+    p.add_stage(make_stage<int, int>([release, finished](int v) -> int {
+                  if (v == 3) {  // wedge until the test releases us
+                    while (!release->load()) {
+                      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                    }
+                    finished->store(true);
+                  }
+                  return v;
+                }),
+                "wedged");
+    p.add_stage(make_sink<int>([](int) {}), "sink");
+    Status s = p.run_and_wait();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kAborted);
+    EXPECT_FALSE(finished->load());  // returned while the stage is wedged
+    release->store(true);
+    // ~Pipeline runs here: the straggler now unwinds promptly and must be
+    // joined inside the destructor's grace period.
+  }
+  EXPECT_TRUE(finished->load());
+}
+
 TEST(WatchdogTest, SlowButProgressingStreamIsNotAborted) {
   PipelineOptions opts;
   opts.stall_timeout_seconds = 0.25;
