@@ -14,11 +14,15 @@
 //
 // Flags: --input-size=BYTES | --dataset=parsec|source|silesia (default:
 //        all) | --replicas=N (19) | --batch-size=BYTES (1MiB) | --csv
+//        --json=PATH (also write every row — dataset, label, modeled time,
+//        throughput, kernel launches — as machine-readable JSON, e.g.
+//        BENCH_fig5.json, so the perf trajectory is tracked across PRs)
 //        --faults=SPEC (run the functional SPar+CUDA archiver under an
 //        injected fault plan — spec grammar in gpusim/fault_plan.hpp, e.g.
 //        "alloc.p=0.2,lost.nth=40" — and verify the archive still extracts
 //        to the bit-exact input)
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -126,6 +130,15 @@ int run(int argc, const char** argv) {
   cfg.dedup.rabin.mask = 0x7FF;  // ~2 kB blocks
 
   bool csv = args.get_bool("csv", false);
+  const std::string json_path = args.get_string("json", "");
+  struct JsonRow {
+    std::string dataset;
+    std::string label;
+    double modeled_seconds;
+    double throughput_mb_s;
+    std::uint64_t kernel_launches;
+  };
+  std::vector<JsonRow> json_rows;
 
   for (datagen::CorpusKind kind : kinds) {
     datagen::CorpusSpec spec;
@@ -159,6 +172,9 @@ int run(int argc, const char** argv) {
                      format_fixed(r.throughput_mb_s, 1) + " MB/s",
                      r.kernel_launches ? std::to_string(r.kernel_launches)
                                        : "-"});
+      json_rows.push_back({std::string(datagen::corpus_name(kind)), r.label,
+                           r.modeled_seconds, r.throughput_mb_s,
+                           r.kernel_launches});
     };
 
     add(cfg, Fig5Backend::kSequential);
@@ -198,6 +214,9 @@ int run(int argc, const char** argv) {
                      format_seconds(r.modeled_seconds),
                      format_fixed(r.throughput_mb_s, 1) + " MB/s",
                      std::to_string(r.kernel_launches)});
+      json_rows.push_back({std::string(datagen::corpus_name(kind)),
+                           r.label + " variable-batches", r.modeled_seconds,
+                           r.throughput_mb_s, r.kernel_launches});
     }
     table.add_separator();
     // Multi-GPU (combined versions only, as in the paper).
@@ -220,6 +239,28 @@ int run(int argc, const char** argv) {
                  "dominates; SPar+CUDA is best overall; 2x memory spaces "
                  "help OpenCL but not CUDA (realloc'd buffers cannot be "
                  "page-locked).\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "[bench] cannot write " << json_path << "\n";
+      return 1;
+    }
+    json << "{\n  \"bench\": \"fig5_dedup_throughput\",\n";
+    json << "  \"input_bytes\": " << input_size << ",\n";
+    json << "  \"replicas\": " << cfg.replicas << ",\n";
+    json << "  \"batch_size\": " << cfg.dedup.batch_size << ",\n";
+    json << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& r = json_rows[i];
+      json << "    {\"dataset\": \"" << r.dataset << "\", \"label\": \""
+           << r.label << "\", \"modeled_seconds\": " << r.modeled_seconds
+           << ", \"throughput_mb_s\": " << r.throughput_mb_s
+           << ", \"kernel_launches\": " << r.kernel_launches << "}"
+           << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::fprintf(stderr, "[bench] json written to %s\n", json_path.c_str());
   }
   if (const std::string spec = args.get_string("faults", ""); !spec.empty()) {
     if (int rc = run_fault_demo(spec, cfg.dedup); rc != 0) return rc;

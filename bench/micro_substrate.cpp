@@ -1,18 +1,39 @@
-// Substrate microbenchmarks (google-benchmark, real wall time): the
-// lock-free SPSC queue, flow farm throughput, taskx token pipeline, and the
-// computational kernels (SHA-1, SHA-256, rabin, LZSS).
+// Substrate microbenchmarks (real wall time): the lock-free SPSC queue,
+// flow farm throughput, taskx token pipeline, the computational kernels
+// (SHA-1, SHA-256, rabin, LZSS), and the dedup end-to-end datapath.
 //
 // Unlike the figure benches (which report modeled time on the calibrated
 // machine), these measure this host directly and exist to validate that
 // the substrates are real, working implementations.
+//
+// Default mode runs the dedup end-to-end suite and writes machine-readable
+// results (MB/s, ops/s, allocation counts) to BENCH_micro.json so the perf
+// trajectory is tracked across PRs. Flags:
+//   --json=PATH            output path (default BENCH_micro.json)
+//   --quick                single rep per measurement (CI smoke)
+//   --reps=N               explicit rep count (default 3, best-of)
+//   --check-steady-allocs  exit nonzero if the steady-state dedup pipeline
+//                          performs any per-item heap allocation
+//   --gbench [args...]     run the google-benchmark micro suite instead
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <optional>
+#include <span>
+#include <string_view>
 #include <thread>
 
+#include "common/alloc_hook.hpp"
+#include "common/buffer_pool.hpp"
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "datagen/corpus.hpp"
+#include "dedup/container.hpp"
+#include "dedup/pipelines.hpp"
+#include "dedup/stages.hpp"
 #include "flow/adapters.hpp"
 #include "flow/pipeline.hpp"
 #include "flow/spsc_queue.hpp"
@@ -24,6 +45,17 @@
 #include "kernels/sha256.hpp"
 #include "taskx/pipeline.hpp"
 #include "taskx/pool.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HS_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HS_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef HS_BENCH_SANITIZED
+#define HS_BENCH_SANITIZED 0
+#endif
 
 namespace hs {
 namespace {
@@ -214,7 +246,326 @@ void BM_MandelLine(benchmark::State& state) {
 }
 BENCHMARK(BM_MandelLine)->Arg(1000)->Arg(10000);
 
+// ---- dedup end-to-end + JSON emission ----------------------------------------------
+
+struct E2eRow {
+  std::string name;
+  double mb_per_s = 0;
+  double baseline_mb_per_s = 0;  ///< pre-pooling measurement; 0 = none
+  std::uint64_t input_bytes = 0;
+  std::uint64_t archive_bytes = 0;
+  std::string archive_sha1;
+  std::uint64_t run_heap_allocs = 0;  ///< heap allocations in the best rep
+};
+
+/// Probe configuration shared with the recorded pre-PR baselines and the
+/// golden bit-exactness tests: 8 MB inputs, 256 KiB batches, ~2 kB blocks.
+dedup::DedupConfig e2e_config() {
+  dedup::DedupConfig cfg;
+  cfg.batch_size = 256 * 1024;
+  cfg.rabin.mask = 0x7FF;
+  return cfg;
+}
+
+constexpr std::uint64_t kE2eInputBytes = 8 * 1000 * 1000;
+
+/// Sequential/SPar-CPU numbers measured on this container immediately
+/// before the pooled datapath landed (same config and inputs, best of 3) —
+/// the denominators of the cross-PR perf trajectory.
+double baseline_mb_s(std::string_view name) {
+  if (name == "dedup_e2e_sequential_parsec") return 13.04;
+  if (name == "dedup_e2e_sequential_source") return 13.58;
+  if (name == "dedup_e2e_sequential_silesia") return 11.48;
+  if (name == "dedup_e2e_spar_cpu4_parsec") return 13.88;
+  return 0;
+}
+
+std::string sha1_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  auto digest = kernels::Sha1::hash(data);
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : digest) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xF];
+  }
+  return out;
+}
+
+E2eRow run_e2e(const std::string& name, datagen::CorpusKind kind, bool spar,
+               int reps) {
+  datagen::CorpusSpec spec;
+  spec.kind = kind;
+  spec.bytes = kE2eInputBytes;
+  const std::vector<std::uint8_t> input = datagen::generate(spec);
+  const dedup::DedupConfig cfg = e2e_config();
+
+  E2eRow row;
+  row.name = name;
+  row.baseline_mb_per_s = baseline_mb_s(name);
+  row.input_bytes = input.size();
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t allocs_before = heap_alloc_count();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto archive = spar ? dedup::archive_spar_cpu(input, cfg, 4)
+                        : dedup::archive_sequential(input, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t allocs = heap_alloc_count() - allocs_before;
+    if (!archive.ok()) {
+      std::fprintf(stderr, "[bench] %s failed: %s\n", name.c_str(),
+                   archive.status().ToString().c_str());
+      std::exit(1);
+    }
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double mb_s = static_cast<double>(input.size()) / 1e6 / seconds;
+    if (mb_s > row.mb_per_s) {
+      row.mb_per_s = mb_s;
+      row.run_heap_allocs = allocs;
+    }
+    if (r == 0) {
+      row.archive_bytes = archive.value().size();
+      row.archive_sha1 = sha1_hex(archive.value());
+    }
+  }
+  return row;
+}
+
+struct SteadyResult {
+  std::uint64_t batches = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t heap_allocs = 0;  ///< pass-2 delta; 0 in the steady state
+};
+
+/// Drives the sequential stage graph twice over the same input with
+/// persistent pool/cache/writer state. Pass 1 warms the buffer/batch pools
+/// and saturates the duplicate index; pass 2 is the steady state — with
+/// warm slabs and a saturated index the per-item datapath must not touch
+/// the heap at all.
+SteadyResult steady_state_allocs() {
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = 2 * 1000 * 1000;
+  const std::vector<std::uint8_t> input = datagen::generate(spec);
+  const dedup::DedupConfig cfg = e2e_config();
+
+  kernels::Rabin rabin(cfg.rabin);
+  dedup::BatchPool pool;
+  dedup::DupCache cache;
+  dedup::ArchiveWriter writer(cfg);
+  writer.reserve(2 * (input.size() + input.size() / 4) + 4096);
+
+  SteadyResult res;
+  std::uint64_t index = 0;
+  auto one_pass = [&] {
+    for (std::size_t off = 0; off < input.size(); off += cfg.batch_size) {
+      const std::size_t n =
+          std::min<std::size_t>(cfg.batch_size, input.size() - off);
+      dedup::Batch batch = pool.acquire();
+      dedup::fragment_batch_into(std::span(input).subspan(off, n), index++,
+                                 rabin, batch);
+      dedup::hash_blocks(batch);
+      cache.check(batch);
+      dedup::compress_blocks_cpu(batch, cfg);
+      if (!writer.append(batch).ok()) {
+        std::fprintf(stderr, "[bench] steady-state append failed\n");
+        std::exit(1);
+      }
+      ++res.batches;
+      res.blocks += batch.blocks.size();
+      pool.release(std::move(batch));
+    }
+  };
+  one_pass();  // warm-up: pools fill, duplicate index saturates
+  res.batches = 0;
+  res.blocks = 0;
+  const std::uint64_t allocs_before = heap_alloc_count();
+  one_pass();  // steady state
+  res.heap_allocs = heap_alloc_count() - allocs_before;
+  return res;
+}
+
+/// SPSC throughput across two threads: single-item ops vs 64-item batch
+/// ops through the same queue, in items/s. Stalls yield (the CI container
+/// can be single-core, where pure spinning burns whole scheduler quanta).
+double spsc_ops_per_s(bool batched, std::size_t items) {
+  constexpr std::size_t kBurst = 64;
+  flow::SpscQueue<std::uint64_t> q(1024);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread producer([&] {
+    if (batched) {
+      std::uint64_t buf[kBurst];
+      std::size_t sent = 0;
+      while (sent < items) {
+        const std::size_t want = std::min(kBurst, items - sent);
+        for (std::size_t i = 0; i < want; ++i) buf[i] = sent + i;
+        const std::size_t n = q.try_push_n(buf, want);
+        if (n == 0) std::this_thread::yield();
+        sent += n;
+      }
+    } else {
+      for (std::uint64_t i = 0; i < items;) {
+        if (q.try_push(i)) {
+          ++i;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+  std::uint64_t sink = 0;
+  std::size_t got = 0;
+  if (batched) {
+    std::uint64_t buf[kBurst];
+    while (got < items) {
+      const std::size_t n = q.try_pop_n(buf, kBurst);
+      if (n == 0) std::this_thread::yield();
+      for (std::size_t i = 0; i < n; ++i) sink += buf[i];
+      got += n;
+    }
+  } else {
+    std::uint64_t v;
+    while (got < items) {
+      if (q.try_pop(v)) {
+        sink += v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  producer.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(items) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+void write_json(const std::string& path, const std::vector<E2eRow>& rows,
+                const SteadyResult& steady, double spsc_single,
+                double spsc_batch, bool quick) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"bench\": \"micro_substrate\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"config\": {\"input_bytes\": " << kE2eInputBytes
+      << ", \"batch_size\": " << e2e_config().batch_size
+      << ", \"rabin_mask\": " << e2e_config().rabin.mask << "},\n";
+  out << "  \"dedup_e2e\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const E2eRow& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"mb_per_s\": " << r.mb_per_s
+        << ", \"baseline_mb_per_s\": " << r.baseline_mb_per_s
+        << ", \"speedup_vs_baseline\": "
+        << (r.baseline_mb_per_s > 0 ? r.mb_per_s / r.baseline_mb_per_s : 0)
+        << ", \"input_bytes\": " << r.input_bytes
+        << ", \"archive_bytes\": " << r.archive_bytes
+        << ", \"archive_sha1\": \"" << r.archive_sha1
+        << "\", \"run_heap_allocs\": " << r.run_heap_allocs << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"dedup_steady_state\": {\"batches\": " << steady.batches
+      << ", \"blocks\": " << steady.blocks
+      << ", \"heap_allocs\": " << steady.heap_allocs
+      << ", \"sanitized\": " << (HS_BENCH_SANITIZED ? "true" : "false")
+      << "},\n";
+  out << "  \"spsc_queue\": {\"single_ops_per_s\": " << spsc_single
+      << ", \"batch64_ops_per_s\": " << spsc_batch << "},\n";
+  const PoolCounters pc = BufferPool::Default().counters();
+  out << "  \"buffer_pool\": {\"hits\": " << pc.hits
+      << ", \"misses\": " << pc.misses
+      << ", \"bytes_allocated\": " << pc.bytes_allocated
+      << ", \"bytes_cached\": " << pc.bytes_cached
+      << ", \"bytes_outstanding\": " << pc.bytes_outstanding << "}\n";
+  out << "}\n";
+}
+
+int run_e2e_suite(const CliArgs& args) {
+  const bool quick = args.get_bool("quick", false);
+  const int reps =
+      static_cast<int>(args.get_int("reps", quick ? 1 : 3));
+  const std::string json_path =
+      args.get_string("json", "BENCH_micro.json");
+
+  std::vector<E2eRow> rows;
+  std::fprintf(stderr, "[bench] dedup end-to-end (%d rep%s per row)...\n",
+               reps, reps == 1 ? "" : "s");
+  rows.push_back(run_e2e("dedup_e2e_sequential_parsec",
+                         datagen::CorpusKind::kParsecLike, false, reps));
+  rows.push_back(run_e2e("dedup_e2e_sequential_source",
+                         datagen::CorpusKind::kSourceLike, false, reps));
+  rows.push_back(run_e2e("dedup_e2e_sequential_silesia",
+                         datagen::CorpusKind::kSilesiaLike, false, reps));
+  rows.push_back(run_e2e("dedup_e2e_spar_cpu4_parsec",
+                         datagen::CorpusKind::kParsecLike, true, reps));
+
+  std::fprintf(stderr, "[bench] steady-state allocation probe...\n");
+  const SteadyResult steady = steady_state_allocs();
+  std::fprintf(stderr, "[bench] spsc queue ops...\n");
+  const std::size_t spsc_items = quick ? (1u << 18) : (1u << 20);
+  const double spsc_single = spsc_ops_per_s(false, spsc_items);
+  const double spsc_batch = spsc_ops_per_s(true, spsc_items);
+
+  write_json(json_path, rows, steady, spsc_single, spsc_batch, quick);
+
+  std::printf("dedup end-to-end (input %.0f MB, best of %d):\n",
+              kE2eInputBytes / 1e6, reps);
+  for (const E2eRow& r : rows) {
+    std::printf("  %-32s %7.2f MB/s", r.name.c_str(), r.mb_per_s);
+    if (r.baseline_mb_per_s > 0) {
+      std::printf("  (baseline %.2f, %.2fx)", r.baseline_mb_per_s,
+                  r.mb_per_s / r.baseline_mb_per_s);
+    }
+    std::printf("\n");
+  }
+  std::printf("steady-state pass: %llu batches, %llu blocks, %llu heap "
+              "allocs%s\n",
+              static_cast<unsigned long long>(steady.batches),
+              static_cast<unsigned long long>(steady.blocks),
+              static_cast<unsigned long long>(steady.heap_allocs),
+              HS_BENCH_SANITIZED ? " (sanitized build: not asserted)" : "");
+  std::printf("spsc queue: %.1fM single ops/s, %.1fM batch-64 ops/s\n",
+              spsc_single / 1e6, spsc_batch / 1e6);
+  std::printf("json written to %s\n", json_path.c_str());
+
+  if (args.get_bool("check-steady-allocs", false) && !HS_BENCH_SANITIZED &&
+      steady.heap_allocs != 0) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: steady-state dedup pipeline performed %llu "
+                 "heap allocations (expected 0)\n",
+                 static_cast<unsigned long long>(steady.heap_allocs));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace hs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool gbench = false;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--gbench") {
+      gbench = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (gbench) {
+    int rest_argc = static_cast<int>(rest.size());
+    benchmark::Initialize(&rest_argc, rest.data());
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  auto args = hs::CliArgs::Parse(static_cast<int>(rest.size()), rest.data());
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  return hs::run_e2e_suite(args.value());
+}

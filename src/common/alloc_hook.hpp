@@ -1,0 +1,22 @@
+// Process-wide heap-allocation counter used by benches and tests to prove
+// the pooled dedup datapath runs allocation-free in the steady state.
+//
+// Linking hs_common replaces the global operator new/delete with counting
+// versions (see alloc_hook.cpp). The counters are relaxed atomics — cheap
+// enough to leave on everywhere — and a test asserts the *delta* across a
+// warmed pipeline pass is zero. Under ASan/MSan the sanitizer's allocator
+// may interpose ahead of ours, so strict zero-delta assertions should be
+// skipped when sanitizers are active.
+#pragma once
+
+#include <cstdint>
+
+namespace hs {
+
+/// Total calls into global operator new (all variants) since process start.
+std::uint64_t heap_alloc_count();
+
+/// Total bytes ever requested from global operator new.
+std::uint64_t heap_alloc_bytes();
+
+}  // namespace hs

@@ -1,0 +1,95 @@
+#include "common/buffer_pool.hpp"
+
+#include <bit>
+#include <new>
+
+namespace hs {
+namespace {
+
+constexpr std::size_t kNumClasses = 21;  // 64B (2^6) .. 64MB (2^26)
+
+}  // namespace
+
+BufferPool::BufferPool(std::size_t max_cached_bytes)
+    : free_(kNumClasses), max_cached_bytes_(max_cached_bytes) {}
+
+BufferPool::~BufferPool() { trim(); }
+
+BufferPool& BufferPool::Default() {
+  // Leaked singleton: handles may outlive static destruction order.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+std::size_t BufferPool::class_capacity(std::size_t min_bytes) {
+  if (min_bytes <= kMinClassBytes) return kMinClassBytes;
+  return std::bit_ceil(min_bytes);
+}
+
+std::size_t BufferPool::class_index(std::size_t capacity) {
+  // capacity is a power of two in [kMinClassBytes, kMaxClassBytes].
+  return static_cast<std::size_t>(std::countr_zero(capacity)) - 6;
+}
+
+BufferPool::Slab BufferPool::acquire(std::size_t min_bytes) {
+  const std::size_t cap = class_capacity(min_bytes);
+  if (cap <= kMaxClassBytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& list = free_[class_index(cap)];
+    if (!list.empty()) {
+      Slab slab{list.back(), cap};
+      list.pop_back();
+      ++counters_.hits;
+      counters_.bytes_cached -= cap;
+      counters_.bytes_outstanding += cap;
+      return slab;
+    }
+  }
+  // Miss: allocate outside the lock. Oversize requests get the exact size
+  // and are never cached.
+  const std::size_t alloc = cap <= kMaxClassBytes ? cap : min_bytes;
+  Slab slab{static_cast<std::uint8_t*>(::operator new(alloc)), alloc};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.misses;
+    counters_.bytes_allocated += alloc;
+    counters_.bytes_outstanding += alloc;
+  }
+  return slab;
+}
+
+void BufferPool::release(Slab slab) {
+  if (slab.ptr == nullptr) return;
+  if (slab.capacity <= kMaxClassBytes &&
+      std::has_single_bit(slab.capacity)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.bytes_outstanding -= slab.capacity;
+    if (counters_.bytes_cached + slab.capacity <= max_cached_bytes_) {
+      free_[class_index(slab.capacity)].push_back(slab.ptr);
+      counters_.bytes_cached += slab.capacity;
+      return;
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.bytes_outstanding -= slab.capacity;
+  }
+  ::operator delete(slab.ptr);
+}
+
+void BufferPool::trim() {
+  std::vector<std::vector<std::uint8_t*>> drained(kNumClasses);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(free_);
+    counters_.bytes_cached = 0;
+  }
+  for (auto& list : drained)
+    for (std::uint8_t* ptr : list) ::operator delete(ptr);
+}
+
+PoolCounters BufferPool::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace hs

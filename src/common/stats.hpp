@@ -1,13 +1,29 @@
 // Streaming statistics accumulator (Welford) used to report the paper's
-// "arithmetic means and standard deviations over N samples".
+// "arithmetic means and standard deviations over N samples", plus the
+// counter block shared by the recycling allocators (common::BufferPool,
+// cudax::PinnedPool).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 namespace hs {
+
+/// Counters of a recycling buffer pool. A hit hands back a cached slab
+/// without touching the heap; a miss allocates. bytes_allocated is
+/// cumulative (how much the pool ever requested from the allocator);
+/// bytes_cached / bytes_outstanding are the current split of that memory
+/// between the free lists and live handles.
+struct PoolCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t bytes_cached = 0;
+  std::uint64_t bytes_outstanding = 0;
+};
 
 /// Single-pass mean / variance / min / max accumulator.
 class RunningStats {

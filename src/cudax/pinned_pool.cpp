@@ -1,0 +1,97 @@
+#include "cudax/pinned_pool.hpp"
+
+#include <bit>
+
+#include "cudax/cudax.hpp"
+
+namespace hs::cudax {
+
+namespace {
+
+constexpr std::size_t kNumClasses = 19;  // 256B (2^8) .. 64MB (2^26)
+
+std::size_t class_capacity(std::size_t min_bytes) {
+  if (min_bytes <= PinnedPool::kMinClassBytes) {
+    return PinnedPool::kMinClassBytes;
+  }
+  return std::bit_ceil(min_bytes);
+}
+
+std::size_t class_index(std::size_t capacity) {
+  return static_cast<std::size_t>(std::countr_zero(capacity)) - 8;
+}
+
+}  // namespace
+
+void PinnedPool::Handle::release() {
+  if (ptr_ != nullptr && pool_ != nullptr) {
+    pool_->put_back(ptr_, capacity_);
+  }
+  pool_ = nullptr;
+  ptr_ = nullptr;
+  capacity_ = 0;
+}
+
+PinnedPool& PinnedPool::Default() {
+  // Leaked singleton: staging handles inside pipeline nodes may be
+  // destroyed during static teardown, after a local pool would be gone.
+  // Cached slabs stay reachable through it, so leak checkers are quiet.
+  static PinnedPool* pool = new PinnedPool();
+  return *pool;
+}
+
+PinnedPool::Handle PinnedPool::acquire(std::size_t min_bytes) {
+  if (min_bytes == 0) min_bytes = kMinClassBytes;
+  const std::size_t cap = class_capacity(min_bytes);
+  if (cap > kMaxClassBytes) return Handle{};  // beyond staging sizes
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() == kNumClasses) {
+      auto& list = free_[class_index(cap)];
+      if (!list.empty()) {
+        void* ptr = list.back();
+        list.pop_back();
+        ++counters_.hits;
+        counters_.bytes_cached -= cap;
+        counters_.bytes_outstanding += cap;
+        return Handle{this, ptr, cap};
+      }
+    }
+  }
+  void* ptr = nullptr;
+  if (cudaMallocHost(&ptr, cap) != cudaError::cudaSuccess) {
+    return Handle{};  // caller degrades to pageable memory
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.misses;
+  counters_.bytes_allocated += cap;
+  counters_.bytes_outstanding += cap;
+  return Handle{this, ptr, cap};
+}
+
+void PinnedPool::put_back(void* ptr, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() != kNumClasses) free_.resize(kNumClasses);
+  free_[class_index(capacity)].push_back(ptr);
+  counters_.bytes_outstanding -= capacity;
+  counters_.bytes_cached += capacity;
+}
+
+void PinnedPool::trim() {
+  std::vector<std::vector<void*>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(free_);
+    counters_.bytes_cached = 0;
+  }
+  for (auto& list : drained) {
+    for (void* ptr : list) (void)cudaFreeHost(ptr);
+  }
+}
+
+PoolCounters PinnedPool::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace hs::cudax

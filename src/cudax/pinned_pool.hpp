@@ -1,0 +1,102 @@
+// Recycling pool for pinned host staging buffers.
+//
+// cudaMallocHost is the expensive way to get pinned memory (the real API
+// pins pages through the driver), so the paper-era pattern of allocating a
+// fresh pinned buffer per stage setup wastes exactly the per-item overhead
+// the paper's datapath lesson warns about. PinnedPool hands out
+// size-classed pinned slabs and caches them on release *without*
+// cudaFreeHost — a recycled slab stays registered as pinned, so reuse is a
+// pure pointer handoff. Only trim() actually returns memory.
+//
+// acquire() degrades gracefully: when pinned allocation fails the returned
+// handle is invalid and the caller falls back to pageable memory (the
+// transfers still work, just at pageable speed — mirroring real CUDA).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace hs::cudax {
+
+class PinnedPool {
+ public:
+  /// Move-only handle to a pinned slab; returns it to the pool on
+  /// destruction. A default-constructed / failed handle is !valid().
+  class Handle {
+   public:
+    Handle() = default;
+    ~Handle() { release(); }
+
+    Handle(Handle&& other) noexcept
+        : pool_(other.pool_), ptr_(other.ptr_), capacity_(other.capacity_) {
+      other.pool_ = nullptr;
+      other.ptr_ = nullptr;
+      other.capacity_ = 0;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        ptr_ = other.ptr_;
+        capacity_ = other.capacity_;
+        other.pool_ = nullptr;
+        other.ptr_ = nullptr;
+        other.capacity_ = 0;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    [[nodiscard]] bool valid() const { return ptr_ != nullptr; }
+    [[nodiscard]] std::uint8_t* data() const {
+      return static_cast<std::uint8_t*>(ptr_);
+    }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Returns the slab to the pool's cache early (still pinned there).
+    void release();
+
+   private:
+    friend class PinnedPool;
+    Handle(PinnedPool* pool, void* ptr, std::size_t capacity)
+        : pool_(pool), ptr_(ptr), capacity_(capacity) {}
+
+    PinnedPool* pool_ = nullptr;
+    void* ptr_ = nullptr;
+    std::size_t capacity_ = 0;
+  };
+
+  static constexpr std::size_t kMinClassBytes = 256;
+  static constexpr std::size_t kMaxClassBytes = std::size_t{1} << 26;
+
+  PinnedPool() = default;
+  ~PinnedPool() { trim(); }
+  PinnedPool(const PinnedPool&) = delete;
+  PinnedPool& operator=(const PinnedPool&) = delete;
+
+  /// Process-wide pool shared by the GPU bindings.
+  static PinnedPool& Default();
+
+  /// A pinned slab of at least `min_bytes` (power-of-two class). Invalid
+  /// handle when pinned allocation fails — callers fall back to pageable.
+  [[nodiscard]] Handle acquire(std::size_t min_bytes);
+
+  /// cudaFreeHost's every cached slab.
+  void trim();
+
+  [[nodiscard]] PoolCounters counters() const;
+
+ private:
+  void put_back(void* ptr, std::size_t capacity);
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<void*>> free_;
+  PoolCounters counters_;
+};
+
+}  // namespace hs::cudax

@@ -39,6 +39,10 @@ class ArchiveWriter {
   /// writer must not be reused afterwards.
   std::vector<std::uint8_t> finish(const kernels::Sha1Digest& input_digest);
 
+  /// Pre-sizes the output buffer (callers that know the input size avoid
+  /// repeated growth reallocations in the serial writer stage).
+  void reserve(std::size_t bytes) { out_.reserve(bytes); }
+
   [[nodiscard]] std::uint64_t batches_written() const { return batch_count_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return out_.size(); }
 

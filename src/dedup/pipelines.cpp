@@ -1,8 +1,10 @@
 #include "dedup/pipelines.hpp"
 
+#include <cstring>
 #include <optional>
 
 #include "cudax/cudax.hpp"
+#include "cudax/pinned_pool.hpp"
 #include "dedup/stages.hpp"
 #include "flow/adapters.hpp"
 #include "oclx/oclx.hpp"
@@ -16,18 +18,21 @@ kernels::Sha1Digest input_digest(std::span<const std::uint8_t> input) {
   return kernels::Sha1::hash(input);
 }
 
-/// Source generator over fixed-size chunks of the input.
+/// Source generator over fixed-size chunks of the input. The Rabin tables
+/// are built once here (not per batch), and with a BatchPool attached each
+/// new batch reuses a retired batch's slab and vector capacities.
 class BatchSource {
  public:
-  BatchSource(std::span<const std::uint8_t> input, const DedupConfig& config)
-      : input_(input), config_(config) {}
+  BatchSource(std::span<const std::uint8_t> input, const DedupConfig& config,
+              BatchPool* pool = nullptr)
+      : input_(input), config_(config), rabin_(config.rabin), pool_(pool) {}
 
   std::optional<Batch> operator()() {
     if (offset_ >= input_.size()) return std::nullopt;
     std::size_t n =
         std::min<std::size_t>(config_.batch_size, input_.size() - offset_);
-    Batch batch = fragment_batch(input_.subspan(offset_, n), index_++,
-                                 config_);
+    Batch batch = pool_ != nullptr ? pool_->acquire() : Batch{};
+    fragment_batch_into(input_.subspan(offset_, n), index_++, rabin_, batch);
     offset_ += n;
     return batch;
   }
@@ -35,22 +40,33 @@ class BatchSource {
  private:
   std::span<const std::uint8_t> input_;
   DedupConfig config_;
+  kernels::Rabin rabin_;
+  BatchPool* pool_;
   std::size_t offset_ = 0;
   std::uint64_t index_ = 0;
 };
+
+/// Generous upper bound on the archive size: payload (worst case the LZSS
+/// 1-bit-per-byte expansion) + per-block record overhead + header/trailer.
+std::size_t archive_reserve_bytes(std::size_t input_size) {
+  return input_size + input_size / 8 + input_size / 64 + 4096;
+}
 
 }  // namespace
 
 Result<std::vector<std::uint8_t>> archive_sequential(
     std::span<const std::uint8_t> input, const DedupConfig& config) {
   ArchiveWriter writer(config);
+  writer.reserve(archive_reserve_bytes(input.size()));
   DupCache cache;
-  BatchSource source(input, config);
+  BatchPool pool;
+  BatchSource source(input, config, &pool);
   while (auto batch = source()) {
     hash_blocks(*batch);
     cache.check(*batch);
     compress_blocks_cpu(*batch, config);
     HS_RETURN_IF_ERROR(writer.append(*batch));
+    pool.release(std::move(*batch));
   }
   return writer.finish(input_digest(input));
 }
@@ -59,11 +75,13 @@ Result<std::vector<std::uint8_t>> archive_spar_cpu(
     std::span<const std::uint8_t> input, const DedupConfig& config,
     int replicas) {
   ArchiveWriter writer(config);
+  writer.reserve(archive_reserve_bytes(input.size()));
   DupCache cache;
+  BatchPool pool;
   Status append_status;
 
   spar::ToStream region("dedup");
-  region.source<Batch>(BatchSource(input, config));
+  region.source<Batch>(BatchSource(input, config, &pool));
   region.stage<Batch, Batch>(spar::Replicate(replicas), [](Batch batch) {
     hash_blocks(batch);
     return batch;
@@ -77,9 +95,10 @@ Result<std::vector<std::uint8_t>> archive_spar_cpu(
                                compress_blocks_cpu(batch, config);
                                return batch;
                              });
-  region.last_stage<Batch>([&writer, &append_status](Batch batch) {
+  region.last_stage<Batch>([&writer, &append_status, &pool](Batch batch) {
     Status s = writer.append(batch);
     if (!s.ok() && append_status.ok()) append_status = s;
+    pool.release(std::move(batch));
   });
   HS_RETURN_IF_ERROR(region.run());
   if (!append_status.ok()) return append_status;
@@ -244,7 +263,20 @@ class CudaHashWorker final : public flow::Node {
     if (nblocks == 0) {
       return flow::SvcResult::Out(flow::Item::of<Batch>(std::move(batch)));
     }
-    std::vector<std::uint8_t> digests(nblocks * 20);
+    // Digest staging from the pinned pool (fast simulated transfers, no
+    // per-batch allocation); pageable member fallback when pinned memory
+    // is unavailable.
+    const std::size_t need = nblocks * 20;
+    if (staging_.capacity() < need) {
+      staging_ = cudax::PinnedPool::Default().acquire(need);
+    }
+    std::uint8_t* digests;
+    if (staging_.valid()) {
+      digests = staging_.data();
+    } else {
+      if (fallback_.size() < need) fallback_.resize(need);
+      digests = fallback_.data();
+    }
     Status s = ctx_->run("dedup.sha1",
                          [&] { return hash_pass(batch, digests); });
     if (!s.ok()) {
@@ -255,8 +287,7 @@ class CudaHashWorker final : public flow::Node {
       return flow::SvcResult::Out(flow::Item::of<Batch>(std::move(batch)));
     }
     for (std::size_t b = 0; b < nblocks; ++b) {
-      std::copy(digests.begin() + static_cast<long>(b * 20),
-                digests.begin() + static_cast<long>(b * 20 + 20),
+      std::copy(digests + b * 20, digests + b * 20 + 20,
                 batch.blocks[b].digest.begin());
     }
     return flow::SvcResult::Out(flow::Item::of<Batch>(std::move(batch)));
@@ -264,11 +295,12 @@ class CudaHashWorker final : public flow::Node {
 
   void on_end() override {
     if (ctx_) ctx_->release();
+    staging_.release();
   }
 
  private:
   /// One device pass: upload, hash kernel, download. Idempotent.
-  Status hash_pass(Batch& batch, std::vector<std::uint8_t>& digests) {
+  Status hash_pass(Batch& batch, std::uint8_t* digests) {
     const std::size_t nblocks = batch.blocks.size();
     auto data_buf = ctx_->scratch(0, batch.data.size());
     if (!data_buf.ok()) return data_buf.status();
@@ -304,7 +336,7 @@ class CudaHashWorker final : public flow::Node {
         "hash kernel failed");
     if (!s.ok()) return s;
     s = cuda_status(
-        cudax::cudaMemcpyAsync(digests.data(), dev_digests, digests.size(),
+        cudax::cudaMemcpyAsync(digests, dev_digests, nblocks * 20,
                                cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
                                ctx_->stream()),
         "d2h failed");
@@ -317,6 +349,8 @@ class CudaHashWorker final : public flow::Node {
   RetryStats* stats_;
   RetryPolicy policy_;
   std::unique_ptr<CudaStageContext> ctx_;
+  cudax::PinnedPool::Handle staging_;
+  std::vector<std::uint8_t> fallback_;
 };
 
 /// FindMatch + compress stage on the simulated GPU (paper stage 4,
@@ -356,6 +390,7 @@ class CudaCompressWorker final : public flow::Node {
 
   void on_end() override {
     if (ctx_) ctx_->release();
+    staging_.release();
   }
 
  private:
@@ -405,16 +440,29 @@ class CudaCompressWorker final : public flow::Node {
             }),
         "FindMatch kernel failed");
     if (!s.ok()) return s;
+    // Match table comes back through a pinned staging slab when available
+    // (pool hit in the steady state); the matches vector keeps its
+    // capacity across recycled batches either way.
+    const std::size_t bytes = n * sizeof(kernels::LzssMatch);
+    if (staging_.capacity() < bytes) {
+      staging_ = cudax::PinnedPool::Default().acquire(bytes);
+    }
     batch.matches.resize(n);
+    void* dst = staging_.valid() ? static_cast<void*>(staging_.data())
+                                 : static_cast<void*>(batch.matches.data());
     s = cuda_status(
-        cudax::cudaMemcpyAsync(batch.matches.data(), dev_matches,
-                               n * sizeof(kernels::LzssMatch),
+        cudax::cudaMemcpyAsync(dst, dev_matches, bytes,
                                cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
                                ctx_->stream()),
         "d2h failed");
     if (!s.ok()) return s;
-    return cuda_status(cudax::cudaStreamSynchronize(ctx_->stream()),
-                       "stream synchronize failed");
+    s = cuda_status(cudax::cudaStreamSynchronize(ctx_->stream()),
+                    "stream synchronize failed");
+    if (!s.ok()) return s;
+    if (staging_.valid()) {
+      std::memcpy(batch.matches.data(), staging_.data(), bytes);
+    }
+    return OkStatus();
   }
 
   gpusim::Machine* machine_;
@@ -422,6 +470,7 @@ class CudaCompressWorker final : public flow::Node {
   RetryStats* stats_;
   RetryPolicy policy_;
   std::unique_ptr<CudaStageContext> ctx_;
+  cudax::PinnedPool::Handle staging_;
 };
 
 }  // namespace
@@ -434,11 +483,13 @@ Result<std::vector<std::uint8_t>> archive_spar_cuda(
     return InvalidArgument("machine has no devices");
   }
   ArchiveWriter writer(config);
+  writer.reserve(archive_reserve_bytes(input.size()));
   DupCache cache;
+  BatchPool pool;
   Status append_status;
 
   spar::ToStream region("dedup-cuda");
-  region.source<Batch>(BatchSource(input, config));
+  region.source<Batch>(BatchSource(input, config, &pool));
   region.stage_nodes(spar::Replicate(replicas), [&machine, stats, policy] {
     return std::make_unique<CudaHashWorker>(&machine, stats, policy);
   });
@@ -451,9 +502,10 @@ Result<std::vector<std::uint8_t>> archive_spar_cuda(
     return std::make_unique<CudaCompressWorker>(&machine, config, stats,
                                                 policy);
   });
-  region.last_stage<Batch>([&writer, &append_status](Batch batch) {
+  region.last_stage<Batch>([&writer, &append_status, &pool](Batch batch) {
     Status s = writer.append(batch);
     if (!s.ok() && append_status.ok()) append_status = s;
+    pool.release(std::move(batch));
   });
   HS_RETURN_IF_ERROR(region.run());
   if (!append_status.ok()) return append_status;
@@ -472,8 +524,10 @@ Result<std::vector<std::uint8_t>> archive_opencl_single_thread(
   if (!queue.ok()) return queue.status();
 
   ArchiveWriter writer(config);
+  writer.reserve(archive_reserve_bytes(input.size()));
   DupCache cache;
-  BatchSource source(input, config);
+  BatchPool pool;
+  BatchSource source(input, config, &pool);
   const kernels::LzssParams lzss = config.lzss;
 
   while (auto maybe_batch = source()) {
@@ -576,6 +630,7 @@ Result<std::vector<std::uint8_t>> archive_opencl_single_thread(
 
     // Stage 5: write.
     if (Status s = writer.append(batch); !s.ok()) return s;
+    pool.release(std::move(batch));
   }
   return writer.finish(input_digest(input));
 }

@@ -8,11 +8,19 @@ namespace hs::dedup {
 
 Batch fragment_batch(std::span<const std::uint8_t> chunk, std::uint64_t index,
                      const DedupConfig& config) {
-  Batch batch;
-  batch.index = index;
-  batch.data.assign(chunk.begin(), chunk.end());
   kernels::Rabin rabin(config.rabin);
-  batch.start_pos = rabin.chunk_boundaries(batch.data);
+  Batch batch;
+  fragment_batch_into(chunk, index, rabin, batch);
+  return batch;
+}
+
+void fragment_batch_into(std::span<const std::uint8_t> chunk,
+                         std::uint64_t index, const kernels::Rabin& rabin,
+                         Batch& batch) {
+  batch.reset();
+  batch.index = index;
+  batch.data.assign(chunk);
+  rabin.chunk_boundaries_into(batch.data.span(), batch.start_pos);
   batch.blocks.reserve(batch.start_pos.size());
   for (std::size_t k = 0; k < batch.start_pos.size(); ++k) {
     BlockInfo block;
@@ -21,9 +29,10 @@ Batch fragment_batch(std::span<const std::uint8_t> chunk, std::uint64_t index,
                             ? batch.start_pos[k + 1]
                             : static_cast<std::uint32_t>(batch.data.size());
     block.len = end - block.start;
-    batch.blocks.push_back(block);
+    block.bytes = std::span<const std::uint8_t>(batch.data.data() + block.start,
+                                                block.len);
+    batch.blocks.push_back(std::move(block));
   }
-  return batch;
 }
 
 std::vector<Batch> fragment_input(std::span<const std::uint8_t> input,
@@ -66,9 +75,7 @@ std::vector<Batch> fragment_input_variable(
 
 void hash_blocks(Batch& batch) {
   for (BlockInfo& block : batch.blocks) {
-    block.digest = kernels::Sha1::hash(
-        std::span<const std::uint8_t>(batch.data.data() + block.start,
-                                      block.len));
+    block.digest = kernels::Sha1::hash(block.bytes);
   }
 }
 
@@ -88,9 +95,7 @@ std::uint64_t DupCache::unique_count() const {
 void DupCache::check(Batch& batch) {
   std::lock_guard<std::mutex> lock(mu_);
   for (BlockInfo& block : batch.blocks) {
-    std::string key(reinterpret_cast<const char*>(block.digest.data()),
-                    block.digest.size());
-    auto [it, inserted] = ids_.try_emplace(key, next_id_);
+    auto [it, inserted] = ids_.try_emplace(block.digest, next_id_);
     if (inserted) {
       block.duplicate = false;
       block.global_id = next_id_++;
@@ -103,30 +108,28 @@ void DupCache::check(Batch& batch) {
 
 namespace {
 
-/// Applies the configured entropy stage over an LZSS payload, keeping
-/// whichever representation is smaller (per-block best-of: the 132-byte
-/// table+prefix overhead makes entropy coding a loss for small or
-/// already-dense blocks). Sets block.entropy_coded accordingly.
-void finish_payload(std::vector<std::uint8_t> lzss_out,
-                    const DedupConfig& config, BlockInfo& block) {
+/// Applies the configured entropy stage over the LZSS payload already in
+/// block.compressed, keeping whichever representation is smaller
+/// (per-block best-of: the 132-byte table+prefix overhead makes entropy
+/// coding a loss for small or already-dense blocks). Sets
+/// block.entropy_coded accordingly.
+void finish_payload(const DedupConfig& config, BlockInfo& block) {
   block.entropy_coded = false;
-  if (config.codec == DedupCodec::kLzssHuffman) {
-    // Prefix the LZSS layer's size (little-endian u32) so the extractor
-    // knows how much the entropy layer decodes to.
-    std::vector<std::uint8_t> out;
-    std::uint32_t n = static_cast<std::uint32_t>(lzss_out.size());
+  if (config.codec != DedupCodec::kLzssHuffman) return;
+  // Prefix the LZSS layer's size (little-endian u32) so the extractor
+  // knows how much the entropy layer decodes to.
+  auto huff = kernels::huffman_encode(block.compressed.span());
+  if (4 + huff.size() < block.compressed.size()) {
+    std::uint32_t n = static_cast<std::uint32_t>(block.compressed.size());
+    PooledBuffer out;
+    out.reserve(4 + huff.size());
     for (int i = 0; i < 4; ++i) {
       out.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
     }
-    auto huff = kernels::huffman_encode(lzss_out);
-    out.insert(out.end(), huff.begin(), huff.end());
-    if (out.size() < lzss_out.size()) {
-      block.entropy_coded = true;
-      block.compressed = std::move(out);
-      return;
-    }
+    out.append(huff.data(), huff.size());
+    block.compressed = std::move(out);
+    block.entropy_coded = true;
   }
-  block.compressed = std::move(lzss_out);
 }
 
 }  // namespace
@@ -134,9 +137,10 @@ void finish_payload(std::vector<std::uint8_t> lzss_out,
 void compress_blocks_cpu(Batch& batch, const DedupConfig& config) {
   for (BlockInfo& block : batch.blocks) {
     if (block.duplicate) continue;
-    finish_payload(kernels::lzss_encode(batch.data, block.start,
-                                        block.start + block.len, config.lzss),
-                   config, block);
+    kernels::lzss_encode(batch.data.span(), block.start,
+                         block.start + block.len, config.lzss,
+                         block.compressed);
+    finish_payload(config, block);
   }
 }
 
@@ -145,18 +149,17 @@ void find_batch_matches(Batch& batch, const DedupConfig& config) {
     batch.matches.clear();
     return;
   }
-  kernels::find_matches_batch(batch.data, batch.start_pos, config.lzss,
+  kernels::find_matches_batch(batch.data.span(), batch.start_pos, config.lzss,
                               batch.matches);
 }
 
 void compress_blocks_from_matches(Batch& batch, const DedupConfig& config) {
   for (BlockInfo& block : batch.blocks) {
     if (block.duplicate) continue;
-    finish_payload(
-        kernels::lzss_encode_from_matches(batch.data, block.start,
-                                          block.start + block.len,
-                                          batch.matches, config.lzss),
-        config, block);
+    kernels::lzss_encode_from_matches(batch.data.span(), block.start,
+                                      block.start + block.len, batch.matches,
+                                      config.lzss, block.compressed);
+    finish_payload(config, block);
   }
 }
 

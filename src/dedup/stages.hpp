@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -31,6 +32,14 @@ std::vector<Batch> fragment_input(std::span<const std::uint8_t> input,
 Batch fragment_batch(std::span<const std::uint8_t> chunk,
                      std::uint64_t index, const DedupConfig& config);
 
+/// Allocation-free form of stage 1: refills a (possibly recycled) batch in
+/// place with a caller-owned Rabin — hoisting the table construction out
+/// of the per-batch path and reusing the batch's slab and vector
+/// capacities. Produces exactly the batch fragment_batch would.
+void fragment_batch_into(std::span<const std::uint8_t> chunk,
+                         std::uint64_t index, const kernels::Rabin& rabin,
+                         Batch& batch);
+
 /// PARSEC's original fragmentation, before the paper's GPU refactor: batch
 /// boundaries are themselves content-defined (a coarse rabin pass), so
 /// batch sizes vary widely around config.batch_size — which is exactly why
@@ -47,6 +56,24 @@ void hash_blocks(Batch& batch);
 /// Total SHA-1 compression rounds of a batch (cost accounting).
 std::uint64_t batch_sha1_rounds(const Batch& batch);
 
+/// Hash of a SHA-1 digest for the duplicate table: the digest is already
+/// uniformly distributed, so folding its words is enough. Keying the table
+/// by the 20-byte array directly (instead of a std::string, which exceeds
+/// the small-string optimization) keeps the per-block lookup heap-free.
+struct DigestHash {
+  std::size_t operator()(const kernels::Sha1Digest& d) const {
+    std::uint64_t a, b;
+    std::uint32_t c;
+    std::memcpy(&a, d.data(), 8);
+    std::memcpy(&b, d.data() + 8, 8);
+    std::memcpy(&c, d.data() + 16, 4);
+    std::uint64_t h = a;
+    h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= c + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
 /// Stage 3's global digest table: digest -> global id of first occurrence.
 /// Thread-safe lookups are not needed (the stage is serial in every
 /// variant) but the class is internally consistent if shared.
@@ -60,7 +87,7 @@ class DupCache {
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::uint64_t> ids_;
+  std::unordered_map<kernels::Sha1Digest, std::uint64_t, DigestHash> ids_;
   std::uint64_t next_id_ = 0;
 };
 

@@ -102,6 +102,21 @@ class Channel {
     }
     return ok;
   }
+
+  /// Blocks until at least one envelope arrives, then drains up to `max`
+  /// under a single acquire/release round-trip (FastFlow-style burst
+  /// transfer). Returns 0 only when the run aborted with the queue empty.
+  std::size_t pop_burst(Envelope* out, std::size_t max) {
+    Backoff backoff;
+    std::size_t n;
+    while ((n = queue_.try_pop_n(out, max)) == 0) {
+      if (state_->aborted()) return 0;
+      wait_not_empty(backoff);
+    }
+    state_->tick();
+    if (mode_ == WaitMode::kBlocking) cv_not_full_.notify_one();
+    return n;
+  }
   [[nodiscard]] bool has_space() const {
     return queue_.size_approx() < queue_.capacity();
   }
@@ -319,25 +334,44 @@ class StageUnit final : public Unit {
   void run() override {
     NodeAccess::bind(*node_, &router_, /*emit_allowed=*/!propagate_seq_);
     node_->on_init(replica_id_);
-    Envelope env;
-    while (in_->pop(env)) {
-      if (env.kind == EnvKind::kEos) break;
-      if (env.kind == EnvKind::kHole) continue;  // holes die at collectors
-      ++stats_.items_in;
-      std::uint64_t seq = env.seq;
-      SvcResult r = guarded_svc([&] { return node_->svc(std::move(env.item)); });
-      if (r.kind == SvcResult::Kind::kEos) break;
-      Envelope out;
-      out.seq = propagate_seq_ ? seq : router_.take_seq();
-      if (r.kind == SvcResult::Kind::kItem) {
-        ++stats_.items_out;
-        out.kind = EnvKind::kItem;
-        out.item = std::move(r.item);
-        if (!router_.route(std::move(out))) break;
-      } else if (propagate_seq_) {
-        // Ordered farm: the collector must learn this sequence was dropped.
-        out.kind = EnvKind::kHole;
-        if (!router_.route(std::move(out))) break;
+    // Burst transfer: drain up to kBurst envelopes per queue round-trip.
+    // EOS is always the producer's final envelope on this SPSC channel, so
+    // nothing can follow it inside a burst; items buffered when svc returns
+    // EOS are destroyed exactly as they would be if left unconsumed in the
+    // queue.
+    constexpr std::size_t kBurst = 8;
+    Envelope burst[kBurst];
+    bool running = true;
+    std::size_t n;
+    while (running && (n = in_->pop_burst(burst, kBurst)) > 0) {
+      for (std::size_t i = 0; i < n && running; ++i) {
+        Envelope& env = burst[i];
+        if (env.kind == EnvKind::kEos) {
+          running = false;
+          break;
+        }
+        if (env.kind == EnvKind::kHole) continue;  // holes die at collectors
+        ++stats_.items_in;
+        std::uint64_t seq = env.seq;
+        SvcResult r =
+            guarded_svc([&] { return node_->svc(std::move(env.item)); });
+        if (r.kind == SvcResult::Kind::kEos) {
+          running = false;
+          break;
+        }
+        Envelope out;
+        out.seq = propagate_seq_ ? seq : router_.take_seq();
+        if (r.kind == SvcResult::Kind::kItem) {
+          ++stats_.items_out;
+          out.kind = EnvKind::kItem;
+          out.item = std::move(r.item);
+          if (!router_.route(std::move(out))) running = false;
+        } else if (propagate_seq_) {
+          // Ordered farm: the collector must learn this sequence was
+          // dropped.
+          out.kind = EnvKind::kHole;
+          if (!router_.route(std::move(out))) running = false;
+        }
       }
     }
     node_->on_end();
@@ -364,12 +398,21 @@ class EmitterUnit final : public Unit {
         router_(std::move(router)) {}
 
   void run() override {
-    Envelope env;
-    while (in_->pop(env)) {
-      if (env.kind == EnvKind::kEos) break;
-      ++stats_.items_in;
-      env.seq = router_.take_seq();  // restamp in arrival order
-      if (!router_.route(std::move(env))) break;
+    constexpr std::size_t kBurst = 8;
+    Envelope burst[kBurst];
+    bool running = true;
+    std::size_t n;
+    while (running && (n = in_->pop_burst(burst, kBurst)) > 0) {
+      for (std::size_t i = 0; i < n && running; ++i) {
+        Envelope& env = burst[i];
+        if (env.kind == EnvKind::kEos) {
+          running = false;
+          break;
+        }
+        ++stats_.items_in;
+        env.seq = router_.take_seq();  // restamp in arrival order
+        if (!router_.route(std::move(env))) running = false;
+      }
     }
     router_.broadcast_eos();
   }

@@ -8,6 +8,7 @@
 // power of two.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -55,8 +56,34 @@ class SpscQueue {
   }
 
   bool try_push(const T& value) {
-    T copy = value;
-    return try_push(std::move(copy));
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slot(tail).construct(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer-side batch push: enqueues up to `count` items from `values`
+  /// (moved out in order) under a single release store, amortizing the
+  /// acquire/release round-trip. Returns how many were enqueued (0 when
+  /// full; may be < count when nearly full — the first `n` items are gone
+  /// from `values`, the rest untouched).
+  std::size_t try_push_n(T* values, std::size_t count) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t space = mask_ + 1 - (tail - head_cache_);
+    if (space < count) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      space = mask_ + 1 - (tail - head_cache_);
+    }
+    const std::size_t n = std::min(space, count);
+    for (std::size_t i = 0; i < n; ++i) {
+      slot(tail + i).construct(std::move(values[i]));
+    }
+    if (n > 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
   }
 
   /// Consumer side. Returns false when empty.
@@ -71,6 +98,25 @@ class SpscQueue {
     s.destroy();
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer-side batch pop: dequeues up to `max_count` items into `out`
+  /// under a single release store. Returns how many were dequeued.
+  std::size_t try_pop_n(T* out, std::size_t max_count) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = tail_cache_ - head;
+    if (avail < max_count) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const std::size_t n = std::min(avail, max_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& s = slot(head + i);
+      out[i] = std::move(s.ref());
+      s.destroy();
+    }
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   /// Consumer-side peek without removal (used by the ordered collector).
@@ -97,6 +143,7 @@ class SpscQueue {
   struct Slot {
     alignas(T) unsigned char storage[sizeof(T)];
     void construct(T&& v) { ::new (static_cast<void*>(storage)) T(std::move(v)); }
+    void construct(const T& v) { ::new (static_cast<void*>(storage)) T(v); }
     T& ref() { return *std::launder(reinterpret_cast<T*>(storage)); }
     void destroy() { ref().~T(); }
   };

@@ -1,43 +1,45 @@
 #include "kernels/lzss.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
 
 namespace hs::kernels {
 
 namespace {
 
-/// MSB-first bit writer.
+/// MSB-first bit writer over any push_back-able byte sink. Bits collect in
+/// a 64-bit accumulator and flush a byte at a time; the worst case between
+/// flushes is 7 carried bits + a 12-bit offset field, far below 64, so the
+/// accumulator never overflows. The emitted stream is identical to writing
+/// each bit individually.
+template <typename Sink>
 class BitWriter {
  public:
-  void put_bit(bool bit) {
-    current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
-    if (++filled_ == 8) flush_byte();
-  }
+  explicit BitWriter(Sink& sink) : sink_(sink) {}
+
+  void put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
 
   void put_bits(std::uint32_t value, std::uint32_t count) {
-    for (std::uint32_t i = count; i-- > 0;) {
-      put_bit(((value >> i) & 1u) != 0);
+    acc_ = (acc_ << count) | (value & ((1u << count) - 1u));
+    filled_ += count;
+    while (filled_ >= 8) {
+      filled_ -= 8;
+      sink_.push_back(static_cast<std::uint8_t>(acc_ >> filled_));
     }
   }
 
-  std::vector<std::uint8_t> finish() {
+  void finish() {
     if (filled_ > 0) {
-      current_ = static_cast<std::uint8_t>(current_ << (8 - filled_));
-      flush_byte();
+      sink_.push_back(static_cast<std::uint8_t>(acc_ << (8 - filled_)));
+      filled_ = 0;
     }
-    return std::move(bytes_);
   }
 
  private:
-  void flush_byte() {
-    bytes_.push_back(current_);
-    current_ = 0;
-    filled_ = 0;
-  }
-
-  std::vector<std::uint8_t> bytes_;
-  std::uint8_t current_ = 0;
+  Sink& sink_;
+  std::uint64_t acc_ = 0;
   std::uint32_t filled_ = 0;
 };
 
@@ -87,13 +89,38 @@ LzssMatch lzss_longest_match(std::span<const std::uint8_t> input,
       std::min<std::size_t>(params.max_match, block_end - pos);
 
   LzssMatch best;
+  const std::uint8_t* base = input.data();
+  const std::uint8_t first = base[pos];
   for (std::size_t cand = search_begin; cand < pos; ++cand) {
-    if (input[cand] != input[pos]) continue;
+    // memchr skips straight to the next candidate whose first byte matches,
+    // visiting exactly the candidates the byte loop would have accepted, in
+    // the same oldest-first order (so ties still keep the oldest).
+    const void* hit = std::memchr(base + cand, first, pos - cand);
+    if (hit == nullptr) break;
+    cand = static_cast<std::size_t>(static_cast<const std::uint8_t*>(hit) -
+                                    base);
     // Source must stay below pos: max length additionally bounded by
     // pos - cand.
     const std::size_t limit = std::min(lookahead_limit, pos - cand);
     std::size_t len = 1;
-    while (len < limit && input[cand + len] == input[pos + len]) ++len;
+    // Word-at-a-time extension. In bounds: len + 8 <= limit implies
+    // cand + len + 8 <= cand + limit <= pos < input.size() and
+    // pos + len + 8 <= pos + limit <= block_end <= input.size().
+    if constexpr (std::endian::native == std::endian::little) {
+      while (len + 8 <= limit) {
+        std::uint64_t a, b;
+        std::memcpy(&a, base + cand + len, 8);
+        std::memcpy(&b, base + pos + len, 8);
+        if (a == b) {
+          len += 8;
+        } else {
+          len += static_cast<std::size_t>(std::countr_zero(a ^ b)) >> 3;
+          goto extended;
+        }
+      }
+    }
+    while (len < limit && base[cand + len] == base[pos + len]) ++len;
+  extended:
     if (len > best.length) {
       best.length = static_cast<std::uint16_t>(len);
       best.offset = static_cast<std::uint16_t>(pos - cand);
@@ -106,14 +133,13 @@ LzssMatch lzss_longest_match(std::span<const std::uint8_t> input,
 
 namespace {
 
-/// Shared encode walk; `next_match` yields the match for a position.
-template <typename MatchFn>
-std::vector<std::uint8_t> encode_walk(std::span<const std::uint8_t> input,
-                                      std::size_t block_start,
-                                      std::size_t block_end,
-                                      const LzssParams& params,
-                                      const MatchFn& next_match) {
-  BitWriter out;
+/// Shared encode walk; `next_match` yields the match for a position and
+/// `out_bytes` is any push_back-able byte sink.
+template <typename Sink, typename MatchFn>
+void encode_walk(std::span<const std::uint8_t> input, std::size_t block_start,
+                 std::size_t block_end, const LzssParams& params,
+                 const MatchFn& next_match, Sink& out_bytes) {
+  BitWriter<Sink> out(out_bytes);
   std::size_t pos = block_start;
   while (pos < block_end) {
     LzssMatch m = next_match(pos);
@@ -130,7 +156,7 @@ std::vector<std::uint8_t> encode_walk(std::span<const std::uint8_t> input,
       ++pos;
     }
   }
-  return out.finish();
+  out.finish();
 }
 
 }  // namespace
@@ -140,11 +166,27 @@ std::vector<std::uint8_t> lzss_encode(std::span<const std::uint8_t> input,
                                       std::size_t block_end,
                                       const LzssParams& params) {
   assert(params.valid());
-  return encode_walk(input, block_start, block_end, params,
-                     [&](std::size_t pos) {
-                       return lzss_longest_match(input, block_start,
-                                                 block_end, pos, params);
-                     });
+  std::vector<std::uint8_t> out;
+  encode_walk(input, block_start, block_end, params,
+              [&](std::size_t pos) {
+                return lzss_longest_match(input, block_start, block_end, pos,
+                                          params);
+              },
+              out);
+  return out;
+}
+
+void lzss_encode(std::span<const std::uint8_t> input, std::size_t block_start,
+                 std::size_t block_end, const LzssParams& params,
+                 PooledBuffer& out) {
+  assert(params.valid());
+  out.clear();
+  encode_walk(input, block_start, block_end, params,
+              [&](std::size_t pos) {
+                return lzss_longest_match(input, block_start, block_end, pos,
+                                          params);
+              },
+              out);
 }
 
 Result<std::vector<std::uint8_t>> lzss_decode(
@@ -215,8 +257,20 @@ std::vector<std::uint8_t> lzss_encode_from_matches(
     std::size_t block_end, std::span<const LzssMatch> matches,
     const LzssParams& params) {
   assert(matches.size() >= block_end);
-  return encode_walk(input, block_start, block_end, params,
-                     [&](std::size_t pos) { return matches[pos]; });
+  std::vector<std::uint8_t> out;
+  encode_walk(input, block_start, block_end, params,
+              [&](std::size_t pos) { return matches[pos]; }, out);
+  return out;
+}
+
+void lzss_encode_from_matches(std::span<const std::uint8_t> input,
+                              std::size_t block_start, std::size_t block_end,
+                              std::span<const LzssMatch> matches,
+                              const LzssParams& params, PooledBuffer& out) {
+  assert(matches.size() >= block_end);
+  out.clear();
+  encode_walk(input, block_start, block_end, params,
+              [&](std::size_t pos) { return matches[pos]; }, out);
 }
 
 std::uint64_t lzss_match_cost(std::size_t block_start, std::size_t pos,

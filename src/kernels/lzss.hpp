@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/status.hpp"
 
 namespace hs::kernels {
@@ -70,6 +71,13 @@ inline std::vector<std::uint8_t> lzss_encode(
   return lzss_encode(input, 0, input.size(), params);
 }
 
+/// Pooled-sink variant: encodes into `out` (cleared first), reusing its
+/// slab — the allocation-free entry the dedup pipeline uses. Emits the
+/// same bit stream as the vector overload.
+void lzss_encode(std::span<const std::uint8_t> input, std::size_t block_start,
+                 std::size_t block_end, const LzssParams& params,
+                 PooledBuffer& out);
+
 /// Decodes `compressed` into exactly `original_size` bytes; DATA_LOSS on a
 /// malformed stream (truncated stream, offset before block start, …).
 Result<std::vector<std::uint8_t>> lzss_decode(
@@ -92,6 +100,12 @@ std::vector<std::uint8_t> lzss_encode_from_matches(
     std::span<const std::uint8_t> input, std::size_t block_start,
     std::size_t block_end, std::span<const LzssMatch> matches,
     const LzssParams& params);
+
+/// Pooled-sink variant of the encode walk (out cleared first).
+void lzss_encode_from_matches(std::span<const std::uint8_t> input,
+                              std::size_t block_start, std::size_t block_end,
+                              std::span<const LzssMatch> matches,
+                              const LzssParams& params, PooledBuffer& out);
 
 /// Work units (input-byte comparisons) the cost model charges one simulated
 /// GPU lane for matching position `pos`; mirrors the Listing 3 loop trip

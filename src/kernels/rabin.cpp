@@ -39,14 +39,72 @@ std::uint64_t Rabin::window_fingerprint(
 std::vector<std::uint32_t> Rabin::chunk_boundaries(
     std::span<const std::uint8_t> data) const {
   std::vector<std::uint32_t> starts;
-  if (data.empty()) return starts;
+  chunk_boundaries_into(data, starts);
+  return starts;
+}
+
+void Rabin::chunk_boundaries_into(std::span<const std::uint8_t> data,
+                                  std::vector<std::uint32_t>& starts) const {
+  starts.clear();
+  if (data.empty()) return;
+  starts.reserve(data.size() / params_.min_block + 1);
   starts.push_back(0);
 
+  const std::size_t n = data.size();
   const std::uint32_t window = params_.window;
+  const std::uint32_t min_block = params_.min_block;
+  const std::uint32_t max_block = params_.max_block;
+  const std::uint64_t mask = params_.mask;
+  const std::uint64_t magic = params_.magic;
+
   std::uint64_t fp = 0;
   std::uint32_t block_start = 0;
   std::uint32_t win_fill = 0;  // bytes accumulated since the last fp reset
-  for (std::size_t i = 0; i < data.size(); ++i) {
+  std::size_t i = 0;
+  while (i < n) {
+    // Blockwise fast path: once the window is full, four rolling steps are
+    // four independent table-lookup pairs u_j = push[in_j] - pop[out_j]
+    // chained as fp_{j+1} = fp_j * MULT + u_j. This is bit-identical to the
+    // scalar update because (fp*MULT + push) - pop == fp*MULT + (push - pop)
+    // in mod-2^64 arithmetic, and the guard excludes every event that would
+    // break the chain mid-group (window warm-up, forced max_block boundary,
+    // end of input).
+    const std::uint32_t len0 = static_cast<std::uint32_t>(i) - block_start + 1;
+    if (win_fill >= window && i + 4 <= n && len0 + 3 < max_block) {
+      const std::uint8_t* in = data.data() + i;
+      const std::uint8_t* out = in - window;
+      const std::uint64_t u0 = push_table_[in[0]] - pop_table_[out[0]];
+      const std::uint64_t u1 = push_table_[in[1]] - pop_table_[out[1]];
+      const std::uint64_t u2 = push_table_[in[2]] - pop_table_[out[2]];
+      const std::uint64_t u3 = push_table_[in[3]] - pop_table_[out[3]];
+      const std::uint64_t fp1 = fp * kMult + u0;
+      const std::uint64_t fp2 = fp1 * kMult + u1;
+      const std::uint64_t fp3 = fp2 * kMult + u2;
+      const std::uint64_t fp4 = fp3 * kMult + u3;
+      const std::uint64_t fps[4] = {fp1, fp2, fp3, fp4};
+      int fired = -1;
+      for (int j = 0; j < 4; ++j) {
+        if (len0 + static_cast<std::uint32_t>(j) >= min_block &&
+            (fps[j] & mask) == magic && i + static_cast<std::size_t>(j) + 1 < n) {
+          fired = j;
+          break;
+        }
+      }
+      if (fired >= 0) {
+        i += static_cast<std::size_t>(fired) + 1;
+        block_start = static_cast<std::uint32_t>(i);
+        starts.push_back(block_start);
+        fp = 0;
+        win_fill = 0;
+      } else {
+        fp = fp4;
+        i += 4;
+      }
+      continue;
+    }
+
+    // Scalar path: window warm-up after a reset, near-max_block blocks,
+    // and the input tail.
     fp = fp * kMult + push_table_[data[i]];
     if (win_fill >= window) {
       fp -= pop_table_[data[i - window]];
@@ -57,13 +115,14 @@ std::vector<std::uint32_t> Rabin::chunk_boundaries(
     const std::uint32_t block_len =
         static_cast<std::uint32_t>(i) - block_start + 1;
     bool boundary = false;
-    if (block_len >= params_.max_block) {
+    if (block_len >= max_block) {
       boundary = true;
-    } else if (block_len >= params_.min_block && win_fill >= window) {
-      boundary = (fp & params_.mask) == params_.magic;
+    } else if (block_len >= min_block && win_fill >= window) {
+      boundary = (fp & mask) == magic;
     }
-    if (boundary && i + 1 < data.size()) {
-      block_start = static_cast<std::uint32_t>(i) + 1;
+    ++i;
+    if (boundary && i < n) {
+      block_start = static_cast<std::uint32_t>(i);
       starts.push_back(block_start);
       // Restart the window at the boundary so each block's boundaries
       // depend only on its own content (dedup's behaviour): identical block
@@ -72,7 +131,6 @@ std::vector<std::uint32_t> Rabin::chunk_boundaries(
       win_fill = 0;
     }
   }
-  return starts;
 }
 
 }  // namespace hs::kernels

@@ -37,6 +37,12 @@ class Rabin {
   [[nodiscard]] std::vector<std::uint32_t> chunk_boundaries(
       std::span<const std::uint8_t> data) const;
 
+  /// As chunk_boundaries, but reuses `starts` (cleared, then reserved to
+  /// the data.size()/min_block worst case) so a warmed caller reallocates
+  /// nothing. This is the allocation-free entry the dedup pipeline uses.
+  void chunk_boundaries_into(std::span<const std::uint8_t> data,
+                             std::vector<std::uint32_t>& starts) const;
+
   /// Raw fingerprint of the window ending at each position (exposed for
   /// tests and the fingerprint microbench). fp[i] covers bytes
   /// [i-window+1, i].

@@ -33,27 +33,28 @@ void Sha1::process_block(const std::uint8_t* block) {
   }
 
   std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
-  for (int t = 0; t < 80; ++t) {
-    std::uint32_t f, k;
-    if (t < 20) {
-      f = (b & c) | ((~b) & d);
-      k = 0x5A827999u;
-    } else if (t < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1u;
-    } else if (t < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDCu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6u;
-    }
-    std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+  // The 80 rounds split into four 20-round loops with a fixed f/k each, so
+  // the per-round branch chain disappears and the compiler can keep the
+  // five-word state in registers.
+  auto round = [&](std::uint32_t f, std::uint32_t k, std::uint32_t wt) {
+    std::uint32_t temp = rotl32(a, 5) + f + e + k + wt;
     e = d;
     d = c;
     c = rotl32(b, 30);
     b = a;
     a = temp;
+  };
+  for (int t = 0; t < 20; ++t) {
+    round((b & c) | ((~b) & d), 0x5A827999u, w[t]);
+  }
+  for (int t = 20; t < 40; ++t) {
+    round(b ^ c ^ d, 0x6ED9EBA1u, w[t]);
+  }
+  for (int t = 40; t < 60; ++t) {
+    round((b & c) | (b & d) | (c & d), 0x8F1BBCDCu, w[t]);
+  }
+  for (int t = 60; t < 80; ++t) {
+    round(b ^ c ^ d, 0xCA62C1D6u, w[t]);
   }
   h_[0] += a;
   h_[1] += b;

@@ -1,8 +1,10 @@
 #include "mandel/pipelines.hpp"
 
+#include <cstring>
 #include <optional>
 
 #include "cudax/cudax.hpp"
+#include "cudax/pinned_pool.hpp"
 #include "flow/adapters.hpp"
 #include "flow/pipeline.hpp"
 #include "oclx/oclx.hpp"
@@ -168,6 +170,7 @@ class CudaLineWorker final : public flow::Node {
       (void)cudax::cudaStreamDestroy(stream_);
       stream_device_ = -1;
     }
+    staging_.release();
   }
 
  private:
@@ -212,9 +215,17 @@ class CudaLineWorker final : public flow::Node {
             }),
         "kernel launch failed");
     if (!s.ok()) return s;
+    // D2H lands in a pinned staging row from the shared pool (fast
+    // simulated transfer, no per-line pinned allocation); when pinned
+    // memory is unavailable the copy targets the pageable vector directly.
+    const std::size_t row_bytes = static_cast<std::size_t>(p.dim);
+    if (staging_.capacity() < row_bytes) {
+      staging_ = cudax::PinnedPool::Default().acquire(row_bytes);
+    }
+    std::uint8_t* dst =
+        staging_.valid() ? staging_.data() : line.pixels.data();
     s = cuda_status(
-        cudax::cudaMemcpyAsync(line.pixels.data(), dev_row_,
-                               static_cast<std::size_t>(p.dim),
+        cudax::cudaMemcpyAsync(dst, dev_row_, row_bytes,
                                cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
                                stream_),
         "memcpy failed");
@@ -222,8 +233,13 @@ class CudaLineWorker final : public flow::Node {
     // The real implementation forwards the item with its stream and lets
     // the last stage synchronize; functionally the simulated copy has
     // already landed, and the virtual completion is the stream's tail.
-    return cuda_status(cudax::cudaStreamSynchronize(stream_),
-                       "stream synchronize failed");
+    s = cuda_status(cudax::cudaStreamSynchronize(stream_),
+                    "stream synchronize failed");
+    if (!s.ok()) return s;
+    if (staging_.valid()) {
+      std::memcpy(line.pixels.data(), staging_.data(), row_bytes);
+    }
+    return OkStatus();
   }
 
   /// Binds this thread to the first surviving device at or after `hint` and
@@ -280,6 +296,7 @@ class CudaLineWorker final : public flow::Node {
   cudax::cudaStream_t stream_{};
   void* dev_row_ = nullptr;
   bool gpu_ready_ = false;
+  cudax::PinnedPool::Handle staging_;
 };
 
 }  // namespace

@@ -2,9 +2,8 @@
 
 #include <atomic>
 #include <cassert>
-#include <deque>
-#include <map>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "taskx/pool.hpp"
@@ -29,17 +28,24 @@ struct Pipeline::Impl {
     std::function<Item(Item)> fn;
     std::string name;
 
-    // Serial-gate state (unused for kParallel).
+    // Serial-gate state (unused for kParallel). Parked tokens live in a
+    // fixed ring of max_live_tokens slots (sized once by run()), so a park
+    // never heap-allocates. kSerialInOrder indexes by seq % cap — live
+    // seqs at a gate with counter v all fall in [v, v + cap - 1] (a token
+    // only gets a fresh seq after the gate has processed its old one), so
+    // the mapping is collision-free. kSerialOutOfOrder uses head/count.
     std::mutex mu;
     bool busy = false;
-    std::uint64_t next_seq = 0;                 // kSerialInOrder
-    std::map<std::uint64_t, Token> parked_seq;  // kSerialInOrder
-    std::deque<Token> parked_any;               // kSerialOutOfOrder
+    std::uint64_t next_seq = 0;               // kSerialInOrder
+    std::vector<std::optional<Token>> parked; // ring of max_live_tokens
+    std::size_t head = 0;                     // kSerialOutOfOrder
+    std::size_t count = 0;                    // kSerialOutOfOrder
   };
 
   std::function<std::optional<Item>()> source;
   std::vector<std::unique_ptr<Filter>> filters;
   bool ran = false;
+  std::size_t token_cap = 0;  // max_live_tokens, fixed by run()
 
   // --- run state ---
   ThreadPool* pool = nullptr;
@@ -114,16 +120,20 @@ struct Pipeline::Impl {
       f.busy = false;
       if (f.mode == FilterMode::kSerialInOrder) {
         ++f.next_seq;
-        auto it = f.parked_seq.find(f.next_seq);
-        if (it != f.parked_seq.end()) {
-          resume = std::move(it->second);
-          f.parked_seq.erase(it);
+        auto& slot = f.parked[f.next_seq % token_cap];
+        if (slot.has_value()) {
+          assert(slot->seq == f.next_seq);
+          resume = std::move(*slot);
+          slot.reset();
           f.busy = true;
         }
       } else {
-        if (!f.parked_any.empty()) {
-          resume = std::move(f.parked_any.front());
-          f.parked_any.pop_front();
+        if (f.count > 0) {
+          auto& slot = f.parked[f.head];
+          resume = std::move(*slot);
+          slot.reset();
+          f.head = (f.head + 1) % token_cap;
+          --f.count;
           f.busy = true;
         }
       }
@@ -163,9 +173,10 @@ struct Pipeline::Impl {
                        tok.seq == f.next_seq;
         if (f.busy || !my_turn) {
           if (f.mode == FilterMode::kSerialInOrder) {
-            f.parked_seq.emplace(tok.seq, std::move(tok));
+            f.parked[tok.seq % token_cap] = std::move(tok);
           } else {
-            f.parked_any.push_back(std::move(tok));
+            f.parked[(f.head + f.count) % token_cap] = std::move(tok);
+            ++f.count;
           }
           return;  // resumed later by the releasing thread
         }
@@ -206,6 +217,12 @@ Status Pipeline::run(ThreadPool& pool, std::size_t max_live_tokens) {
     return InvalidArgument("pipeline needs at least one filter");
   }
   im.pool = &pool;
+  im.token_cap = max_live_tokens;
+  for (auto& f : im.filters) {
+    if (f->mode != FilterMode::kParallel) {
+      f->parked.resize(max_live_tokens);  // at most cap-1 parked at once
+    }
+  }
 
   // Seed up to max_live_tokens tokens from the source.
   std::vector<Token> seeds;

@@ -115,6 +115,98 @@ TEST(SpscQueueTest, ConcurrentFifoProperty) {
   EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
 }
 
+TEST(SpscQueueTest, CopyPushDoesNotTouchValueWhenFull) {
+  SpscQueue<std::vector<int>> q(2);
+  const std::vector<int> payload = {1, 2, 3};
+  ASSERT_TRUE(q.try_push(payload));
+  ASSERT_TRUE(q.try_push(payload));
+  // Queue full: the const& overload must leave the argument untouched and
+  // perform no construction.
+  EXPECT_FALSE(q.try_push(payload));
+  EXPECT_EQ(payload.size(), 3u);
+  std::vector<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, payload);
+}
+
+TEST(SpscQueueTest, BatchPushPopRoundTrip) {
+  SpscQueue<int> q(8);
+  int in[5] = {10, 11, 12, 13, 14};
+  EXPECT_EQ(q.try_push_n(in, 5), 5u);
+  int out[8] = {};
+  EXPECT_EQ(q.try_pop_n(out, 8), 5u);  // pops only what is there
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], 10 + i);
+  EXPECT_EQ(q.try_pop_n(out, 8), 0u);
+}
+
+TEST(SpscQueueTest, BatchPushIsPartialWhenNearlyFull) {
+  SpscQueue<int> q(4);
+  int a[3] = {1, 2, 3};
+  EXPECT_EQ(q.try_push_n(a, 3), 3u);
+  int b[4] = {4, 5, 6, 7};
+  EXPECT_EQ(q.try_push_n(b, 4), 1u);  // one slot left
+  EXPECT_EQ(b[1], 5);                 // items past the cut are untouched
+  int full[2] = {8, 9};
+  EXPECT_EQ(q.try_push_n(full, 2), 0u);
+  int out[4];
+  EXPECT_EQ(q.try_pop_n(out, 4), 4u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(SpscQueueTest, BatchOpsAcrossWraparound) {
+  SpscQueue<int> q(4);  // indices wrap every 4 operations
+  int next = 0, expected = 0;
+  for (int round = 0; round < 16; ++round) {
+    int in[3];
+    for (int& v : in) v = next++;
+    ASSERT_EQ(q.try_push_n(in, 3), 3u);
+    int out[3];
+    ASSERT_EQ(q.try_pop_n(out, 3), 3u);
+    for (int v : out) ASSERT_EQ(v, expected++);
+  }
+}
+
+TEST(SpscQueueTest, BatchOpsMoveOnlyElements) {
+  SpscQueue<std::unique_ptr<int>> q(8);
+  std::unique_ptr<int> in[3];
+  for (int i = 0; i < 3; ++i) in[i] = std::make_unique<int>(i);
+  EXPECT_EQ(q.try_push_n(in, 3), 3u);
+  for (const auto& p : in) EXPECT_EQ(p, nullptr);  // moved out
+  std::unique_ptr<int> out[3];
+  EXPECT_EQ(q.try_pop_n(out, 3), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(*out[i], i);
+}
+
+// Property: batch producer against single-item consumer (and vice versa)
+// preserves FIFO order with no loss or duplication.
+TEST(SpscQueueTest, ConcurrentBatchFifoProperty) {
+  constexpr int kCount = 100000;
+  SpscQueue<int> q(64);
+  std::thread producer([&] {
+    int buf[16];
+    int next = 0;
+    while (next < kCount) {
+      int want = std::min(16, kCount - next);
+      for (int i = 0; i < want; ++i) buf[i] = next + i;
+      std::size_t n = q.try_push_n(buf, static_cast<std::size_t>(want));
+      if (n == 0) std::this_thread::yield();
+      next += static_cast<int>(n);
+    }
+  });
+  int expected = 0;
+  int out[16];
+  while (expected < kCount) {
+    std::size_t n = q.try_pop_n(out, 16);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], expected++);
+  }
+  producer.join();
+}
+
 // ---- Item ---------------------------------------------------------------------
 
 TEST(ItemTest, EmptyByDefault) {
