@@ -10,7 +10,11 @@
 #include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
+#include "cudax/pinned_pool.hpp"
 #include "mandel/iteration_map.hpp"
+#include "telemetry/queue_sampler.hpp"
+#include "telemetry/span_recorder.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hs::benchtool {
 
@@ -63,6 +67,67 @@ inline mandel::IterationMap load_map(const CliArgs& args,
 inline std::string speedup_cell(double baseline_seconds, double seconds) {
   if (seconds <= 0) return "-";
   return format_fixed(baseline_seconds / seconds, 1) + "x";
+}
+
+/// --trace=FILE / --metrics=FILE output destinations for the telemetry
+/// demo runs (a *real* functional pipeline executed under the process-wide
+/// telemetry singletons, as opposed to the modeled tables).
+struct TelemetryOutputs {
+  std::string trace_path;    ///< Chrome trace-event JSON (ui.perfetto.dev)
+  std::string metrics_path;  ///< .json -> JSON, else Prometheus exposition
+  [[nodiscard]] bool active() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+inline TelemetryOutputs telemetry_outputs(const CliArgs& args) {
+  return {args.get_string("trace", ""), args.get_string("metrics", "")};
+}
+
+/// Turns the process-wide telemetry on for a capture run: metrics registry,
+/// pool gauges, queue-depth sampler, and (when a trace is requested) the
+/// span recorder. Pair with end_telemetry_capture.
+inline void begin_telemetry_capture(const TelemetryOutputs& outs) {
+  telemetry::set_enabled(true);
+  telemetry::register_buffer_pool_gauges(telemetry::Registry::Default());
+  cudax::register_pinned_pool_gauges(telemetry::Registry::Default());
+  if (!outs.trace_path.empty()) {
+    telemetry::SpanRecorder::Default().set_recording(true);
+  }
+  (void)telemetry::QueueDepthSampler::Default().start(
+      std::chrono::microseconds(200));
+}
+
+/// Stops capture and writes the requested files. Returns 0 on success.
+inline int end_telemetry_capture(const TelemetryOutputs& outs) {
+  telemetry::QueueDepthSampler::Default().stop();
+  telemetry::SpanRecorder::Default().set_recording(false);
+  telemetry::set_enabled(false);
+  int rc = 0;
+  if (!outs.trace_path.empty()) {
+    Status s = telemetry::SpanRecorder::Default().write_chrome_trace(
+        outs.trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "[bench] trace write failed: %s\n",
+                   s.ToString().c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "[bench] chrome trace written to %s\n",
+                   outs.trace_path.c_str());
+    }
+  }
+  if (!outs.metrics_path.empty()) {
+    Status s = telemetry::Registry::Default().write_metrics(outs.metrics_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "[bench] metrics write failed: %s\n",
+                   s.ToString().c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "[bench] metrics written to %s\n",
+                   outs.metrics_path.c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace hs::benchtool

@@ -8,13 +8,23 @@
 //
 // Flags: --paper-scale | --quick | --dim=N --niter=N | --csv
 //        --batch=N (default 32) | --map-cache=DIR
+//        --json=PATH      (also write every row — label, modeled time,
+//                          speedup, kernel launches — as machine-readable
+//                          JSON, same shape as the fig5/micro outputs)
 //        --trace-dir=DIR  (dump each variant's modeled schedule as Chrome
 //                          trace JSON, viewable in ui.perfetto.dev)
 //        --faults=SPEC    (run the functional SPar+CUDA pipeline under an
 //                          injected fault plan — see gpusim/fault_plan.hpp
 //                          for the spec grammar, e.g. "d2h.p=0.1,lost.nth=50"
 //                          — and verify the image is bit-exact vs fault-free)
+//        --trace=FILE --metrics=FILE (run the functional SPar+CUDA pipeline
+//                          with runtime telemetry on and export a *measured*
+//                          Chrome trace — same event schema as --trace-dir's
+//                          modeled schedules, so both load side by side in
+//                          ui.perfetto.dev — and/or a metrics dump: .json
+//                          gets JSON, anything else Prometheus text)
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -93,6 +103,28 @@ int run_fault_demo(const std::string& spec, kernels::MandelParams params) {
   return 0;
 }
 
+/// --trace/--metrics demo: the real (functional) SPar+CUDA pipeline with
+/// the process-wide telemetry singletons capturing, exported to the
+/// requested files. Returns 0 on success.
+int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
+                       kernels::MandelParams params) {
+  // The functional pipeline computes for real; keep the workload modest.
+  params.dim = std::min(params.dim, 256);
+  params.niter = std::min(params.niter, 2000);
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  benchtool::begin_telemetry_capture(outs);
+  auto image = mandel::render_spar_cuda(params, 4, *machine);
+  int rc = benchtool::end_telemetry_capture(outs);
+  cudax::unbind_machine();
+  if (!image.ok()) {
+    std::cerr << "[bench] telemetry demo run failed: "
+              << image.status().ToString() << "\n";
+    return 1;
+  }
+  return rc;
+}
+
 int run(int argc, const char** argv) {
   auto args_or = CliArgs::Parse(argc, argv);
   if (!args_or.ok()) {
@@ -122,6 +154,15 @@ int run(int argc, const char** argv) {
   table.set_header({"version", "modeled time", "speedup", "kernels",
                     "paper time", "paper speedup"});
 
+  const std::string json_path = args.get_string("json", "");
+  struct JsonRow {
+    std::string label;
+    double modeled_seconds;
+    double speedup;
+    std::uint64_t kernel_launches;
+  };
+  std::vector<JsonRow> json_rows;
+
   RunResult seq = run_sequential(map, with_trace(cfg, "sequential"));
   double base = seq.modeled_seconds;
   bool mismatch = false;
@@ -135,6 +176,9 @@ int run(int argc, const char** argv) {
                    speedup_cell(base, r.modeled_seconds),
                    r.kernel_launches ? std::to_string(r.kernel_launches) : "-",
                    ref.time, ref.speedup});
+    json_rows.push_back({r.label, r.modeled_seconds,
+                         r.modeled_seconds > 0 ? base / r.modeled_seconds : 0,
+                         r.kernel_launches});
   };
 
   add(seq, {"400s", "1.0x"});
@@ -197,8 +241,34 @@ int run(int argc, const char** argv) {
                  "(DESIGN.md S2). Checksums of all variants verified equal.\n";
   }
 
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "[bench] cannot write " << json_path << "\n";
+      return 1;
+    }
+    json << "{\n  \"bench\": \"fig1_mandel_ladder\",\n";
+    json << "  \"dim\": " << params.dim << ",\n";
+    json << "  \"niter\": " << params.niter << ",\n";
+    json << "  \"batch_lines\": " << cfg.batch_lines << ",\n";
+    json << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& r = json_rows[i];
+      json << "    {\"label\": \"" << r.label
+           << "\", \"modeled_seconds\": " << r.modeled_seconds
+           << ", \"speedup\": " << r.speedup
+           << ", \"kernel_launches\": " << r.kernel_launches << "}"
+           << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::fprintf(stderr, "[bench] json written to %s\n", json_path.c_str());
+  }
+
   if (const std::string spec = args.get_string("faults", ""); !spec.empty()) {
     if (int rc = run_fault_demo(spec, params); rc != 0) return rc;
+  }
+  if (const auto outs = benchtool::telemetry_outputs(args); outs.active()) {
+    if (int rc = run_telemetry_demo(outs, params); rc != 0) return rc;
   }
 
   // Cross-variant functional check: every rung rendered the same image.

@@ -8,11 +8,22 @@
 //
 // Flags: --paper-scale | --quick | --dim=N --niter=N | --csv
 //        --cpu-workers=N (19) | --combined-workers=N (10) | --batch=N (32)
+//        --json=PATH (also write every row — label, modeled time, speedup —
+//        as machine-readable JSON, same shape as the fig1/fig5 outputs)
+//        --trace=FILE --metrics=FILE (run the functional TBB-equivalent
+//        token pipeline and the SPar+CUDA pipeline with runtime telemetry
+//        on, exporting a measured Chrome trace and/or a metrics dump:
+//        .json gets JSON, anything else Prometheus text)
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "cudax/cudax.hpp"
+#include "gpusim/device.hpp"
 #include "mandel/calibrate.hpp"
 #include "mandel/modeled.hpp"
+#include "mandel/pipelines.hpp"
 
 namespace hs {
 namespace {
@@ -23,6 +34,37 @@ using mandel::GpuApi;
 using mandel::GpuMode;
 using mandel::ModeledConfig;
 using mandel::RunResult;
+
+/// --trace/--metrics demo: the real (functional) pipelines of two of the
+/// figure's models — the TBB-equivalent token pipeline and SPar+CUDA —
+/// with the process-wide telemetry singletons capturing. Returns 0 on
+/// success.
+int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
+                       kernels::MandelParams params) {
+  // The functional pipelines compute for real; keep the workload modest.
+  params.dim = std::min(params.dim, 256);
+  params.niter = std::min(params.niter, 2000);
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  benchtool::begin_telemetry_capture(outs);
+  auto tbb_image = mandel::render_taskx(params, 4, 8);
+  auto spar_image = mandel::render_spar_cuda(params, 4, *machine);
+  int rc = benchtool::end_telemetry_capture(outs);
+  cudax::unbind_machine();
+  for (const auto* image : {&tbb_image, &spar_image}) {
+    if (!image->ok()) {
+      std::cerr << "[bench] telemetry demo run failed: "
+                << image->status().ToString() << "\n";
+      return 1;
+    }
+  }
+  if (tbb_image.value() != spar_image.value()) {
+    std::cerr << "[bench] telemetry demo: taskx and spar+cuda images "
+                 "differ\n";
+    return 1;
+  }
+  return rc;
+}
 
 int run(int argc, const char** argv) {
   auto args_or = CliArgs::Parse(argc, argv);
@@ -47,6 +89,14 @@ int run(int argc, const char** argv) {
               "(modeled)");
   table.set_header({"version", "modeled time", "speedup"});
 
+  const std::string json_path = args.get_string("json", "");
+  struct JsonRow {
+    std::string label;
+    double modeled_seconds;
+    double speedup;
+  };
+  std::vector<JsonRow> json_rows;
+
   RunResult seq = run_sequential(map, cfg);
   bool mismatch = false;
   auto add = [&](RunResult r, const std::string& label = "") {
@@ -57,6 +107,10 @@ int run(int argc, const char** argv) {
     }
     table.add_row({r.label, format_seconds(r.modeled_seconds),
                    speedup_cell(seq.modeled_seconds, r.modeled_seconds)});
+    json_rows.push_back({r.label, r.modeled_seconds,
+                         r.modeled_seconds > 0
+                             ? seq.modeled_seconds / r.modeled_seconds
+                             : 0});
   };
 
   add(seq);
@@ -108,6 +162,31 @@ int run(int argc, const char** argv) {
            "1 GPU the single-thread versions match the combined ones; with "
            "2 GPUs a single host thread degrades while multicore+GPU "
            "combinations gain (see EXPERIMENTS.md).\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "[bench] cannot write " << json_path << "\n";
+      return 1;
+    }
+    json << "{\n  \"bench\": \"fig4_mandel_models\",\n";
+    json << "  \"dim\": " << params.dim << ",\n";
+    json << "  \"niter\": " << params.niter << ",\n";
+    json << "  \"cpu_workers\": " << cfg.cpu_workers << ",\n";
+    json << "  \"combined_workers\": " << cfg.combined_workers << ",\n";
+    json << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& r = json_rows[i];
+      json << "    {\"label\": \"" << r.label
+           << "\", \"modeled_seconds\": " << r.modeled_seconds
+           << ", \"speedup\": " << r.speedup << "}"
+           << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::fprintf(stderr, "[bench] json written to %s\n", json_path.c_str());
+  }
+  if (const auto outs = benchtool::telemetry_outputs(args); outs.active()) {
+    if (int rc = run_telemetry_demo(outs, params); rc != 0) return rc;
   }
   return mismatch ? 1 : 0;
 }

@@ -39,9 +39,9 @@ BufferPool::Slab BufferPool::acquire(std::size_t min_bytes) {
     if (!list.empty()) {
       Slab slab{list.back(), cap};
       list.pop_back();
-      ++counters_.hits;
-      counters_.bytes_cached -= cap;
-      counters_.bytes_outstanding += cap;
+      counters_.hits.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytes_cached.fetch_sub(cap, std::memory_order_relaxed);
+      counters_.bytes_outstanding.fetch_add(cap, std::memory_order_relaxed);
       return slab;
     }
   }
@@ -49,29 +49,27 @@ BufferPool::Slab BufferPool::acquire(std::size_t min_bytes) {
   // and are never cached.
   const std::size_t alloc = cap <= kMaxClassBytes ? cap : min_bytes;
   Slab slab{static_cast<std::uint8_t*>(::operator new(alloc)), alloc};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.misses;
-    counters_.bytes_allocated += alloc;
-    counters_.bytes_outstanding += alloc;
-  }
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_allocated.fetch_add(alloc, std::memory_order_relaxed);
+  counters_.bytes_outstanding.fetch_add(alloc, std::memory_order_relaxed);
   return slab;
 }
 
 void BufferPool::release(Slab slab) {
   if (slab.ptr == nullptr) return;
+  counters_.bytes_outstanding.fetch_sub(slab.capacity,
+                                        std::memory_order_relaxed);
   if (slab.capacity <= kMaxClassBytes &&
       std::has_single_bit(slab.capacity)) {
     std::lock_guard<std::mutex> lock(mu_);
-    counters_.bytes_outstanding -= slab.capacity;
-    if (counters_.bytes_cached + slab.capacity <= max_cached_bytes_) {
+    if (counters_.bytes_cached.load(std::memory_order_relaxed) +
+            slab.capacity <=
+        max_cached_bytes_) {
       free_[class_index(slab.capacity)].push_back(slab.ptr);
-      counters_.bytes_cached += slab.capacity;
+      counters_.bytes_cached.fetch_add(slab.capacity,
+                                       std::memory_order_relaxed);
       return;
     }
-  } else {
-    std::lock_guard<std::mutex> lock(mu_);
-    counters_.bytes_outstanding -= slab.capacity;
   }
   ::operator delete(slab.ptr);
 }
@@ -81,15 +79,12 @@ void BufferPool::trim() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     drained.swap(free_);
-    counters_.bytes_cached = 0;
+    counters_.bytes_cached.store(0, std::memory_order_relaxed);
   }
   for (auto& list : drained)
     for (std::uint8_t* ptr : list) ::operator delete(ptr);
 }
 
-PoolCounters BufferPool::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
-}
+PoolCounters BufferPool::counters() const { return counters_.snapshot(); }
 
 }  // namespace hs

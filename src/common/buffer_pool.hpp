@@ -61,6 +61,8 @@ class BufferPool {
   /// Frees every cached slab.
   void trim();
 
+  /// Torn-read-safe snapshot (atomic per-field reads; does not take the
+  /// pool mutex, so it is cheap to poll from a sampler thread).
   [[nodiscard]] PoolCounters counters() const;
 
  private:
@@ -69,7 +71,7 @@ class BufferPool {
 
   mutable std::mutex mu_;
   std::vector<std::vector<std::uint8_t*>> free_;
-  PoolCounters counters_;
+  AtomicPoolCounters counters_;
   std::size_t max_cached_bytes_;
 };
 

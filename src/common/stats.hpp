@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -23,6 +24,32 @@ struct PoolCounters {
   std::uint64_t bytes_allocated = 0;
   std::uint64_t bytes_cached = 0;
   std::uint64_t bytes_outstanding = 0;
+};
+
+/// The pools' internal bookkeeping form of PoolCounters. Each field is an
+/// individually atomic u64 so a snapshot never observes a torn value, no
+/// matter which lock (if any) the mutating path holds — a metrics scrape
+/// from the telemetry sampler thread reads these at high frequency without
+/// contending the pool mutex. Relaxed ordering is sufficient: fields are
+/// independent statistics, not a consistency group (a snapshot taken during
+/// an acquire may see the hit counted before bytes_cached shrinks).
+struct AtomicPoolCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> bytes_allocated{0};
+  std::atomic<std::uint64_t> bytes_cached{0};
+  std::atomic<std::uint64_t> bytes_outstanding{0};
+
+  /// Torn-read-safe copy for reporting.
+  [[nodiscard]] PoolCounters snapshot() const {
+    PoolCounters c;
+    c.hits = hits.load(std::memory_order_relaxed);
+    c.misses = misses.load(std::memory_order_relaxed);
+    c.bytes_allocated = bytes_allocated.load(std::memory_order_relaxed);
+    c.bytes_cached = bytes_cached.load(std::memory_order_relaxed);
+    c.bytes_outstanding = bytes_outstanding.load(std::memory_order_relaxed);
+    return c;
+  }
 };
 
 /// Single-pass mean / variance / min / max accumulator.

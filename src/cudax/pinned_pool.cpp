@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "cudax/cudax.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hs::cudax {
 
@@ -51,9 +52,9 @@ PinnedPool::Handle PinnedPool::acquire(std::size_t min_bytes) {
       if (!list.empty()) {
         void* ptr = list.back();
         list.pop_back();
-        ++counters_.hits;
-        counters_.bytes_cached -= cap;
-        counters_.bytes_outstanding += cap;
+        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+        counters_.bytes_cached.fetch_sub(cap, std::memory_order_relaxed);
+        counters_.bytes_outstanding.fetch_add(cap, std::memory_order_relaxed);
         return Handle{this, ptr, cap};
       }
     }
@@ -62,10 +63,9 @@ PinnedPool::Handle PinnedPool::acquire(std::size_t min_bytes) {
   if (cudaMallocHost(&ptr, cap) != cudaError::cudaSuccess) {
     return Handle{};  // caller degrades to pageable memory
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.misses;
-  counters_.bytes_allocated += cap;
-  counters_.bytes_outstanding += cap;
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_allocated.fetch_add(cap, std::memory_order_relaxed);
+  counters_.bytes_outstanding.fetch_add(cap, std::memory_order_relaxed);
   return Handle{this, ptr, cap};
 }
 
@@ -73,8 +73,8 @@ void PinnedPool::put_back(void* ptr, std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   if (free_.size() != kNumClasses) free_.resize(kNumClasses);
   free_[class_index(capacity)].push_back(ptr);
-  counters_.bytes_outstanding -= capacity;
-  counters_.bytes_cached += capacity;
+  counters_.bytes_outstanding.fetch_sub(capacity, std::memory_order_relaxed);
+  counters_.bytes_cached.fetch_add(capacity, std::memory_order_relaxed);
 }
 
 void PinnedPool::trim() {
@@ -82,16 +82,30 @@ void PinnedPool::trim() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     drained.swap(free_);
-    counters_.bytes_cached = 0;
+    counters_.bytes_cached.store(0, std::memory_order_relaxed);
   }
   for (auto& list : drained) {
     for (void* ptr : list) (void)cudaFreeHost(ptr);
   }
 }
 
-PoolCounters PinnedPool::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+PoolCounters PinnedPool::counters() const { return counters_.snapshot(); }
+
+void register_pinned_pool_gauges(telemetry::Registry& registry) {
+  auto field = [](std::uint64_t PoolCounters::* member) {
+    return [member]() {
+      PoolCounters c = PinnedPool::Default().counters();
+      return static_cast<double>(c.*member);
+    };
+  };
+  registry.gauge_callback("pinned_pool.hits", field(&PoolCounters::hits));
+  registry.gauge_callback("pinned_pool.misses", field(&PoolCounters::misses));
+  registry.gauge_callback("pinned_pool.bytes_allocated",
+                          field(&PoolCounters::bytes_allocated));
+  registry.gauge_callback("pinned_pool.bytes_cached",
+                          field(&PoolCounters::bytes_cached));
+  registry.gauge_callback("pinned_pool.bytes_outstanding",
+                          field(&PoolCounters::bytes_outstanding));
 }
 
 }  // namespace hs::cudax

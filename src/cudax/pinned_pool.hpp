@@ -89,6 +89,8 @@ class PinnedPool {
   /// cudaFreeHost's every cached slab.
   void trim();
 
+  /// Torn-read-safe snapshot (atomic per-field reads; does not take the
+  /// pool mutex, so it is cheap to poll from a sampler thread).
   [[nodiscard]] PoolCounters counters() const;
 
  private:
@@ -96,7 +98,22 @@ class PinnedPool {
 
   mutable std::mutex mu_;
   std::vector<std::vector<void*>> free_;
-  PoolCounters counters_;
+  AtomicPoolCounters counters_;
 };
+
+}  // namespace hs::cudax
+
+// Forward declaration kept light: the gauge helper lives in pinned_pool.cpp
+// so only callers that export metrics pay for the telemetry include.
+namespace hs::telemetry {
+class Registry;
+}
+
+namespace hs::cudax {
+
+/// Export PinnedPool::Default() counters into `registry` as gauge callbacks
+/// ("pinned_pool.hits", ".misses", ".bytes_allocated", ".bytes_cached",
+/// ".bytes_outstanding") — the telemetry::register_buffer_pool_gauges twin.
+void register_pinned_pool_gauges(telemetry::Registry& registry);
 
 }  // namespace hs::cudax

@@ -9,6 +9,7 @@
 #include "flow/adapters.hpp"
 #include "oclx/oclx.hpp"
 #include "spar/spar.hpp"
+#include "telemetry/span_recorder.hpp"
 
 namespace hs::dedup {
 
@@ -301,46 +302,59 @@ class CudaHashWorker final : public flow::Node {
  private:
   /// One device pass: upload, hash kernel, download. Idempotent.
   Status hash_pass(Batch& batch, std::uint8_t* digests) {
+    telemetry::SpanRecorder* tracer = telemetry::tracer();
     const std::size_t nblocks = batch.blocks.size();
     auto data_buf = ctx_->scratch(0, batch.data.size());
     if (!data_buf.ok()) return data_buf.status();
     auto digest_buf = ctx_->scratch(1, nblocks * 20);
     if (!digest_buf.ok()) return digest_buf.status();
-    Status s = cuda_status(
-        cudax::cudaMemcpyAsync(data_buf.value(), batch.data.data(),
-                               batch.data.size(),
-                               cudax::cudaMemcpyKind::cudaMemcpyHostToDevice,
-                               ctx_->stream()),
-        "h2d failed");
+    Status s;
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.sha1.h2d");
+      s = cuda_status(
+          cudax::cudaMemcpyAsync(data_buf.value(), batch.data.data(),
+                                 batch.data.size(),
+                                 cudax::cudaMemcpyKind::cudaMemcpyHostToDevice,
+                                 ctx_->stream()),
+          "h2d failed");
+    }
     if (!s.ok()) return s;
 
     auto* dev_data = static_cast<const std::uint8_t*>(data_buf.value());
     auto* dev_digests = static_cast<std::uint8_t*>(digest_buf.value());
     const Batch* batch_ptr = &batch;
-    s = cuda_status(
-        cudax::launch_kernel(
-            cudax::Dim3{static_cast<std::uint32_t>((nblocks + 63) / 64), 1, 1},
-            cudax::Dim3{64, 1, 1}, ctx_->stream(),
-            [batch_ptr, dev_data, dev_digests,
-             nblocks](const cudax::ThreadCtx& tc) -> std::uint64_t {
-              std::uint64_t b = tc.global_x();
-              if (b >= nblocks) return 1;
-              const BlockInfo& block = batch_ptr->blocks[b];
-              auto digest = kernels::Sha1::hash(std::span<const std::uint8_t>(
-                  dev_data + block.start, block.len));
-              std::copy(digest.begin(), digest.end(), dev_digests + b * 20);
-              // Lane cost: SHA-1 rounds of this block (divergence across the
-              // warp comes from variable rabin block sizes).
-              return kernels::Sha1::compression_rounds(block.len) * 100;
-            }),
-        "hash kernel failed");
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.sha1.kernel");
+      s = cuda_status(
+          cudax::launch_kernel(
+              cudax::Dim3{static_cast<std::uint32_t>((nblocks + 63) / 64), 1,
+                          1},
+              cudax::Dim3{64, 1, 1}, ctx_->stream(),
+              [batch_ptr, dev_data, dev_digests,
+               nblocks](const cudax::ThreadCtx& tc) -> std::uint64_t {
+                std::uint64_t b = tc.global_x();
+                if (b >= nblocks) return 1;
+                const BlockInfo& block = batch_ptr->blocks[b];
+                auto digest = kernels::Sha1::hash(std::span<const std::uint8_t>(
+                    dev_data + block.start, block.len));
+                std::copy(digest.begin(), digest.end(), dev_digests + b * 20);
+                // Lane cost: SHA-1 rounds of this block (divergence across
+                // the warp comes from variable rabin block sizes).
+                return kernels::Sha1::compression_rounds(block.len) * 100;
+              }),
+          "hash kernel failed");
+    }
     if (!s.ok()) return s;
-    s = cuda_status(
-        cudax::cudaMemcpyAsync(digests, dev_digests, nblocks * 20,
-                               cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
-                               ctx_->stream()),
-        "d2h failed");
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.sha1.d2h");
+      s = cuda_status(
+          cudax::cudaMemcpyAsync(digests, dev_digests, nblocks * 20,
+                                 cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
+                                 ctx_->stream()),
+          "d2h failed");
+    }
     if (!s.ok()) return s;
+    telemetry::ScopedSpan span(tracer, "dedup.sha1.sync");
     return cuda_status(cudax::cudaStreamSynchronize(ctx_->stream()),
                        "stream synchronize failed");
   }
@@ -397,6 +411,7 @@ class CudaCompressWorker final : public flow::Node {
   /// One device pass: upload, FindMatch kernel, download match table.
   /// Idempotent (matches are rewritten wholesale).
   Status match_pass(Batch& batch) {
+    telemetry::SpanRecorder* tracer = telemetry::tracer();
     const std::size_t n = batch.data.size();
     auto data_buf = ctx_->scratch(0, n);
     if (!data_buf.ok()) return data_buf.status();
@@ -405,40 +420,48 @@ class CudaCompressWorker final : public flow::Node {
     // "This stage reuses data already on GPU" in the paper; workers here
     // are distinct replicas, so the transfer is repeated — the modeled
     // runners account for the reuse optimization explicitly.
-    Status s = cuda_status(
-        cudax::cudaMemcpyAsync(data_buf.value(), batch.data.data(), n,
-                               cudax::cudaMemcpyKind::cudaMemcpyHostToDevice,
-                               ctx_->stream()),
-        "h2d failed");
+    Status s;
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.lzss.h2d");
+      s = cuda_status(
+          cudax::cudaMemcpyAsync(data_buf.value(), batch.data.data(), n,
+                                 cudax::cudaMemcpyKind::cudaMemcpyHostToDevice,
+                                 ctx_->stream()),
+          "h2d failed");
+    }
     if (!s.ok()) return s;
     auto* dev_data = static_cast<const std::uint8_t*>(data_buf.value());
     auto* dev_matches = static_cast<kernels::LzssMatch*>(match_buf.value());
     const Batch* batch_ptr = &batch;
     const kernels::LzssParams lzss = config_.lzss;
-    s = cuda_status(
-        cudax::launch_kernel(
-            cudax::Dim3{static_cast<std::uint32_t>((n + 255) / 256), 1, 1},
-            cudax::Dim3{256, 1, 1}, ctx_->stream(),
-            [batch_ptr, dev_data, dev_matches, n,
-             lzss](const cudax::ThreadCtx& tc) -> std::uint64_t {
-              std::uint64_t pos = tc.global_x();
-              if (pos >= n) return 1;
-              // Listing 3: locate the block containing `pos` from startPos.
-              const auto& starts = batch_ptr->start_pos;
-              std::size_t lo = 0, hi = starts.size();
-              while (lo + 1 < hi) {
-                std::size_t mid = (lo + hi) / 2;
-                if (starts[mid] <= pos) lo = mid;
-                else hi = mid;
-              }
-              std::size_t bstart = starts[lo];
-              std::size_t bend = lo + 1 < starts.size() ? starts[lo + 1] : n;
-              dev_matches[pos] = kernels::lzss_longest_match(
-                  std::span<const std::uint8_t>(dev_data, n), bstart, bend,
-                  pos, lzss);
-              return kernels::lzss_match_cost(bstart, pos, lzss) * 2;
-            }),
-        "FindMatch kernel failed");
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.lzss.kernel");
+      s = cuda_status(
+          cudax::launch_kernel(
+              cudax::Dim3{static_cast<std::uint32_t>((n + 255) / 256), 1, 1},
+              cudax::Dim3{256, 1, 1}, ctx_->stream(),
+              [batch_ptr, dev_data, dev_matches, n,
+               lzss](const cudax::ThreadCtx& tc) -> std::uint64_t {
+                std::uint64_t pos = tc.global_x();
+                if (pos >= n) return 1;
+                // Listing 3: locate the block containing `pos` from
+                // startPos.
+                const auto& starts = batch_ptr->start_pos;
+                std::size_t lo = 0, hi = starts.size();
+                while (lo + 1 < hi) {
+                  std::size_t mid = (lo + hi) / 2;
+                  if (starts[mid] <= pos) lo = mid;
+                  else hi = mid;
+                }
+                std::size_t bstart = starts[lo];
+                std::size_t bend = lo + 1 < starts.size() ? starts[lo + 1] : n;
+                dev_matches[pos] = kernels::lzss_longest_match(
+                    std::span<const std::uint8_t>(dev_data, n), bstart, bend,
+                    pos, lzss);
+                return kernels::lzss_match_cost(bstart, pos, lzss) * 2;
+              }),
+          "FindMatch kernel failed");
+    }
     if (!s.ok()) return s;
     // Match table comes back through a pinned staging slab when available
     // (pool hit in the steady state); the matches vector keeps its
@@ -450,14 +473,20 @@ class CudaCompressWorker final : public flow::Node {
     batch.matches.resize(n);
     void* dst = staging_.valid() ? static_cast<void*>(staging_.data())
                                  : static_cast<void*>(batch.matches.data());
-    s = cuda_status(
-        cudax::cudaMemcpyAsync(dst, dev_matches, bytes,
-                               cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
-                               ctx_->stream()),
-        "d2h failed");
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.lzss.d2h");
+      s = cuda_status(
+          cudax::cudaMemcpyAsync(dst, dev_matches, bytes,
+                                 cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
+                                 ctx_->stream()),
+          "d2h failed");
+    }
     if (!s.ok()) return s;
-    s = cuda_status(cudax::cudaStreamSynchronize(ctx_->stream()),
-                    "stream synchronize failed");
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.lzss.sync");
+      s = cuda_status(cudax::cudaStreamSynchronize(ctx_->stream()),
+                      "stream synchronize failed");
+    }
     if (!s.ok()) return s;
     if (staging_.valid()) {
       std::memcpy(batch.matches.data(), staging_.data(), bytes);
@@ -529,16 +558,20 @@ Result<std::vector<std::uint8_t>> archive_opencl_single_thread(
   BatchPool pool;
   BatchSource source(input, config, &pool);
   const kernels::LzssParams lzss = config.lzss;
+  telemetry::SpanRecorder* tracer = telemetry::tracer();
 
   while (auto maybe_batch = source()) {
     Batch batch = std::move(*maybe_batch);
     const std::size_t n = batch.data.size();
     auto data_buf = oclx::Buffer::create(ctx.value(), devices[0], n);
     if (!data_buf.ok()) return data_buf.status();
-    if (queue.value().enqueue_write(data_buf.value(), 0, batch.data.data(),
-                                    n, /*blocking=*/false, nullptr) !=
-        oclx::ClStatus::kSuccess) {
-      return Internal("write failed: " + queue.value().last_error());
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.ocl.h2d");
+      if (queue.value().enqueue_write(data_buf.value(), 0, batch.data.data(),
+                                      n, /*blocking=*/false, nullptr) !=
+          oclx::ClStatus::kSuccess) {
+        return Internal("write failed: " + queue.value().last_error());
+      }
     }
 
     // Stage 2: SHA-1 on device, one work-item per block. Kernel results
@@ -561,14 +594,17 @@ Result<std::vector<std::uint8_t>> archive_opencl_single_thread(
               dev_data + block.start, block.len));
           return kernels::Sha1::compression_rounds(block.len) * 100;
         });
-    if (queue.value().enqueue_ndrange(
-            sha_kernel,
-            oclx::Dim3{static_cast<std::uint32_t>((nblocks + 63) / 64 * 64),
-                       1, 1},
-            oclx::Dim3{64, 1, 1}, nullptr) != oclx::ClStatus::kSuccess) {
-      return Internal("sha kernel failed: " + queue.value().last_error());
+    {
+      telemetry::ScopedSpan span(tracer, "dedup.ocl.sha1.kernel");
+      if (queue.value().enqueue_ndrange(
+              sha_kernel,
+              oclx::Dim3{static_cast<std::uint32_t>((nblocks + 63) / 64 * 64),
+                         1, 1},
+              oclx::Dim3{64, 1, 1}, nullptr) != oclx::ClStatus::kSuccess) {
+        return Internal("sha kernel failed: " + queue.value().last_error());
+      }
+      if (!queue.value().finish().ok()) return Internal("finish failed");
     }
-    if (!queue.value().finish().ok()) return Internal("finish failed");
     for (std::size_t b = 0; b < nblocks; ++b) {
       batch.blocks[b].digest = digests[b];
     }
@@ -613,6 +649,7 @@ Result<std::vector<std::uint8_t>> archive_opencl_single_thread(
       return OkStatus();
     };
     if (n > 0) {
+      telemetry::ScopedSpan span(tracer, "dedup.ocl.lzss.kernel");
       if (batched_kernel) {
         if (Status s = run_find(0, n); !s.ok()) return s;
       } else {

@@ -11,6 +11,8 @@
 
 #include "common/backoff.hpp"
 #include "flow/spsc_queue.hpp"
+#include "telemetry/queue_sampler.hpp"
+#include "telemetry/span_recorder.hpp"
 
 namespace hs::flow {
 
@@ -65,19 +67,37 @@ struct RunState {
 /// against the classic lost-wakeup race without a lock on the fast path).
 class Channel {
  public:
-  Channel(std::size_t capacity, WaitMode mode, RunState* state)
-      : queue_(capacity), mode_(mode), state_(state) {}
+  Channel(std::size_t capacity, WaitMode mode, RunState* state,
+          telemetry::Counter* full_counter)
+      : queue_(capacity),
+        mode_(mode),
+        state_(state),
+        full_counter_(full_counter) {}
 
   /// Blocks until pushed; returns false only when the run aborted.
   bool push(Envelope&& env) {
     Backoff backoff;
+    bool counted_full = false;
     while (!queue_.try_push(std::move(env))) {
+      if (!counted_full) {
+        // One tick per push that found the queue full, not per retry
+        // iteration — a spinning producer would otherwise dominate the
+        // counter with meaningless retry counts.
+        counted_full = true;
+        if (full_counter_ != nullptr) full_counter_->add(1);
+      }
       if (state_->aborted()) return false;
       wait_not_full(backoff);
     }
     state_->tick();
     if (mode_ == WaitMode::kBlocking) cv_not_empty_.notify_one();
     return true;
+  }
+
+  /// Instantaneous depth/capacity for the telemetry queue sampler.
+  [[nodiscard]] std::size_t depth() const { return queue_.size_approx(); }
+  [[nodiscard]] std::size_t queue_capacity() const {
+    return queue_.capacity();
   }
 
   /// Blocks until popped; returns false only when the run aborted *and*
@@ -149,6 +169,7 @@ class Channel {
   SpscQueue<Envelope> queue_;
   WaitMode mode_;
   RunState* state_;
+  telemetry::Counter* full_counter_;
   std::mutex cv_mu_;
   std::condition_variable cv_not_empty_;
   std::condition_variable cv_not_full_;
@@ -163,7 +184,20 @@ class Unit {
       : name_(std::move(name)), state_(state), collect_stats_(collect_stats) {}
   virtual ~Unit() = default;
 
+  /// Point this unit at telemetry sinks (called once at graph build, before
+  /// the thread launches). `span_name` must be interned/static.
+  void attach_telemetry(telemetry::Histogram* svc_hist,
+                        telemetry::Counter* items,
+                        telemetry::SpanRecorder* spans,
+                        const char* span_name) {
+    svc_hist_ = svc_hist;
+    items_counter_ = items;
+    spans_ = spans;
+    span_name_ = span_name;
+  }
+
   void operator()() {
+    if (spans_ != nullptr) spans_->set_thread_name(name_);
     try {
       run();
     } catch (const std::exception& e) {
@@ -194,34 +228,51 @@ class Unit {
   }
 
  protected:
-  template <typename F>
-  auto timed(F&& f) {
-    if (!collect_stats_) return f();
-    auto t0 = Clock::now();
-    auto cleanup = [&](auto&& result) {
-      stats_.busy_seconds +=
-          std::chrono::duration<double>(Clock::now() - t0).count();
-      return std::forward<decltype(result)>(result);
-    };
-    return cleanup(f());
-  }
-
   /// Runs one svc call with the in-user-code flag raised and a progress
   /// tick on completion (so a pipeline whose queues are idle but whose
-  /// stages still finish work is not flagged as stalled).
+  /// stages still finish work is not flagged as stalled). When stats or
+  /// telemetry are attached the call is timed once and the two clock reads
+  /// feed busy_seconds, the service-time histogram, and the span together.
   template <typename F>
   SvcResult guarded_svc(F&& f) {
     in_svc_.store(true, std::memory_order_release);
-    SvcResult r = timed(std::forward<F>(f));
+    SvcResult r;
+    if (collect_stats_ || svc_hist_ != nullptr || spans_ != nullptr) {
+      const auto t0 = Clock::now();
+      r = f();
+      const auto t1 = Clock::now();
+      if (collect_stats_) {
+        stats_.busy_seconds += std::chrono::duration<double>(t1 - t0).count();
+      }
+      if (svc_hist_ != nullptr) {
+        svc_hist_->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+      }
+      if (spans_ != nullptr) {
+        spans_->record(span_name_, spans_->to_ns(t0), spans_->to_ns(t1));
+      }
+    } else {
+      r = f();
+    }
     in_svc_.store(false, std::memory_order_release);
     state_->tick();
     return r;
+  }
+
+  /// Bumps the per-stage item counter alongside the NodeStats item count.
+  void count_item() {
+    if (items_counter_ != nullptr) items_counter_->add(1);
   }
 
   std::string name_;
   RunState* state_;
   bool collect_stats_;
   NodeStats stats_;
+  telemetry::Histogram* svc_hist_ = nullptr;
+  telemetry::Counter* items_counter_ = nullptr;
+  telemetry::SpanRecorder* spans_ = nullptr;
+  const char* span_name_ = "";
   std::atomic<bool> done_{false};
   std::atomic<bool> in_svc_{false};
 };
@@ -300,6 +351,7 @@ class SourceUnit final : public Unit {
       if (r.kind == SvcResult::Kind::kEos) break;
       if (r.kind == SvcResult::Kind::kItem) {
         ++stats_.items_out;
+        count_item();
         Envelope env;
         env.kind = EnvKind::kItem;
         env.seq = router_.take_seq();
@@ -352,6 +404,7 @@ class StageUnit final : public Unit {
         }
         if (env.kind == EnvKind::kHole) continue;  // holes die at collectors
         ++stats_.items_in;
+        count_item();
         std::uint64_t seq = env.seq;
         SvcResult r =
             guarded_svc([&] { return node_->svc(std::move(env.item)); });
@@ -534,18 +587,46 @@ struct RunCore {
   PipelineOptions options;
   std::vector<std::unique_ptr<Node>> nodes;  // every node the units reference
   std::vector<std::unique_ptr<Channel>> channels;
+  std::vector<std::string> channel_labels;
   std::vector<std::unique_ptr<Unit>> units;
   RunState state;
+
+  // Telemetry sinks resolved at run start (null when not instrumented).
+  telemetry::StreamInstrumentation instr;
+  telemetry::Counter* queue_full_counter = nullptr;
+  telemetry::Counter* watchdog_counter = nullptr;
+  std::vector<std::uint64_t> sampler_ids;
 
   // Completion signalling for run_and_wait's supervision loop.
   std::mutex comp_mu;
   std::condition_variable comp_cv;
   std::size_t done_count = 0;
 
-  Channel* new_channel() {
-    channels.push_back(std::make_unique<Channel>(options.queue_capacity,
-                                                 options.wait_mode, &state));
+  Channel* new_channel(std::string label) {
+    channels.push_back(std::make_unique<Channel>(
+        options.queue_capacity, options.wait_mode, &state,
+        queue_full_counter));
+    channel_labels.push_back(std::move(label));
     return channels.back().get();
+  }
+
+  /// Register every channel with the sampler as "<prefix>.<label>"; the
+  /// depth lambdas reference channels this core owns, so they stay valid
+  /// until unregister_queues() (called before run_and_wait returns).
+  void register_queues() {
+    if (instr.sampler == nullptr) return;
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      sampler_ids.push_back(instr.sampler->add_queue(
+          instr.prefix + "." + channel_labels[i],
+          [ch = channels[i].get()] { return ch->depth(); },
+          channels[i]->queue_capacity()));
+    }
+  }
+
+  void unregister_queues() {
+    if (instr.sampler == nullptr) return;
+    for (std::uint64_t id : sampler_ids) instr.sampler->remove_queue(id);
+    sampler_ids.clear();
   }
 
   void signal_done() {
@@ -568,6 +649,9 @@ struct Pipeline::Impl {
   std::vector<std::pair<std::thread, Unit*>> stragglers;
   std::vector<UnitReport> reports;
   FailureReport failure_report;
+  // Resolved at run start so the destructor's reaper can count detaches
+  // without consulting the (possibly global) telemetry gate again.
+  telemetry::Counter* straggler_counter = nullptr;
   bool ran = false;
 };
 
@@ -601,6 +685,7 @@ Pipeline::~Pipeline() {
     if (unit->done()) {
       thread.join();
     } else {
+      if (im.straggler_counter != nullptr) im.straggler_counter->add(1);
       thread.detach();  // kept safe by the thread's shared_ptr<RunCore>
     }
   }
@@ -651,6 +736,38 @@ Status Pipeline::run_and_wait() {
   core->options = im.options;
   const bool stats = im.options.collect_stats;
 
+  // Telemetry: an explicitly supplied bundle wins; otherwise fall back to
+  // the process singletons iff telemetry::set_enabled(true) is in effect.
+  core->instr = im.options.telemetry.active()
+                    ? im.options.telemetry
+                    : telemetry::default_instrumentation();
+  if (core->instr.active() && core->instr.prefix.empty()) {
+    core->instr.prefix = "flow";
+  }
+  if (core->instr.registry != nullptr) {
+    core->queue_full_counter =
+        core->instr.registry->counter(core->instr.prefix + ".queue_full");
+    core->watchdog_counter = core->instr.registry->counter(
+        core->instr.prefix + ".watchdog_aborts");
+    im.straggler_counter = core->instr.registry->counter(
+        core->instr.prefix + ".stragglers_detached");
+  }
+  auto attach_telemetry = [&core](Unit* u, const std::string& unit_name) {
+    if (!core->instr.active()) return;
+    telemetry::Histogram* hist = nullptr;
+    telemetry::Counter* items = nullptr;
+    if (core->instr.registry != nullptr) {
+      hist = core->instr.registry->histogram(core->instr.prefix + "." +
+                                             unit_name + ".svc_ns");
+      items = core->instr.registry->counter(core->instr.prefix + "." +
+                                            unit_name + ".items");
+    }
+    telemetry::SpanRecorder* spans = core->instr.spans;
+    const char* span_name =
+        spans != nullptr ? spans->intern(unit_name) : "";
+    u->attach_telemetry(hist, items, spans, span_name);
+  };
+
   // Wire stages back to front so each stage knows its downstream channel(s).
   // `entry` = the channel feeding the already-built downstream subgraph.
   Channel* entry = nullptr;
@@ -671,12 +788,13 @@ Status Pipeline::run_and_wait() {
             plain->name, &core->state, stats, node, std::move(router)));
         entry = nullptr;
       } else {
-        Channel* in = core->new_channel();
+        Channel* in = core->new_channel(plain->name + ".in");
         units.push_back(std::make_unique<StageUnit>(
             plain->name, &core->state, stats, node, in,
             std::move(router), /*propagate_seq=*/false, /*replica_id=*/0));
         entry = in;
       }
+      attach_telemetry(units.back().get(), plain->name);
       continue;
     }
 
@@ -685,7 +803,8 @@ Status Pipeline::run_and_wait() {
     std::vector<Channel*> worker_outs;
     worker_outs.reserve(static_cast<std::size_t>(farm.options.replicas));
     for (int w = 0; w < farm.options.replicas; ++w) {
-      worker_outs.push_back(core->new_channel());
+      worker_outs.push_back(
+          core->new_channel(farm.name + ".w" + std::to_string(w) + ".out"));
     }
     units.push_back(std::make_unique<CollectorUnit>(
         farm.name + ".collector", &core->state, worker_outs,
@@ -695,25 +814,31 @@ Status Pipeline::run_and_wait() {
     std::vector<Channel*> worker_ins;
     worker_ins.reserve(static_cast<std::size_t>(farm.options.replicas));
     for (int w = 0; w < farm.options.replicas; ++w) {
-      Channel* win = core->new_channel();
+      const std::string worker_name = farm.name + ".w" + std::to_string(w);
+      Channel* win = core->new_channel(worker_name + ".in");
       worker_ins.push_back(win);
       auto node = farm.factory();
       assert(node && "worker factory returned null");
       units.push_back(std::make_unique<StageUnit>(
-          farm.name + ".w" + std::to_string(w), &core->state, stats, node.get(),
+          worker_name, &core->state, stats, node.get(),
           win, Router({worker_outs[static_cast<std::size_t>(w)]},
                       SchedPolicy::kRoundRobin),
           /*propagate_seq=*/farm.options.ordered, /*replica_id=*/w));
       core->nodes.push_back(std::move(node));
+      attach_telemetry(units.back().get(), worker_name);
     }
 
     // emitter: in channel -> worker channels
-    Channel* farm_in = core->new_channel();
+    Channel* farm_in = core->new_channel(farm.name + ".in");
     units.push_back(std::make_unique<EmitterUnit>(
         farm.name + ".emitter", &core->state, farm_in,
         Router(worker_ins, farm.options.policy)));
     entry = farm_in;
   }
+
+  // Channels are all built: expose their depths to the sampler for the
+  // duration of the run.
+  core->register_queues();
 
   // Launch all units. Threads capture the shared core so a detached stuck
   // thread can never outlive the state it references.
@@ -775,6 +900,9 @@ Status Pipeline::run_and_wait() {
               }
             }
           }
+          if (core->watchdog_counter != nullptr) {
+            core->watchdog_counter->add(1);
+          }
           core->state.fail(
               stuck, Aborted("stage '" + stuck + "' stalled for " +
                              std::to_string(im.options.stall_timeout_seconds) +
@@ -785,6 +913,10 @@ Status Pipeline::run_and_wait() {
       }
     }
   }
+
+  // Stop sampling this run's queues before handing control back (straggler
+  // threads keep the channels themselves alive through the shared core).
+  core->unregister_queues();
 
   for (std::size_t i = 0; i < threads.size(); ++i) {
     if (units[i]->done()) {

@@ -20,6 +20,7 @@
 
 #include "common/status.hpp"
 #include "flow/node.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hs::flow {
 
@@ -55,6 +56,18 @@ struct PipelineOptions {
   /// touches afterwards must outlive the process. 0 disables the watchdog
   /// (the default).
   double stall_timeout_seconds = 0.0;
+  /// Telemetry sinks for this run. When left inactive the pipeline falls
+  /// back to telemetry::default_instrumentation() — i.e. the process-wide
+  /// registry/recorder/sampler singletons, but only while
+  /// telemetry::set_enabled(true) is in effect; otherwise the run is not
+  /// instrumented and each hook costs one branch. Per node stage the run
+  /// records "<prefix>.<stage>.svc_ns" (histogram), "<prefix>.<stage>.items"
+  /// (counter), a span per svc() call on the stage's thread, plus
+  /// "<prefix>.queue_full" (pushes that found a queue full),
+  /// "<prefix>.watchdog_aborts" / "<prefix>.stragglers_detached", and
+  /// registers every channel with the sampler as "<prefix>.<queue>". The
+  /// supplied registry/recorder/sampler must outlive the Pipeline.
+  telemetry::StreamInstrumentation telemetry;
 };
 
 struct FarmOptions {

@@ -11,6 +11,7 @@
 #include "spar/spar.hpp"
 #include "taskx/pipeline.hpp"
 #include "taskx/pool.hpp"
+#include "telemetry/span_recorder.hpp"
 
 namespace hs::mandel {
 
@@ -83,17 +84,22 @@ Result<std::vector<std::uint8_t>> render_taskx(const MandelParams& params,
     if (i >= params.dim) return std::nullopt;
     return taskx::Item::of<Line>(Line{i++, {}});
   });
-  pipe.add_filter(taskx::FilterMode::kParallel, [&params](taskx::Item item) {
-    Line line = item.take<Line>();
-    line.pixels.resize(static_cast<std::size_t>(params.dim));
-    kernels::mandel_line(params, line.index, line.pixels);
-    return taskx::Item::of<Line>(std::move(line));
-  });
-  pipe.add_filter(taskx::FilterMode::kSerialInOrder,
-                  [&image, &params](taskx::Item item) {
-                    store_line(image, params.dim, item.as<Line>());
-                    return item;
-                  });
+  pipe.add_filter(
+      taskx::FilterMode::kParallel,
+      [&params](taskx::Item item) {
+        Line line = item.take<Line>();
+        line.pixels.resize(static_cast<std::size_t>(params.dim));
+        kernels::mandel_line(params, line.index, line.pixels);
+        return taskx::Item::of<Line>(std::move(line));
+      },
+      "compute");
+  pipe.add_filter(
+      taskx::FilterMode::kSerialInOrder,
+      [&image, &params](taskx::Item item) {
+        store_line(image, params.dim, item.as<Line>());
+        return item;
+      },
+      "store");
   HS_RETURN_IF_ERROR(pipe.run(pool, max_tokens));
   return image;
 }
@@ -199,21 +205,27 @@ class CudaLineWorker final : public flow::Node {
   /// One GPU pass over the line: launch, D2H copy, synchronize. Idempotent
   /// (the kernel rewrites the whole row), so safe to re-run on retry.
   Status gpu_line_once(Line& line) {
+    telemetry::SpanRecorder* tracer = telemetry::tracer();
     const MandelParams p = params_;
     const int i = line.index;
     auto* dev_row = static_cast<std::uint8_t*>(dev_row_);
-    Status s = cuda_status(
-        cudax::launch_kernel(
-            cudax::Dim3{static_cast<std::uint32_t>((p.dim + 255) / 256), 1, 1},
-            cudax::Dim3{256, 1, 1}, stream_,
-            [p, i, dev_row](const cudax::ThreadCtx& ctx) -> std::uint64_t {
-              std::uint64_t j = ctx.global_x();
-              if (j >= static_cast<std::uint64_t>(p.dim)) return 1;
-              int k = kernels::mandel_iterations(p, i, static_cast<int>(j));
-              dev_row[j] = kernels::mandel_color(k, p.niter);
-              return static_cast<std::uint64_t>(k) + 1;
-            }),
-        "kernel launch failed");
+    Status s;
+    {
+      telemetry::ScopedSpan span(tracer, "mandel.kernel");
+      s = cuda_status(
+          cudax::launch_kernel(
+              cudax::Dim3{static_cast<std::uint32_t>((p.dim + 255) / 256), 1,
+                          1},
+              cudax::Dim3{256, 1, 1}, stream_,
+              [p, i, dev_row](const cudax::ThreadCtx& ctx) -> std::uint64_t {
+                std::uint64_t j = ctx.global_x();
+                if (j >= static_cast<std::uint64_t>(p.dim)) return 1;
+                int k = kernels::mandel_iterations(p, i, static_cast<int>(j));
+                dev_row[j] = kernels::mandel_color(k, p.niter);
+                return static_cast<std::uint64_t>(k) + 1;
+              }),
+          "kernel launch failed");
+    }
     if (!s.ok()) return s;
     // D2H lands in a pinned staging row from the shared pool (fast
     // simulated transfer, no per-line pinned allocation); when pinned
@@ -224,17 +236,23 @@ class CudaLineWorker final : public flow::Node {
     }
     std::uint8_t* dst =
         staging_.valid() ? staging_.data() : line.pixels.data();
-    s = cuda_status(
-        cudax::cudaMemcpyAsync(dst, dev_row_, row_bytes,
-                               cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
-                               stream_),
-        "memcpy failed");
+    {
+      telemetry::ScopedSpan span(tracer, "mandel.d2h");
+      s = cuda_status(
+          cudax::cudaMemcpyAsync(dst, dev_row_, row_bytes,
+                                 cudax::cudaMemcpyKind::cudaMemcpyDeviceToHost,
+                                 stream_),
+          "memcpy failed");
+    }
     if (!s.ok()) return s;
     // The real implementation forwards the item with its stream and lets
     // the last stage synchronize; functionally the simulated copy has
     // already landed, and the virtual completion is the stream's tail.
-    s = cuda_status(cudax::cudaStreamSynchronize(stream_),
-                    "stream synchronize failed");
+    {
+      telemetry::ScopedSpan span(tracer, "mandel.sync");
+      s = cuda_status(cudax::cudaStreamSynchronize(stream_),
+                      "stream synchronize failed");
+    }
     if (!s.ok()) return s;
     if (staging_.valid()) {
       std::memcpy(line.pixels.data(), staging_.data(), row_bytes);

@@ -101,6 +101,7 @@ Status ToStream::run(const Options& options) {
   popts.queue_capacity = options.queue_capacity;
   popts.wait_mode =
       options.blocking ? flow::WaitMode::kBlocking : flow::WaitMode::kSpin;
+  popts.telemetry = options.telemetry;
 
   flow::Pipeline pipe(popts);
   pipe.add_stage(std::move(source_), name_ + ".source");

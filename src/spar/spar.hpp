@@ -62,6 +62,11 @@ struct Options {
   bool blocking = true;
   std::size_t queue_capacity = 512;
   flow::SchedPolicy policy = flow::SchedPolicy::kRoundRobin;
+  /// Telemetry sinks passed through to the lowered flow::Pipeline. Left
+  /// inactive, the runtime falls back to the process-wide singletons when
+  /// telemetry::set_enabled(true) — stage metrics then appear under the
+  /// region's stage names ("flow.<name>.stageN.svc_ns" etc.).
+  telemetry::StreamInstrumentation telemetry;
 };
 
 /// A [[spar::ToStream]] region under construction.

@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "taskx/pool.hpp"
+#include "telemetry/span_recorder.hpp"
 
 namespace hs::taskx {
 
@@ -28,6 +30,12 @@ struct Pipeline::Impl {
     std::function<Item(Item)> fn;
     std::string name;
 
+    // Telemetry sinks, resolved once by run() (null = not instrumented).
+    telemetry::Histogram* hist = nullptr;
+    telemetry::Counter* items = nullptr;
+    telemetry::SpanRecorder* spans = nullptr;
+    const char* span_name = "";
+
     // Serial-gate state (unused for kParallel). Parked tokens live in a
     // fixed ring of max_live_tokens slots (sized once by run()), so a park
     // never heap-allocates. kSerialInOrder indexes by seq % cap — live
@@ -44,6 +52,7 @@ struct Pipeline::Impl {
 
   std::function<std::optional<Item>()> source;
   std::vector<std::unique_ptr<Filter>> filters;
+  telemetry::StreamInstrumentation telemetry;
   bool ran = false;
   std::size_t token_cap = 0;  // max_live_tokens, fixed by run()
 
@@ -69,6 +78,22 @@ struct Pipeline::Impl {
 
   Item apply(Filter& f, Item in) {
     try {
+      if (f.hist != nullptr || f.spans != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Item out = f.fn(std::move(in));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (f.hist != nullptr) {
+          f.hist->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        }
+        if (f.spans != nullptr) {
+          f.spans->record(f.span_name, f.spans->to_ns(t0), f.spans->to_ns(t1));
+        }
+        if (f.items != nullptr) f.items->add(1);
+        return out;
+      }
+      if (f.items != nullptr) f.items->add(1);
       return f.fn(std::move(in));
     } catch (const std::exception& e) {
       fail(Internal(f.name + ": " + e.what()));
@@ -81,26 +106,33 @@ struct Pipeline::Impl {
   /// Pulls the next source item; updates token bookkeeping. Returns false
   /// when the stream is exhausted (the caller's token retires).
   bool refill(Token& tok) {
-    std::lock_guard<std::mutex> lock(source_mu);
-    if (!source_done && !failed.load(std::memory_order_acquire)) {
-      std::optional<Item> next;
-      try {
-        next = source();
-      } catch (const std::exception& e) {
-        fail(Internal(std::string("source: ") + e.what()));
-        next = std::nullopt;
+    bool last_token = false;
+    {
+      std::lock_guard<std::mutex> lock(source_mu);
+      if (!source_done && !failed.load(std::memory_order_acquire)) {
+        std::optional<Item> next;
+        try {
+          next = source();
+        } catch (const std::exception& e) {
+          fail(Internal(std::string("source: ") + e.what()));
+          next = std::nullopt;
+        }
+        if (next.has_value()) {
+          tok.seq = next_token_seq++;
+          tok.payload = std::move(*next);
+          tok.next_filter = 0;
+          tok.dropped = false;
+          return true;
+        }
+        source_done = true;
       }
-      if (next.has_value()) {
-        tok.seq = next_token_seq++;
-        tok.payload = std::move(*next);
-        tok.next_filter = 0;
-        tok.dropped = false;
-        return true;
-      }
-      source_done = true;
+      // Token retires.
+      last_token = --live_tokens == 0;
     }
-    // Token retires.
-    if (--live_tokens == 0) done.store(true, std::memory_order_release);
+    // Publish completion only after source_mu is released: run() returns as
+    // soon as it observes done, and the caller may destroy this Impl — the
+    // mutex must not still be mid-unlock on this thread when that happens.
+    if (last_token) done.store(true, std::memory_order_release);
     return false;
   }
 
@@ -206,6 +238,10 @@ void Pipeline::add_filter(FilterMode mode, std::function<Item(Item)> fn,
   impl_->filters.push_back(std::move(f));
 }
 
+void Pipeline::set_telemetry(telemetry::StreamInstrumentation telemetry) {
+  impl_->telemetry = std::move(telemetry);
+}
+
 Status Pipeline::run(ThreadPool& pool, std::size_t max_live_tokens) {
   Impl& im = *impl_;
   if (im.ran) return FailedPrecondition("pipeline already ran");
@@ -218,9 +254,23 @@ Status Pipeline::run(ThreadPool& pool, std::size_t max_live_tokens) {
   }
   im.pool = &pool;
   im.token_cap = max_live_tokens;
+  telemetry::StreamInstrumentation instr =
+      im.telemetry.active() ? im.telemetry
+                            : telemetry::default_instrumentation("taskx");
+  if (instr.active() && instr.prefix.empty()) instr.prefix = "taskx";
   for (auto& f : im.filters) {
     if (f->mode != FilterMode::kParallel) {
       f->parked.resize(max_live_tokens);  // at most cap-1 parked at once
+    }
+    if (instr.registry != nullptr) {
+      f->hist = instr.registry->histogram(instr.prefix + "." + f->name +
+                                          ".svc_ns");
+      f->items =
+          instr.registry->counter(instr.prefix + "." + f->name + ".items");
+    }
+    if (instr.spans != nullptr) {
+      f->spans = instr.spans;
+      f->span_name = instr.spans->intern(instr.prefix + "." + f->name);
     }
   }
 

@@ -23,6 +23,7 @@
 
 #include "common/status.hpp"
 #include "flow/item.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hs::taskx {
 
@@ -50,6 +51,13 @@ class Pipeline {
   /// returns the transformed payload (empty Item = drop).
   void add_filter(FilterMode mode, std::function<Item(Item)> fn,
                   std::string name = "filter");
+
+  /// Telemetry sinks for the run. When never called (or inactive), run()
+  /// falls back to telemetry::default_instrumentation("taskx") — active
+  /// only while telemetry::set_enabled(true). Per filter the run records
+  /// "<prefix>.<filter>.svc_ns" (histogram), "<prefix>.<filter>.items"
+  /// (counter), and a span per invocation on whichever pool thread ran it.
+  void set_telemetry(telemetry::StreamInstrumentation telemetry);
 
   /// Runs to completion on `pool`; the calling thread helps execute tasks.
   /// `max_live_tokens` must be >= 1. Single-shot.

@@ -1,0 +1,87 @@
+#include "telemetry/queue_sampler.hpp"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.hpp"
+
+namespace hs::telemetry {
+
+QueueDepthSampler::QueueDepthSampler(Registry* registry)
+    : registry_(registry != nullptr ? registry : &Registry::Default()) {}
+
+QueueDepthSampler::~QueueDepthSampler() {
+  stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+QueueDepthSampler& QueueDepthSampler::Default() {
+  static QueueDepthSampler* instance = new QueueDepthSampler;  // leaked
+  return *instance;
+}
+
+std::uint64_t QueueDepthSampler::add_queue(std::string name, DepthFn depth,
+                                           std::size_t capacity) {
+  Entry entry;
+  entry.depth = std::move(depth);
+  entry.capacity = capacity;
+  entry.hist = registry_->histogram(name + ".depth");
+  entry.now_gauge = registry_->gauge(name + ".depth_now");
+  entry.util_gauge =
+      capacity > 0 ? registry_->gauge(name + ".utilization") : nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+void QueueDepthSampler::remove_queue(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::size_t QueueDepthSampler::queue_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Status QueueDepthSampler::start(std::chrono::microseconds period) {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPrecondition("QueueDepthSampler already running");
+  }
+  if (thread_.joinable()) thread_.join();  // reap a previous stop()ed run
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this, period] { run(period); });
+  return OkStatus();
+}
+
+void QueueDepthSampler::stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void QueueDepthSampler::run(std::chrono::microseconds period) {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Entry& e : entries_) {
+        std::size_t depth = e.depth();
+        e.hist->record(depth);
+        e.now_gauge->set(static_cast<double>(depth));
+        if (e.util_gauge != nullptr) {
+          e.util_gauge->set(static_cast<double>(depth) /
+                            static_cast<double>(e.capacity));
+        }
+      }
+    }
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(period);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace hs::telemetry

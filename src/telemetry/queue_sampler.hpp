@@ -1,0 +1,90 @@
+// QueueDepthSampler — a background thread that polls registered queue depth
+// functions (SpscQueue::size_approx and friends) at a fixed period and feeds
+// the samples into a Registry as a histogram (depth distribution over the
+// run) plus a gauge (last observed depth, and a utilization gauge when the
+// queue's capacity is known).
+//
+// Registration is decoupled from the thread lifecycle: queues can be added
+// and removed while the sampler runs (flow::Pipeline registers its channels
+// for the duration of run_and_wait), and start()/stop() can bracket any
+// number of runs. The sampler owns no queues — a registered depth function
+// must stay callable until remove_queue().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs::telemetry {
+
+class Registry;
+class Gauge;
+class Histogram;
+
+class QueueDepthSampler {
+ public:
+  using DepthFn = std::function<std::size_t()>;
+
+  /// Samples land in `registry` (Registry::Default() when null).
+  explicit QueueDepthSampler(Registry* registry = nullptr);
+  ~QueueDepthSampler();  ///< stops the thread and drops registrations
+  QueueDepthSampler(const QueueDepthSampler&) = delete;
+  QueueDepthSampler& operator=(const QueueDepthSampler&) = delete;
+
+  /// Process-wide default sampler, feeding Registry::Default().
+  static QueueDepthSampler& Default();
+
+  /// Register a queue. Metrics: "<name>.depth" (histogram),
+  /// "<name>.depth_now" (gauge), and "<name>.utilization" (gauge, only when
+  /// `capacity` > 0). Returns an id for remove_queue(); safe while the
+  /// sampler runs.
+  std::uint64_t add_queue(std::string name, DepthFn depth,
+                          std::size_t capacity = 0);
+  void remove_queue(std::uint64_t id);
+  /// Registered queue count (test/introspection).
+  [[nodiscard]] std::size_t queue_count() const;
+
+  /// Spawn the sampling thread. FailedPrecondition when already running.
+  [[nodiscard]] Status start(
+      std::chrono::microseconds period = std::chrono::microseconds(500));
+  /// Join the sampling thread; idempotent.
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Sampling sweeps completed since construction (lifecycle tests).
+  [[nodiscard]] std::uint64_t sweeps() const {
+    return sweeps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    DepthFn depth;
+    std::size_t capacity = 0;
+    Histogram* hist = nullptr;    // owned by the registry
+    Gauge* now_gauge = nullptr;   // owned by the registry
+    Gauge* util_gauge = nullptr;  // null when capacity unknown
+  };
+
+  void run(std::chrono::microseconds period);
+
+  Registry* registry_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> sweeps_{0};
+};
+
+}  // namespace hs::telemetry

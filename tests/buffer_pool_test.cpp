@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <thread>
@@ -107,6 +108,61 @@ TEST(BufferPoolTest, ConcurrentAcquireReleaseStaysConsistent) {
   EXPECT_EQ(c.bytes_outstanding, 0u);
   EXPECT_EQ(c.hits + c.misses,
             static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(BufferPoolTest, SnapshotWhileWritersRunSeesNoTornValues) {
+  // Regression test for counters(): the snapshot is lock-free atomic reads,
+  // so a reader polling at full speed while writers churn must only ever see
+  // plausible values — never a torn u64 or a counter running backwards.
+  // (Under TSan this also proves the counter fields are race-free.)
+  BufferPool pool;
+  constexpr int kWriters = 4;
+  constexpr int kIters = 5000;
+  constexpr std::uint64_t kMaxSlab = 2048;  // largest class requested below
+  constexpr std::uint64_t kOps =
+      static_cast<std::uint64_t>(kWriters) * kIters;
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    std::uint64_t last_hits = 0;
+    std::uint64_t last_misses = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      PoolCounters c = pool.counters();
+      // Monotonic counters never run backwards between two snapshots.
+      EXPECT_GE(c.hits, last_hits);
+      EXPECT_GE(c.misses, last_misses);
+      last_hits = c.hits;
+      last_misses = c.misses;
+      // Every field stays within what the workload could possibly produce;
+      // a torn 64-bit read would blow straight through these ceilings.
+      EXPECT_LE(c.hits + c.misses, kOps);
+      EXPECT_LE(c.bytes_allocated, kOps * kMaxSlab);
+      EXPECT_LE(c.bytes_cached, kOps * kMaxSlab);
+      EXPECT_LE(c.bytes_outstanding,
+                static_cast<std::uint64_t>(kWriters) * kMaxSlab);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        BufferPool::Slab slab = pool.acquire(64u << ((i + t) % 6));
+        ASSERT_NE(slab.ptr, nullptr);
+        slab.ptr[0] = static_cast<std::uint8_t>(i);
+        pool.release(slab);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // Quiescent totals are exact.
+  PoolCounters c = pool.counters();
+  EXPECT_EQ(c.hits + c.misses, kOps);
+  EXPECT_EQ(c.bytes_outstanding, 0u);
+  EXPECT_EQ(c.bytes_cached, c.bytes_allocated);
 }
 
 TEST(PooledBufferTest, VectorLikeBasics) {
