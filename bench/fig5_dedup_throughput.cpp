@@ -25,9 +25,20 @@
 //        with runtime telemetry on and export a Chrome trace — per-stage +
 //        H2D/kernel/D2H spans, viewable in ui.perfetto.dev — and/or a
 //        metrics dump: .json gets JSON, anything else Prometheus text)
+//        --functional (also run the *functional* sequential and SPar-CPU
+//        archivers on each dataset and report measured wall time — unlike
+//        the modeled rows above, these numbers are this host's. Implied by
+//        any of: --workers-hash=N / --workers-compress=N (farm sizes,
+//        default 4), --pin (pin runtime threads round-robin to cores),
+//        --hash-unordered (least-loaded unordered hash farm; the serial
+//        duplicate check restores stream order, so the archive is still
+//        byte-identical). The SIMD dispatch level follows HS_SIMD.)
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+
+#include "kernels/simd/dispatch.hpp"
 
 #include "bench_common.hpp"
 #include "cudax/cudax.hpp"
@@ -122,6 +133,93 @@ int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
     return 1;
   }
   return rc;
+}
+
+/// --functional rows: the real archivers, measured wall time on this host
+/// (the modeled table above stays byte-identical whether or not these
+/// run). Sequential is the reference; the SPar-CPU variant runs with the
+/// requested farm sizes / pinning / hash ordering. Returns 0 on success.
+int run_functional(const std::vector<datagen::CorpusKind>& kinds,
+                   std::uint64_t input_size, dedup::DedupConfig config,
+                   const CliArgs& args) {
+  dedup::SparCpuOptions opts;
+  opts.workers_hash = static_cast<int>(args.get_int("workers-hash", 4));
+  opts.workers_compress =
+      static_cast<int>(args.get_int("workers-compress", 4));
+  opts.hash_ordered = !args.get_bool("hash-unordered", false);
+  opts.pin.enabled = args.get_bool("pin", false);
+  const int reps = static_cast<int>(args.get_int("functional-reps", 3));
+
+  std::string spar_label = "SPar CPU (functional, hash x" +
+                           std::to_string(opts.workers_hash) + ", lzss x" +
+                           std::to_string(opts.workers_compress) + ")";
+  if (!opts.hash_ordered) spar_label += " unordered-hash";
+  if (opts.pin.enabled) spar_label += " pinned";
+
+  Table table("Functional archivers — measured wall time (best of " +
+              std::to_string(reps) + ", simd=" +
+              std::string(kernels::simd::level_name(
+                  kernels::simd::active_level())) +
+              ")");
+  table.set_header({"dataset", "version", "time", "throughput"});
+
+  for (datagen::CorpusKind kind : kinds) {
+    datagen::CorpusSpec spec;
+    spec.kind = kind;
+    spec.bytes = input_size;
+    const std::vector<std::uint8_t> input = datagen::generate(spec);
+    const std::string dataset(datagen::corpus_name(kind));
+
+    const auto measure = [&](auto&& archiver)
+        -> Result<std::pair<double, std::vector<std::uint8_t>>> {
+      double best = 1e300;
+      std::vector<std::uint8_t> archive;
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto out = archiver();
+        const auto t1 = std::chrono::steady_clock::now();
+        HS_RETURN_IF_ERROR(out.status());
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+        if (r == 0) archive = std::move(out).value();
+      }
+      return std::make_pair(best, std::move(archive));
+    };
+    const auto add = [&](const std::string& label, double seconds) {
+      table.add_row({dataset, label, format_seconds(seconds),
+                     format_fixed(input_size / 1e6 / seconds, 1) + " MB/s"});
+    };
+
+    auto seq = measure(
+        [&] { return dedup::archive_sequential(input, config); });
+    if (!seq.ok()) {
+      std::cerr << "[bench] functional sequential failed: "
+                << seq.status().ToString() << "\n";
+      return 1;
+    }
+    add("sequential (functional)", seq.value().first);
+
+    auto spar = measure(
+        [&] { return dedup::archive_spar_cpu(input, config, opts); });
+    if (!spar.ok()) {
+      std::cerr << "[bench] functional SPar CPU failed: "
+                << spar.status().ToString() << "\n";
+      return 1;
+    }
+    add(spar_label, spar.value().first);
+
+    if (spar.value().second != seq.value().second) {
+      std::cerr << "[bench] FUNCTIONAL MISMATCH: SPar CPU archive differs "
+                   "from the sequential reference ("
+                << dataset << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "\n";
+  table.render(std::cout);
+  std::cout << "functional archives verified (byte-identical to the "
+               "sequential reference).\n";
+  return 0;
 }
 
 int run(int argc, const char** argv) {
@@ -290,6 +388,15 @@ int run(int argc, const char** argv) {
     }
     json << "  ]\n}\n";
     std::fprintf(stderr, "[bench] json written to %s\n", json_path.c_str());
+  }
+  const bool functional =
+      args.get_bool("functional", false) || args.has("workers-hash") ||
+      args.has("workers-compress") || args.has("pin") ||
+      args.has("hash-unordered");
+  if (functional) {
+    if (int rc = run_functional(kinds, input_size, cfg.dedup, args); rc != 0) {
+      return rc;
+    }
   }
   if (const std::string spec = args.get_string("faults", ""); !spec.empty()) {
     if (int rc = run_fault_demo(spec, cfg.dedup); rc != 0) return rc;

@@ -16,6 +16,7 @@
 #include "common/retry.hpp"
 #include "common/status.hpp"
 #include "dedup/container.hpp"
+#include "flow/pipeline.hpp"
 #include "gpusim/device.hpp"
 
 namespace hs::dedup {
@@ -24,8 +25,33 @@ namespace hs::dedup {
 Result<std::vector<std::uint8_t>> archive_sequential(
     std::span<const std::uint8_t> input, const DedupConfig& config);
 
+/// Knobs for the SPar CPU pipeline's replicated hot stages. The hash and
+/// compress stages always lower to farms (emitter/workers/collector), so
+/// their scheduling and queue telemetry keep the same shape at any worker
+/// count; the two farms are sized independently because their per-batch
+/// costs differ by an order of magnitude (SHA-1 vs LZSS match search).
+struct SparCpuOptions {
+  int workers_hash = 1;      ///< SHA-1 farm replicas
+  int workers_compress = 1;  ///< LZSS farm replicas
+  /// Keep the hash farm ordered (the default). When false the farm's
+  /// collector forwards batches in hash-completion order and its emitter
+  /// schedules least-loaded, so a slow worker never head-of-line-blocks
+  /// the others; the serial duplicate-check stage then restores stream
+  /// order with a reorder buffer (the container format numbers unique
+  /// blocks in stream order), so the archive is byte-identical to the
+  /// sequential reference either way.
+  bool hash_ordered = true;
+  /// Core affinity for every runtime thread of the lowered pipeline.
+  flow::PinPolicy pin;
+};
+
 /// SPar CPU pipeline: source -> farm(SHA-1) -> serial duplicate check ->
 /// farm(LZSS) -> writer (Fig. 3 graph on the CPU).
+Result<std::vector<std::uint8_t>> archive_spar_cpu(
+    std::span<const std::uint8_t> input, const DedupConfig& config,
+    const SparCpuOptions& options);
+
+/// Back-compat form: both farms sized to `replicas`, ordered, unpinned.
 Result<std::vector<std::uint8_t>> archive_spar_cpu(
     std::span<const std::uint8_t> input, const DedupConfig& config,
     int replicas);

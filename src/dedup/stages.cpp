@@ -3,8 +3,28 @@
 #include <algorithm>
 
 #include "kernels/huffman.hpp"
+#include "kernels/simd/rabin_lanes.hpp"
+#include "kernels/simd/sha1_mb.hpp"
 
 namespace hs::dedup {
+
+namespace {
+// Per-thread kernel scratch: farm workers each warm their own copy on the
+// first batch, after which the hot path stays allocation-free (the
+// steady-state alloc gate in micro_substrate counts on this).
+kernels::simd::RabinScratch& rabin_scratch() {
+  static thread_local kernels::simd::RabinScratch scratch;
+  return scratch;
+}
+struct HashScratch {
+  std::vector<kernels::simd::Sha1Job> jobs;
+  kernels::simd::Sha1Scratch grouping;
+};
+HashScratch& hash_scratch() {
+  static thread_local HashScratch scratch;
+  return scratch;
+}
+}  // namespace
 
 Batch fragment_batch(std::span<const std::uint8_t> chunk, std::uint64_t index,
                      const DedupConfig& config) {
@@ -20,7 +40,10 @@ void fragment_batch_into(std::span<const std::uint8_t> chunk,
   batch.reset();
   batch.index = index;
   batch.data.assign(chunk);
-  rabin.chunk_boundaries_into(batch.data.span(), batch.start_pos);
+  // Lane-dispatched rabin scan; cuts are bit-identical to
+  // rabin.chunk_boundaries_into at every SIMD level.
+  kernels::simd::rabin_boundaries(rabin, batch.data.span(), batch.start_pos,
+                                  &rabin_scratch());
   batch.blocks.reserve(batch.start_pos.size());
   for (std::size_t k = 0; k < batch.start_pos.size(); ++k) {
     BlockInfo block;
@@ -74,9 +97,18 @@ std::vector<Batch> fragment_input_variable(
 }
 
 void hash_blocks(Batch& batch) {
+  // The whole batch goes through the multi-buffer lane API in one call:
+  // blocks hash in parallel SIMD lanes (4-way SSE4.2 / 8-way AVX2) with
+  // digests written straight into the block table.
+  HashScratch& scratch = hash_scratch();
+  scratch.jobs.clear();
+  scratch.jobs.reserve(batch.blocks.size());
   for (BlockInfo& block : batch.blocks) {
-    block.digest = kernels::Sha1::hash(block.bytes);
+    scratch.jobs.push_back(
+        {block.bytes.data(), block.bytes.size(), &block.digest});
   }
+  kernels::simd::sha1_many(scratch.jobs.data(), scratch.jobs.size(),
+                           &scratch.grouping);
 }
 
 std::uint64_t batch_sha1_rounds(const Batch& batch) {

@@ -9,6 +9,11 @@
 #include <thread>
 #include <variant>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/backoff.hpp"
 #include "flow/spsc_queue.hpp"
 #include "telemetry/queue_sampler.hpp"
@@ -39,6 +44,23 @@ struct Envelope {
   std::uint64_t seq = 0;
   Item item;
 };
+
+/// Best-effort affinity: pins `thread` to `cpu`. Returns true only when the
+/// kernel accepted the mask; platforms without pthread affinity always
+/// return false, leaving the thread free-running.
+bool pin_thread_to_cpu(std::thread& thread, int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  (void)thread;
+  (void)cpu;
+  return false;
+#endif
+}
 
 /// Shared run state: abort flag, per-stage failures, and a progress counter
 /// the watchdog monitors (bumped on every queue transfer and completed svc).
@@ -214,8 +236,13 @@ class Unit {
   /// Best effort: after a failure, push EOS downstream so peers unwind.
   virtual void propagate_eos_on_abort() {}
 
-  [[nodiscard]] UnitReport report() const { return {name_, stats_}; }
+  [[nodiscard]] UnitReport report() const {
+    return {name_, stats_, pinned_cpu_};
+  }
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// Affinity bookkeeping, written once at launch before the thread runs.
+  void set_pinned_cpu(int cpu) { pinned_cpu_ = cpu; }
+  [[nodiscard]] int pinned_cpu() const { return pinned_cpu_; }
   /// True once the unit's thread function returned (reports are safe to
   /// read; the thread is joinable without blocking).
   [[nodiscard]] bool done() const {
@@ -275,6 +302,7 @@ class Unit {
   const char* span_name_ = "";
   std::atomic<bool> done_{false};
   std::atomic<bool> in_svc_{false};
+  int pinned_cpu_ = -1;
 };
 
 /// Routes items from a node to one or more downstream channels, stamping
@@ -288,6 +316,22 @@ class Router final : public OutPort {
   bool route(Envelope&& env) {
     if (outs_.empty()) return true;  // sink: outputs are dropped
     if (outs_.size() == 1) return outs_[0]->push(std::move(env));
+    if (policy_ == SchedPolicy::kLeastLoaded) {
+      // Route to the shallowest queue (ties to the lowest index). Unlike
+      // on-demand's first-with-space probe, a worker sitting on a deep
+      // queue is never fed while an emptier sibling exists, so one slow
+      // worker cannot capture the stream at the emitter.
+      std::size_t best = 0;
+      std::size_t best_depth = outs_[0]->depth();
+      for (std::size_t i = 1; i < outs_.size(); ++i) {
+        const std::size_t di = outs_[i]->depth();
+        if (di < best_depth) {
+          best = i;
+          best_depth = di;
+        }
+      }
+      return outs_[best]->push(std::move(env));
+    }
     if (policy_ == SchedPolicy::kOnDemand) {
       // Rotate from the cursor looking for space; fall back to a blocking
       // push on the cursor's channel so we never spin on a full farm.
@@ -844,12 +888,26 @@ Status Pipeline::run_and_wait() {
   // thread can never outlive the state it references.
   std::vector<std::thread> threads;
   threads.reserve(units.size());
+  const PinPolicy& pin = im.options.pin;
+  const int ncores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   for (auto& unit : units) {
     Unit* u = unit.get();
     threads.emplace_back([core, u] {
       (*u)();
       core->signal_done();
     });
+    if (pin.enabled) {
+      const int idx = static_cast<int>(threads.size()) - 1;
+      int cpu = (pin.first_core + idx * pin.stride) % ncores;
+      if (cpu < 0) cpu += ncores;
+      if (pin_thread_to_cpu(threads.back(), cpu)) u->set_pinned_cpu(cpu);
+      if (core->instr.registry != nullptr) {
+        core->instr.registry
+            ->gauge(core->instr.prefix + "." + u->name() + ".pinned_cpu")
+            ->set(static_cast<double>(u->pinned_cpu()));
+      }
+    }
   }
 
   // Supervision loop: wait for completion, running the stall watchdog when
@@ -935,8 +993,9 @@ Status Pipeline::run_and_wait() {
   for (auto& unit : units) {
     // A detached (stuck) unit may still be mutating its stats; report the
     // name only.
-    im.reports.push_back(unit->done() ? unit->report()
-                                      : UnitReport{unit->name(), {}});
+    im.reports.push_back(
+        unit->done() ? unit->report()
+                     : UnitReport{unit->name(), {}, unit->pinned_cpu()});
   }
 
   std::lock_guard<std::mutex> lock(core->state.mu);

@@ -34,8 +34,29 @@ enum class WaitMode : std::uint8_t {
 
 /// How an emitter assigns items to farm workers.
 enum class SchedPolicy : std::uint8_t {
-  kRoundRobin,  ///< strict rotation (FastFlow default scheduling)
-  kOnDemand,    ///< first worker with queue space (load-balancing)
+  kRoundRobin,   ///< strict rotation (FastFlow default scheduling)
+  kOnDemand,     ///< first worker with queue space (load-balancing)
+  kLeastLoaded,  ///< worker with the shallowest queue. On-demand takes the
+                 ///< first queue with *any* space, so a worker sitting on a
+                 ///< nearly-full queue can be fed while an idle sibling
+                 ///< starves (head-of-line blocking at the emitter);
+                 ///< least-loaded always routes to the emptiest queue, which
+                 ///< tracks each worker's actual drain rate.
+};
+
+/// Opt-in core affinity for one run's worker threads. When enabled, every
+/// runtime thread (stages, emitters, workers, collectors) is pinned to a
+/// single core chosen round-robin in thread-launch order:
+///   core(i) = (first_core + i * stride) mod hardware_concurrency
+/// The assigned core of each thread is visible in UnitReport::pinned_cpu
+/// and, when the run is instrumented, in the "<prefix>.<stage>.pinned_cpu"
+/// gauge. Pinning is best-effort: on platforms without
+/// pthread_setaffinity_np (or when the syscall fails) the thread runs
+/// unpinned and reports pinned_cpu = -1.
+struct PinPolicy {
+  bool enabled = false;
+  int first_core = 0;  ///< core of the first launched thread
+  int stride = 1;      ///< core step between consecutive threads
 };
 
 struct PipelineOptions {
@@ -68,6 +89,8 @@ struct PipelineOptions {
   /// registers every channel with the sampler as "<prefix>.<queue>". The
   /// supplied registry/recorder/sampler must outlive the Pipeline.
   telemetry::StreamInstrumentation telemetry;
+  /// Core affinity for this run's threads (off by default).
+  PinPolicy pin;
 };
 
 struct FarmOptions {
@@ -80,6 +103,7 @@ struct FarmOptions {
 struct UnitReport {
   std::string name;
   NodeStats stats;
+  int pinned_cpu = -1;  ///< core this thread was pinned to; -1 = unpinned
 };
 
 /// One stage's failure during a run (exception escaping svc(), or the

@@ -6,14 +6,6 @@
 
 namespace hs::kernels {
 
-namespace {
-// The rolling hash is fp = sum over window of table[byte] * MULT^(age);
-// implemented incrementally as fp = fp * MULT + table[in] - table[out] *
-// MULT^window. MULT is an odd constant; pop_table_ pre-multiplies by
-// MULT^window so the hot loop is two table lookups, a multiply and an add.
-constexpr std::uint64_t kMult = 0x9E3779B97F4A7C15ull | 1ull;
-}  // namespace
-
 Rabin::Rabin(const RabinParams& params) : params_(params) {
   assert(params_.window >= 4);
   assert(params_.min_block >= params_.window);

@@ -51,6 +51,16 @@ class Rabin {
 
   [[nodiscard]] const RabinParams& params() const { return params_; }
 
+  // The rolling hash is fp = sum over window of table[byte] * kMult^(age);
+  // implemented incrementally as fp = fp * kMult + table[in] - table[out] *
+  // kMult^window. kMult is an odd constant; pop_table_ pre-multiplies by
+  // kMult^window so the hot loop is two table lookups, a multiply and an
+  // add. Exposed (with the tables) for the simd lane scanner, which must
+  // reproduce the exact mod-2^64 arithmetic.
+  static constexpr std::uint64_t kMult = 0x9E3779B97F4A7C15ull | 1ull;
+  [[nodiscard]] const std::uint64_t* push_table() const { return push_table_; }
+  [[nodiscard]] const std::uint64_t* pop_table() const { return pop_table_; }
+
  private:
   RabinParams params_;
   // push_table_[b]  : contribution of byte b entering the window

@@ -1,0 +1,102 @@
+#include "kernels/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hs::kernels::simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define HS_SIMD_X86 1
+#else
+#define HS_SIMD_X86 0
+#endif
+
+Level detect_best() {
+#if HS_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Level::kSse42;
+#endif
+  return Level::kScalar;
+}
+
+Level resolve_initial() {
+  Level best = detect_best();
+  const char* env = std::getenv("HS_SIMD");
+  if (env == nullptr || env[0] == '\0') return best;
+  Level want;
+  if (!parse_level(env, want)) {
+    std::fprintf(stderr,
+                 "[simd] ignoring unknown HS_SIMD='%s' "
+                 "(expected scalar|sse42|avx2)\n",
+                 env);
+    return best;
+  }
+  if (want > best) {
+    std::fprintf(stderr, "[simd] HS_SIMD=%s not supported here; using %s\n",
+                 env, std::string(level_name(best)).c_str());
+    return best;
+  }
+  return want;
+}
+
+/// -1 until resolved; then the Level. One relaxed load per kernel call.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+bool supports(Level level) { return level <= detect_best(); }
+
+Level best_supported() {
+  static const Level best = detect_best();
+  return best;
+}
+
+Level active_level() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Level>(v);
+  Level resolved = resolve_initial();
+  // First resolver wins; concurrent callers converge on the stored value.
+  int expected = -1;
+  if (g_active.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                       std::memory_order_relaxed)) {
+    return resolved;
+  }
+  return static_cast<Level>(expected);
+}
+
+void set_active_level(Level level) {
+  Level best = best_supported();
+  if (level > best) level = best;
+  g_active.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kSse42:
+      return "sse42";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool parse_level(std::string_view name, Level& out) {
+  if (name == "scalar") {
+    out = Level::kScalar;
+  } else if (name == "sse42" || name == "sse4.2" || name == "sse") {
+    out = Level::kSse42;
+  } else if (name == "avx2" || name == "avx") {
+    out = Level::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hs::kernels::simd

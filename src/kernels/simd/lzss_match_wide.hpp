@@ -1,0 +1,136 @@
+// Width-generic LZSS match search, instantiated by the SSE4.2 (16-byte)
+// and AVX2 (32-byte) translation units with their vector traits. Only
+// those TUs may include this header — it emits intrinsics for whatever
+// ISA the including file is compiled with.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "kernels/simd/lzss_match.hpp"
+
+namespace hs::kernels::simd::detail {
+
+// Traits contract (byte vectors):
+//   static constexpr unsigned kWidth;                 // bytes per compare
+//   static unsigned eq_mask(const std::uint8_t* p, std::uint8_t b);
+//       bit k set iff p[k] == b (unaligned load, full width)
+//   static unsigned neq_mask(const std::uint8_t* a, const std::uint8_t* b);
+//       bit k set iff a[k] != b[k]; zero means all kWidth bytes equal
+template <typename T>
+std::size_t extend_match(const std::uint8_t* base, std::size_t cand,
+                         std::size_t pos, std::size_t limit) {
+  // First byte already matched. In bounds while len + kWidth <= limit:
+  // cand + len + kWidth <= cand + limit <= pos and
+  // pos + len + kWidth <= pos + limit <= block_end <= input.size().
+  std::size_t len = 1;
+  while (len + T::kWidth <= limit) {
+    const unsigned neq = T::neq_mask(base + cand + len, base + pos + len);
+    if (neq != 0) return len + std::countr_zero(neq);
+    len += T::kWidth;
+  }
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + 8 <= limit) {
+      std::uint64_t a, b;
+      std::memcpy(&a, base + cand + len, 8);
+      std::memcpy(&b, base + pos + len, 8);
+      if (a != b) {
+        return len + (static_cast<std::size_t>(std::countr_zero(a ^ b)) >> 3);
+      }
+      len += 8;
+    }
+  }
+  while (len < limit && base[cand + len] == base[pos + len]) ++len;
+  return len;
+}
+
+template <typename T>
+LzssMatch longest_match_wide(std::span<const std::uint8_t> input,
+                             std::size_t block_start, std::size_t block_end,
+                             std::size_t pos, const LzssParams& params) {
+  assert(params.valid());
+  assert(pos >= block_start && pos < block_end && block_end <= input.size());
+
+  const std::size_t search_begin =
+      pos - block_start > params.window_size ? pos - params.window_size
+                                             : block_start;
+  const std::size_t lookahead_limit =
+      std::min<std::size_t>(params.max_match, block_end - pos);
+  // No candidate can reach min_match: the scalar walk would cap every
+  // length at lookahead_limit and discard the final best the same way.
+  if (lookahead_limit < params.min_match) return LzssMatch{};
+
+  LzssMatch best;
+  const std::uint8_t* base = input.data();
+  const std::uint8_t first = base[pos];
+  // Any candidate in the *returned* match (length >= min_match) matches at
+  // least its first min(min_match, 3) bytes, so those equality rows can
+  // prefilter whole chunks; candidates capped below min_match only ever
+  // set an internal best that the final filter discards, and skipping them
+  // can only make later pruning weaker, never change the result. The
+  // lookahead check above guarantees base[pos+1] / base[pos+2] are inside
+  // the block.
+  const bool deep = params.min_match >= 3;
+  const std::uint8_t second = base[pos + 1];
+  const std::uint8_t third = deep ? base[pos + 2] : 0;
+  std::size_t cur = search_begin;
+  while (cur < pos) {
+    const std::size_t span_left = pos - cur;
+    unsigned m;
+    std::size_t step;
+    if (span_left >= T::kWidth) {
+      // cur + kWidth <= pos <= input.size(): full-width load is in bounds
+      // and every bit is a real candidate (< pos).
+      m = T::eq_mask(base + cur, first);
+      // Reads below stay in bounds: the highest index touched is
+      // cur + off + kWidth - 1 <= pos + off - 1, and every offset used is
+      // < lookahead_limit, so pos + off - 1 < block_end <= input.size().
+      if (m != 0) m &= T::eq_mask(base + cur + 1, second);
+      if (m != 0 && deep) m &= T::eq_mask(base + cur + 2, third);
+      // Would-extend prefilter: any candidate that strictly beats `best`
+      // must also match at offset best.length, so AND in that equality
+      // row. Sound even though `best` can grow within the chunk — a
+      // candidate failing at the chunk-entry best.length can't beat the
+      // (only larger) current best either.
+      if (m != 0 && best.length != 0) {
+        m &= T::eq_mask(base + cur + best.length, base[pos + best.length]);
+      }
+      step = T::kWidth;
+    } else {
+      m = 0;
+      for (std::size_t k = 0; k < span_left; ++k) {
+        m |= static_cast<unsigned>(base[cur + k] == first) << k;
+      }
+      step = span_left;
+    }
+    while (m != 0) {
+      const std::size_t cand =
+          cur + static_cast<std::size_t>(std::countr_zero(m));
+      m &= m - 1;
+      const std::size_t limit = std::min(lookahead_limit, pos - cand);
+      // Prunes that cannot change the (max length, oldest) result: the
+      // candidate's cap can't strictly beat best, or the byte that any
+      // longer-than-best match must share already differs. Reads are in
+      // bounds: best.length < limit <= pos - cand and < block_end - pos.
+      if (limit <= best.length) continue;
+      if (best.length != 0 &&
+          base[cand + best.length] != base[pos + best.length]) {
+        continue;
+      }
+      const std::size_t len = extend_match<T>(base, cand, pos, limit);
+      if (len > best.length) {
+        best.length = static_cast<std::uint16_t>(len);
+        best.offset = static_cast<std::uint16_t>(pos - cand);
+        if (len == lookahead_limit) goto done;  // cannot do better
+      }
+    }
+    cur += step;
+  }
+done:
+  if (best.length < params.min_match) return LzssMatch{};
+  return best;
+}
+
+}  // namespace hs::kernels::simd::detail

@@ -1,0 +1,73 @@
+// 4-lane Rabin match-bitmap kernel (AVX2). Compiled with -mavx2 on x86;
+// forwards to the SSE4.2 body (itself falling back to scalar) elsewhere.
+#include "kernels/simd/rabin_lanes.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "kernels/simd/rabin_lanes_wide.hpp"
+
+namespace hs::kernels::simd {
+namespace {
+
+struct Avx2Traits {
+  static constexpr int kLanes = 4;
+  using vec = __m256i;
+  static vec from_lanes(const std::uint64_t* u) {
+    return _mm256_set_epi64x(
+        static_cast<long long>(u[3]), static_cast<long long>(u[2]),
+        static_cast<long long>(u[1]), static_cast<long long>(u[0]));
+  }
+  static vec load_updates(const std::uint64_t* push, const std::uint64_t* pop,
+                          const std::uint8_t* d, const std::size_t* base,
+                          std::size_t s, std::uint32_t window) {
+    const auto u = [&](int l) {
+      const std::size_t i = base[l] + s;
+      return static_cast<long long>(push[d[i]] - pop[d[i - window]]);
+    };
+    return _mm256_set_epi64x(u(3), u(2), u(1), u(0));
+  }
+  static vec set1(std::uint64_t v) {
+    return _mm256_set1_epi64x(static_cast<long long>(v));
+  }
+  static vec add64(vec a, vec b) { return _mm256_add_epi64(a, b); }
+  static vec and_(vec a, vec b) { return _mm256_and_si256(a, b); }
+  // a * kMult mod 2^64 per lane; vpmullq is AVX-512, so compose it from
+  // 32x32->64 partial products: lo*lo + ((lo*hi + hi*lo) << 32).
+  static vec mul_k(vec a) {
+    const vec kl = set1(Rabin::kMult & 0xFFFFFFFFull);
+    const vec kh = set1(Rabin::kMult >> 32);
+    const vec lo = _mm256_mul_epu32(a, kl);
+    const vec cross =
+        _mm256_add_epi64(_mm256_mul_epu32(a, kh),
+                         _mm256_mul_epu32(_mm256_srli_epi64(a, 32), kl));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+  }
+  static unsigned eq64_mask(vec a, vec b) {
+    return static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a, b))));
+  }
+};
+
+}  // namespace
+
+void rabin_match_bits_avx2(const Rabin& rabin,
+                           std::span<const std::uint8_t> data,
+                           std::uint64_t* bits) {
+  detail::rabin_match_bits_wide<Avx2Traits>(rabin, data, bits);
+}
+
+}  // namespace hs::kernels::simd
+
+#else  // !__AVX2__
+
+namespace hs::kernels::simd {
+void rabin_match_bits_avx2(const Rabin& rabin,
+                           std::span<const std::uint8_t> data,
+                           std::uint64_t* bits) {
+  rabin_match_bits_sse42(rabin, data, bits);
+}
+}  // namespace hs::kernels::simd
+
+#endif

@@ -1,0 +1,72 @@
+// 2-lane Rabin match-bitmap kernel (SSE4.2). Compiled with -msse4.2 on
+// x86; forwards to the scalar body elsewhere.
+#include "kernels/simd/rabin_lanes.hpp"
+
+#if defined(__SSE4_2__)
+
+#include <immintrin.h>
+
+#include "kernels/simd/rabin_lanes_wide.hpp"
+
+namespace hs::kernels::simd {
+namespace {
+
+struct SseTraits {
+  static constexpr int kLanes = 2;
+  using vec = __m128i;
+  static vec from_lanes(const std::uint64_t* u) {
+    return _mm_set_epi64x(static_cast<long long>(u[1]),
+                          static_cast<long long>(u[0]));
+  }
+  static vec load_updates(const std::uint64_t* push, const std::uint64_t* pop,
+                          const std::uint8_t* d, const std::size_t* base,
+                          std::size_t s, std::uint32_t window) {
+    const auto u = [&](int l) {
+      const std::size_t i = base[l] + s;
+      return static_cast<long long>(push[d[i]] - pop[d[i - window]]);
+    };
+    return _mm_set_epi64x(u(1), u(0));
+  }
+  static vec set1(std::uint64_t v) {
+    return _mm_set1_epi64x(static_cast<long long>(v));
+  }
+  static vec add64(vec a, vec b) { return _mm_add_epi64(a, b); }
+  static vec and_(vec a, vec b) { return _mm_and_si128(a, b); }
+  // a * kMult mod 2^64 per lane; SSE has no 64-bit multiply, so compose it
+  // from 32x32->64 partial products: lo*lo + ((lo*hi + hi*lo) << 32).
+  static vec mul_k(vec a) {
+    const vec kl = set1(Rabin::kMult & 0xFFFFFFFFull);
+    const vec kh = set1(Rabin::kMult >> 32);
+    const vec lo = _mm_mul_epu32(a, kl);
+    const vec cross =
+        _mm_add_epi64(_mm_mul_epu32(a, kh),
+                      _mm_mul_epu32(_mm_srli_epi64(a, 32), kl));
+    return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+  }
+  static unsigned eq64_mask(vec a, vec b) {
+    return static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(a, b))));
+  }
+};
+
+}  // namespace
+
+void rabin_match_bits_sse42(const Rabin& rabin,
+                            std::span<const std::uint8_t> data,
+                            std::uint64_t* bits) {
+  detail::rabin_match_bits_wide<SseTraits>(rabin, data, bits);
+}
+
+}  // namespace hs::kernels::simd
+
+#else  // !__SSE4_2__
+
+namespace hs::kernels::simd {
+void rabin_match_bits_sse42(const Rabin& rabin,
+                            std::span<const std::uint8_t> data,
+                            std::uint64_t* bits) {
+  rabin_match_bits_scalar(rabin, data, bits);
+}
+}  // namespace hs::kernels::simd
+
+#endif

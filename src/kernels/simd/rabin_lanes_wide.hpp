@@ -1,0 +1,129 @@
+// Width-generic Rabin match-bitmap kernel, instantiated by the SSE4.2
+// (2-lane) and AVX2 (4-lane) translation units with their vector traits.
+// Only those TUs may include this header — it emits intrinsics for
+// whatever ISA the including file is compiled with.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "kernels/simd/rabin_lanes.hpp"
+
+namespace hs::kernels::simd::detail {
+
+/// ORs a 64-bit word of match bits into the bitmap at an arbitrary bit
+/// offset. `nwords` guards the straddling high write at the buffer end
+/// (the spilled bits are beyond position n-1 and therefore zero).
+inline void or_word_at(std::uint64_t* bits, std::size_t nwords,
+                       std::size_t bitpos, std::uint64_t word) {
+  const std::size_t q = bitpos >> 6;
+  const std::size_t r = bitpos & 63;
+  bits[q] |= word << r;
+  if (r != 0 && q + 1 < nwords) bits[q + 1] |= word >> (64 - r);
+}
+
+// Traits contract (64-bit lanes):
+//   static constexpr int kLanes;
+//   using vec = ...;
+//   static vec from_lanes(const std::uint64_t*);      // per-lane values
+//   static vec load_updates(const std::uint64_t* push,
+//                           const std::uint64_t* pop,
+//                           const std::uint8_t* d, const std::size_t* base,
+//                           std::size_t s, std::uint32_t window);
+//       per-lane push[d[base[l]+s]] - pop[d[base[l]+s-window]], fed to the
+//       set/insert intrinsics as register values — routing them through a
+//       stack array costs a store-forwarding stall every iteration
+//   static vec set1(std::uint64_t);
+//   static vec add64(vec, vec);
+//   static vec and_(vec, vec);
+//   static vec mul_k(vec);                            // lane * Rabin::kMult
+//   static unsigned eq64_mask(vec, vec);              // 1 bit per lane
+template <typename T>
+void rabin_match_bits_wide(const Rabin& rabin,
+                           std::span<const std::uint8_t> data,
+                           std::uint64_t* bits) {
+  using vec = typename T::vec;
+  constexpr int L = T::kLanes;
+  const RabinParams& p = rabin.params();
+  const std::size_t n = data.size();
+  const std::size_t nwords = (n + 63) / 64;
+  const std::uint32_t window = p.window;
+
+  // Stripes shorter than this lose the warm-up cost; let scalar run them.
+  constexpr std::size_t kMinStripe = 512;
+  if (n < window ||
+      (n - (window - 1)) / static_cast<std::size_t>(L) < kMinStripe) {
+    rabin_match_bits_scalar(rabin, data, bits);
+    return;
+  }
+  std::memset(bits, 0, nwords * sizeof(std::uint64_t));
+
+  const std::uint64_t* push = rabin.push_table();
+  const std::uint64_t* pop = rabin.pop_table();
+  const std::uint8_t* d = data.data();
+  const std::uint64_t mask = p.mask;
+  const std::uint64_t magic = p.magic;
+
+  // Positions window-1 .. n-1 carry a full window. Lane l owns the `per`
+  // positions starting at base[l]; the remainder past the last lane is
+  // finished scalar below.
+  const std::size_t total = n - (window - 1);
+  const std::size_t per = total / static_cast<std::size_t>(L);
+  std::size_t base[L];
+  std::uint64_t warm[L];
+  for (int l = 0; l < L; ++l) {
+    base[l] = (window - 1) + static_cast<std::size_t>(l) * per;
+    // Full-window warm-up so the first vector step can roll normally.
+    warm[l] = rabin.window_fingerprint(
+        data.subspan(base[l] - (window - 1), window));
+    if ((warm[l] & mask) == magic) {
+      bits[base[l] >> 6] |= 1ull << (base[l] & 63);
+    }
+  }
+
+  const vec vmask = T::set1(mask);
+  const vec vmagic = T::set1(magic);
+  vec vfp = T::from_lanes(warm);
+
+  std::uint64_t acc[L] = {};
+  std::size_t chunk_start = 1;  // step index where `acc` bit 0 lives
+  for (std::size_t s = 1; s < per; ++s) {
+    vfp = T::add64(T::mul_k(vfp),
+                   T::load_updates(push, pop, d, base, s, window));
+    const unsigned m = T::eq64_mask(T::and_(vfp, vmask), vmagic);
+    const std::size_t off = s - chunk_start;
+    if (m != 0) {
+      for (int l = 0; l < L; ++l) {
+        acc[l] |= static_cast<std::uint64_t>((m >> l) & 1u) << off;
+      }
+    }
+    if (off == 63) {
+      for (int l = 0; l < L; ++l) {
+        if (acc[l] != 0) or_word_at(bits, nwords, base[l] + chunk_start, acc[l]);
+        acc[l] = 0;
+      }
+      chunk_start = s + 1;
+    }
+  }
+  if (chunk_start < per) {
+    for (int l = 0; l < L; ++l) {
+      if (acc[l] != 0) or_word_at(bits, nwords, base[l] + chunk_start, acc[l]);
+    }
+  }
+
+  // Scalar tail: positions past the last full stripe.
+  std::size_t i = (window - 1) + per * static_cast<std::size_t>(L);
+  if (i < n) {
+    std::uint64_t fp =
+        rabin.window_fingerprint(data.subspan(i - (window - 1), window));
+    while (true) {
+      if ((fp & mask) == magic) bits[i >> 6] |= 1ull << (i & 63);
+      if (++i >= n) break;
+      fp = fp * Rabin::kMult + push[d[i]] - pop[d[i - window]];
+    }
+  }
+}
+
+}  // namespace hs::kernels::simd::detail

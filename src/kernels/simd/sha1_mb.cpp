@@ -1,0 +1,34 @@
+#include "kernels/simd/sha1_mb.hpp"
+
+#include <span>
+
+namespace hs::kernels::simd {
+
+void sha1_many_scalar(const Sha1Job* jobs, std::size_t count,
+                      Sha1Scratch* /*scratch*/) {
+  for (std::size_t i = 0; i < count; ++i) {
+    *jobs[i].out = Sha1::hash(std::span(jobs[i].data, jobs[i].len));
+  }
+}
+
+void sha1_many_at(Level level, const Sha1Job* jobs, std::size_t count,
+                  Sha1Scratch* scratch) {
+  if (level > best_supported()) level = best_supported();
+  switch (level) {
+    case Level::kAvx2:
+      sha1_many_avx2(jobs, count, scratch);
+      return;
+    case Level::kSse42:
+      sha1_many_sse42(jobs, count, scratch);
+      return;
+    case Level::kScalar:
+      break;
+  }
+  sha1_many_scalar(jobs, count, scratch);
+}
+
+void sha1_many(const Sha1Job* jobs, std::size_t count, Sha1Scratch* scratch) {
+  sha1_many_at(active_level(), jobs, count, scratch);
+}
+
+}  // namespace hs::kernels::simd

@@ -1,0 +1,55 @@
+// Multi-buffer SHA-1 — the lane engine of the dedup hash stage.
+//
+// The paper's GPU refactor hashes one content block per GPU thread; the
+// CPU analogue is multi-buffer hashing: W independent messages advance in
+// lockstep, one 32-bit SIMD lane each (W = 4 on SSE4.2, 8 on AVX2), so the
+// 80-round compression runs once per *group* of blocks instead of once per
+// block. Messages are grouped longest-first so lanes retire together;
+// lanes whose message ran out are masked out of the state update and the
+// digest is bit-identical to kernels::Sha1 for every input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/sha1.hpp"
+#include "kernels/simd/dispatch.hpp"
+
+namespace hs::kernels::simd {
+
+/// One independent message: input bytes plus where the digest goes. POD so
+/// callers build job arrays straight from their block tables.
+struct Sha1Job {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+  Sha1Digest* out = nullptr;
+};
+
+/// Reusable scratch (the longest-first ordering index). Grows to the
+/// largest batch and keeps its capacity, so a warmed caller performs no
+/// heap allocation per call. Pass nullptr for a one-shot local.
+struct Sha1Scratch {
+  std::vector<std::uint32_t> order;
+};
+
+/// Hashes every job: *jobs[i].out = Sha1::hash({jobs[i].data, jobs[i].len}).
+/// Dispatched on active_level().
+void sha1_many(const Sha1Job* jobs, std::size_t count,
+               Sha1Scratch* scratch = nullptr);
+
+/// Explicit-level entry (differential tests / kernel bench); a level above
+/// the host's support is clamped down.
+void sha1_many_at(Level level, const Sha1Job* jobs, std::size_t count,
+                  Sha1Scratch* scratch = nullptr);
+
+// Per-level bodies. The SSE4.2/AVX2 translation units fall back to the
+// scalar body when built without x86 intrinsics.
+void sha1_many_scalar(const Sha1Job* jobs, std::size_t count,
+                      Sha1Scratch* scratch);
+void sha1_many_sse42(const Sha1Job* jobs, std::size_t count,
+                     Sha1Scratch* scratch);
+void sha1_many_avx2(const Sha1Job* jobs, std::size_t count,
+                    Sha1Scratch* scratch);
+
+}  // namespace hs::kernels::simd

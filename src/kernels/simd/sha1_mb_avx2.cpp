@@ -1,0 +1,54 @@
+// 8-lane multi-buffer SHA-1 (AVX2). Compiled with -mavx2 on x86; forwards
+// to the SSE4.2 body (itself falling back to scalar) elsewhere.
+#include "kernels/simd/sha1_mb.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "kernels/simd/sha1_mb_wide.hpp"
+
+namespace hs::kernels::simd {
+namespace {
+
+struct Avx2Traits {
+  static constexpr int kLanes = 8;
+  using vec = __m256i;
+  static vec load(const std::uint32_t* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint32_t* p, vec v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static vec set1(std::uint32_t v) {
+    return _mm256_set1_epi32(static_cast<int>(v));
+  }
+  static vec add(vec a, vec b) { return _mm256_add_epi32(a, b); }
+  static vec and_(vec a, vec b) { return _mm256_and_si256(a, b); }
+  static vec or_(vec a, vec b) { return _mm256_or_si256(a, b); }
+  static vec xor_(vec a, vec b) { return _mm256_xor_si256(a, b); }
+  template <int N>
+  static vec rotl(vec v) {
+    return _mm256_or_si256(_mm256_slli_epi32(v, N), _mm256_srli_epi32(v, 32 - N));
+  }
+};
+
+}  // namespace
+
+void sha1_many_avx2(const Sha1Job* jobs, std::size_t count,
+                    Sha1Scratch* scratch) {
+  detail::sha1_many_wide<Avx2Traits>(jobs, count, scratch);
+}
+
+}  // namespace hs::kernels::simd
+
+#else  // !__AVX2__
+
+namespace hs::kernels::simd {
+void sha1_many_avx2(const Sha1Job* jobs, std::size_t count,
+                    Sha1Scratch* scratch) {
+  sha1_many_sse42(jobs, count, scratch);
+}
+}  // namespace hs::kernels::simd
+
+#endif

@@ -1,0 +1,76 @@
+// Internal helpers shared by the multi-buffer SHA-1 bodies (scalar grouping
+// logic plus the per-lane message layout). Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "kernels/simd/sha1_mb.hpp"
+
+namespace hs::kernels::simd::detail {
+
+/// One message mapped onto a SIMD lane: the full 64-byte blocks come
+/// straight from the caller's buffer; the final one-or-two padded blocks
+/// (0x80 terminator + big-endian bit length) are materialized in `tail`.
+struct Sha1Lane {
+  const std::uint8_t* data = nullptr;
+  Sha1Digest* out = nullptr;
+  std::uint64_t nblocks = 0;  // total 64-byte blocks incl. padding
+  std::uint64_t full_blocks = 0;
+  std::uint8_t tail[128] = {};
+};
+
+inline void init_lane(Sha1Lane& lane, const Sha1Job& job) {
+  lane.data = job.data;
+  lane.out = job.out;
+  lane.full_blocks = job.len / 64;
+  lane.nblocks = (job.len + 8) / 64 + 1;  // == Sha1 compression_rounds
+  const std::size_t rem = job.len % 64;
+  const std::size_t tail_bytes =
+      static_cast<std::size_t>(lane.nblocks - lane.full_blocks) * 64;
+  std::memset(lane.tail, 0, sizeof(lane.tail));
+  if (rem != 0) {
+    std::memcpy(lane.tail, job.data + lane.full_blocks * 64, rem);
+  }
+  lane.tail[rem] = 0x80;
+  const std::uint64_t bits = static_cast<std::uint64_t>(job.len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    lane.tail[tail_bytes - 8 + i] =
+        static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+}
+
+inline const std::uint8_t* lane_block(const Sha1Lane& lane, std::uint64_t t) {
+  return t < lane.full_blocks ? lane.data + t * 64
+                              : lane.tail + (t - lane.full_blocks) * 64;
+}
+
+/// Fills `order` with job indices sorted longest-first (ties by index so
+/// the grouping is deterministic). Ordering only affects how lanes are
+/// packed, never the digests.
+inline void order_by_len(const Sha1Job* jobs, std::size_t count,
+                         std::vector<std::uint32_t>& order) {
+  order.resize(count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [jobs](std::uint32_t a, std::uint32_t b) {
+              if (jobs[a].len != jobs[b].len) return jobs[a].len > jobs[b].len;
+              return a < b;
+            });
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap32(v);
+#else
+  return (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) |
+         (v << 24);
+#endif
+}
+
+}  // namespace hs::kernels::simd::detail

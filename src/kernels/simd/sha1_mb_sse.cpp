@@ -1,0 +1,54 @@
+// 4-lane multi-buffer SHA-1 (SSE4.2). Compiled with -msse4.2 on x86;
+// forwards to the scalar body elsewhere.
+#include "kernels/simd/sha1_mb.hpp"
+
+#if defined(__SSE4_2__)
+
+#include <immintrin.h>
+
+#include "kernels/simd/sha1_mb_wide.hpp"
+
+namespace hs::kernels::simd {
+namespace {
+
+struct SseTraits {
+  static constexpr int kLanes = 4;
+  using vec = __m128i;
+  static vec load(const std::uint32_t* p) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(std::uint32_t* p, vec v) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static vec set1(std::uint32_t v) {
+    return _mm_set1_epi32(static_cast<int>(v));
+  }
+  static vec add(vec a, vec b) { return _mm_add_epi32(a, b); }
+  static vec and_(vec a, vec b) { return _mm_and_si128(a, b); }
+  static vec or_(vec a, vec b) { return _mm_or_si128(a, b); }
+  static vec xor_(vec a, vec b) { return _mm_xor_si128(a, b); }
+  template <int N>
+  static vec rotl(vec v) {
+    return _mm_or_si128(_mm_slli_epi32(v, N), _mm_srli_epi32(v, 32 - N));
+  }
+};
+
+}  // namespace
+
+void sha1_many_sse42(const Sha1Job* jobs, std::size_t count,
+                     Sha1Scratch* scratch) {
+  detail::sha1_many_wide<SseTraits>(jobs, count, scratch);
+}
+
+}  // namespace hs::kernels::simd
+
+#else  // !__SSE4_2__
+
+namespace hs::kernels::simd {
+void sha1_many_sse42(const Sha1Job* jobs, std::size_t count,
+                     Sha1Scratch* scratch) {
+  sha1_many_scalar(jobs, count, scratch);
+}
+}  // namespace hs::kernels::simd
+
+#endif

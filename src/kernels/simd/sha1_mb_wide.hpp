@@ -1,0 +1,143 @@
+// Width-generic multi-buffer SHA-1 transform, instantiated by the SSE4.2
+// (4-lane) and AVX2 (8-lane) translation units with their vector traits.
+// Only those TUs may include this header — it emits intrinsics for
+// whatever ISA the including file is compiled with.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "kernels/simd/sha1_mb_lanes.hpp"
+
+namespace hs::kernels::simd::detail {
+
+// Traits contract:
+//   static constexpr int kLanes;             // 32-bit lanes per vector
+//   using vec = ...;
+//   static vec load(const std::uint32_t*);   // aligned(64) load
+//   static void store(std::uint32_t*, vec);  // aligned(64) store
+//   static vec set1(std::uint32_t);
+//   static vec add(vec, vec);
+//   static vec and_(vec, vec), or_(vec, vec), xor_(vec, vec);
+//   template <int N> static vec rotl(vec);
+template <typename T>
+void sha1_many_wide(const Sha1Job* jobs, std::size_t count,
+                    Sha1Scratch* scratch) {
+  using vec = typename T::vec;
+  constexpr int W = T::kLanes;
+
+  std::vector<std::uint32_t> local_order;
+  std::vector<std::uint32_t>& order =
+      scratch != nullptr ? scratch->order : local_order;
+  order_by_len(jobs, count, order);
+
+  std::size_t g = 0;
+  while (g < count) {
+    const std::size_t lanes = std::min<std::size_t>(W, count - g);
+    if (lanes < 2) {
+      // A lone message gains nothing from the wide transform.
+      for (; g < count; ++g) {
+        const Sha1Job& job = jobs[order[g]];
+        *job.out = Sha1::hash(std::span(job.data, job.len));
+      }
+      break;
+    }
+
+    Sha1Lane lane[W];
+    std::uint64_t max_nb = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      init_lane(lane[l], jobs[order[g + l]]);
+      max_nb = std::max(max_nb, lane[l].nblocks);
+    }
+
+    vec h0 = T::set1(0x67452301u);
+    vec h1 = T::set1(0xEFCDAB89u);
+    vec h2 = T::set1(0x98BADCFEu);
+    vec h3 = T::set1(0x10325476u);
+    vec h4 = T::set1(0xC3D2E1F0u);
+
+    alignas(64) std::uint32_t wbuf[16][W] = {};
+    alignas(64) std::uint32_t active[W] = {};
+
+    for (std::uint64_t t = 0; t < max_nb; ++t) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (t < lane[l].nblocks) {
+          const std::uint8_t* blk = lane_block(lane[l], t);
+          active[l] = 0xFFFFFFFFu;
+          for (int w = 0; w < 16; ++w) {
+            wbuf[w][l] = load_be32(blk + 4 * w);
+          }
+        } else {
+          active[l] = 0;
+          // Retired lanes chew a zero block; the masked state add below
+          // discards their result, so the content is irrelevant — zero it
+          // once for determinism.
+          for (int w = 0; w < 16; ++w) wbuf[w][l] = 0;
+        }
+      }
+
+      vec w[80];
+      for (int i = 0; i < 16; ++i) w[i] = T::load(wbuf[i]);
+      for (int i = 16; i < 80; ++i) {
+        w[i] = T::template rotl<1>(
+            T::xor_(T::xor_(w[i - 3], w[i - 8]), T::xor_(w[i - 14], w[i - 16])));
+      }
+
+      vec a = h0, b = h1, c = h2, d = h3, e = h4;
+      auto round = [&](vec f, std::uint32_t k, vec wt) {
+        vec temp = T::add(T::add(T::template rotl<5>(a), f),
+                          T::add(T::add(e, T::set1(k)), wt));
+        e = d;
+        d = c;
+        c = T::template rotl<30>(b);
+        b = a;
+        a = temp;
+      };
+      for (int i = 0; i < 20; ++i) {
+        // ch(b,c,d) = (b & c) | (~b & d)
+        round(T::xor_(d, T::and_(b, T::xor_(c, d))), 0x5A827999u, w[i]);
+      }
+      for (int i = 20; i < 40; ++i) {
+        round(T::xor_(T::xor_(b, c), d), 0x6ED9EBA1u, w[i]);
+      }
+      for (int i = 40; i < 60; ++i) {
+        // maj(b,c,d) = (b & c) | (b & d) | (c & d)
+        round(T::or_(T::and_(b, c), T::and_(d, T::or_(b, c))), 0x8F1BBCDCu,
+              w[i]);
+      }
+      for (int i = 60; i < 80; ++i) {
+        round(T::xor_(T::xor_(b, c), d), 0xCA62C1D6u, w[i]);
+      }
+
+      const vec mask = T::load(active);
+      h0 = T::add(h0, T::and_(a, mask));
+      h1 = T::add(h1, T::and_(b, mask));
+      h2 = T::add(h2, T::and_(c, mask));
+      h3 = T::add(h3, T::and_(d, mask));
+      h4 = T::add(h4, T::and_(e, mask));
+    }
+
+    alignas(64) std::uint32_t hout[5][W];
+    T::store(hout[0], h0);
+    T::store(hout[1], h1);
+    T::store(hout[2], h2);
+    T::store(hout[3], h3);
+    T::store(hout[4], h4);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      Sha1Digest& out = *lane[l].out;
+      for (int i = 0; i < 5; ++i) {
+        const std::uint32_t v = hout[i][l];
+        out[4 * i + 0] = static_cast<std::uint8_t>(v >> 24);
+        out[4 * i + 1] = static_cast<std::uint8_t>(v >> 16);
+        out[4 * i + 2] = static_cast<std::uint8_t>(v >> 8);
+        out[4 * i + 3] = static_cast<std::uint8_t>(v);
+      }
+    }
+    g += lanes;
+  }
+}
+
+}  // namespace hs::kernels::simd::detail

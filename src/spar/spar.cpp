@@ -13,19 +13,27 @@ void ToStream::add_source(std::unique_ptr<flow::Node> node) {
 }
 
 void ToStream::add_stage(
-    int replicas, std::function<std::unique_ptr<flow::Node>()> factory) {
+    int replicas, StageOptions opts,
+    std::function<std::unique_ptr<flow::Node>()> factory) {
   if (!source_) stage_before_source_ = true;
   if (sink_) stage_after_sink_ = true;
   if (replicas < 1 && !has_bad_replicate_) {
     has_bad_replicate_ = true;
     bad_replicate_ = replicas;
   }
-  stages_.push_back(StageDecl{replicas, std::move(factory)});
+  stages_.push_back(StageDecl{replicas, opts, std::move(factory)});
 }
 
 ToStream& ToStream::stage_nodes(
     Replicate replicate, std::function<std::unique_ptr<flow::Node>()> factory) {
-  add_stage(replicate.n, std::move(factory));
+  add_stage(replicate.n, {}, std::move(factory));
+  return *this;
+}
+
+ToStream& ToStream::stage_nodes(
+    Replicate replicate, StageOptions opts,
+    std::function<std::unique_ptr<flow::Node>()> factory) {
+  add_stage(replicate.n, opts, std::move(factory));
   return *this;
 }
 
@@ -74,7 +82,7 @@ Status ToStream::check() const {
 std::string ToStream::graph_description() const {
   std::string out = "pipeline(source";
   for (const StageDecl& s : stages_) {
-    if (s.replicas > 1) {
+    if (s.lowers_to_farm()) {
       out += ", farm(stage x " + std::to_string(s.replicas) + ")";
     } else {
       out += ", stage";
@@ -87,7 +95,7 @@ std::string ToStream::graph_description() const {
 int ToStream::thread_count() const {
   int n = 2;  // source + sink
   for (const StageDecl& s : stages_) {
-    n += s.replicas > 1 ? s.replicas + 2 : 1;
+    n += s.lowers_to_farm() ? s.replicas + 2 : 1;
   }
   return n;
 }
@@ -102,17 +110,18 @@ Status ToStream::run(const Options& options) {
   popts.wait_mode =
       options.blocking ? flow::WaitMode::kBlocking : flow::WaitMode::kSpin;
   popts.telemetry = options.telemetry;
+  popts.pin = options.pin;
 
   flow::Pipeline pipe(popts);
   pipe.add_stage(std::move(source_), name_ + ".source");
   int i = 0;
   for (StageDecl& s : stages_) {
     std::string sname = name_ + ".stage" + std::to_string(i++);
-    if (s.replicas > 1) {
+    if (s.lowers_to_farm()) {
       flow::FarmOptions fopts;
       fopts.replicas = s.replicas;
-      fopts.ordered = options.ordered;
-      fopts.policy = options.policy;
+      fopts.ordered = s.opts.ordered.value_or(options.ordered);
+      fopts.policy = s.opts.policy.value_or(options.policy);
       pipe.add_farm(std::move(s.factory), fopts, sname);
     } else {
       pipe.add_stage(s.factory(), sname);

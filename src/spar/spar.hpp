@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -67,6 +68,21 @@ struct Options {
   /// telemetry::set_enabled(true) — stage metrics then appear under the
   /// region's stage names ("flow.<name>.stageN.svc_ns" etc.).
   telemetry::StreamInstrumentation telemetry;
+  /// Core affinity for the lowered pipeline's threads (off by default).
+  flow::PinPolicy pin;
+};
+
+/// Per-stage lowering overrides. Region-level Options still set the
+/// defaults; a stage declared with StageOptions can deviate — e.g. an
+/// unordered least-loaded farm inside an otherwise ordered region.
+struct StageOptions {
+  std::optional<bool> ordered;               ///< override Options::ordered
+  std::optional<flow::SchedPolicy> policy;   ///< override Options::policy
+  /// Lower to an emitter/worker/collector farm even with Replicate(1):
+  /// same items in the same order, at the cost of two extra threads. Used
+  /// when a stage's farm shape (scheduling, ordering, queue telemetry)
+  /// should not depend on the worker count.
+  bool force_farm = false;
 };
 
 /// A [[spar::ToStream]] region under construction.
@@ -88,7 +104,14 @@ class ToStream {
   /// copy, the analogue of SPar replicating the stage body).
   template <typename In, typename Out, typename Fn>
   ToStream& stage(Replicate replicate, Fn fn) {
-    add_stage(replicate.n, flow::stage_factory<In, Out>(std::move(fn)));
+    add_stage(replicate.n, {}, flow::stage_factory<In, Out>(std::move(fn)));
+    return *this;
+  }
+
+  /// Replicated stage with per-stage lowering overrides.
+  template <typename In, typename Out, typename Fn>
+  ToStream& stage(Replicate replicate, StageOptions opts, Fn fn) {
+    add_stage(replicate.n, opts, flow::stage_factory<In, Out>(std::move(fn)));
     return *this;
   }
 
@@ -118,6 +141,8 @@ class ToStream {
   /// require).
   ToStream& stage_nodes(Replicate replicate,
                         std::function<std::unique_ptr<flow::Node>()> factory);
+  ToStream& stage_nodes(Replicate replicate, StageOptions opts,
+                        std::function<std::unique_ptr<flow::Node>()> factory);
 
   /// The final [[spar::Stage]] consuming the stream (Listing 1 line 22).
   /// Must be declared exactly once, last.
@@ -145,11 +170,15 @@ class ToStream {
  private:
   struct StageDecl {
     int replicas = 1;
+    StageOptions opts;
     std::function<std::unique_ptr<flow::Node>()> factory;
+    [[nodiscard]] bool lowers_to_farm() const {
+      return replicas > 1 || opts.force_farm;
+    }
   };
 
   void add_source(std::unique_ptr<flow::Node> node);
-  void add_stage(int replicas,
+  void add_stage(int replicas, StageOptions opts,
                  std::function<std::unique_ptr<flow::Node>()> factory);
   void add_sink(std::unique_ptr<flow::Node> node);
 

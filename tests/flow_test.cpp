@@ -431,6 +431,75 @@ TEST(FarmTest, OrderedFarmPreservesSequence) {
   for (int i = 0; i < 5000; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
 }
 
+TEST(FarmTest, LeastLoadedFarmProcessesAll) {
+  Pipeline p;
+  std::multiset<int> got;
+  p.add_stage(counting_source(3000), "src");
+  p.add_farm(stage_factory<int, int>([](int v) {
+               // One item class is slow, so the shallowest-queue choice
+               // genuinely varies between pushes.
+               if (v % 11 == 0) {
+                 volatile int spin = 400;
+                 while (spin > 0) { spin = spin - 1; }
+               }
+               return v;
+             }),
+             FarmOptions{.replicas = 4, .policy = SchedPolicy::kLeastLoaded},
+             "ll");
+  p.add_stage(make_sink<int>([&](int v) { got.insert(v); }), "sink");
+  ASSERT_TRUE(p.run_and_wait().ok());
+  ASSERT_EQ(got.size(), 3000u);
+  for (int i = 0; i < 3000; ++i) EXPECT_EQ(got.count(i), 1u);
+}
+
+TEST(FarmTest, LeastLoadedOrderedFarmPreservesSequence) {
+  Pipeline p;
+  std::vector<int> got;
+  p.add_stage(counting_source(4000), "src");
+  p.add_farm(stage_factory<int, int>([](int v) {
+               volatile int spin = (v % 5) * 60;
+               while (spin > 0) { spin = spin - 1; }
+               return v;
+             }),
+             FarmOptions{.replicas = 4,
+                         .ordered = true,
+                         .policy = SchedPolicy::kLeastLoaded},
+             "ll");
+  p.add_stage(make_sink<int>([&](int v) { got.push_back(v); }), "sink");
+  ASSERT_TRUE(p.run_and_wait().ok());
+  ASSERT_EQ(got.size(), 4000u);
+  for (int i = 0; i < 4000; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(PipelineTest, PinPolicyReportsPinnedCores) {
+  PipelineOptions opts;
+  opts.pin.enabled = true;
+  Pipeline p(opts);
+  std::vector<int> got;
+  p.add_stage(counting_source(200), "src");
+  p.add_farm(stage_factory<int, int>([](int v) { return v + 1; }),
+             FarmOptions{.replicas = 2, .ordered = true}, "farm");
+  p.add_stage(make_sink<int>([&](int v) { got.push_back(v); }), "sink");
+  ASSERT_TRUE(p.run_and_wait().ok());
+  ASSERT_EQ(got.size(), 200u);
+#if defined(__linux__)
+  const int ncores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const UnitReport& r : p.reports()) {
+    EXPECT_GE(r.pinned_cpu, 0) << r.name;
+    EXPECT_LT(r.pinned_cpu, ncores) << r.name;
+  }
+#endif
+}
+
+TEST(PipelineTest, UnpinnedRunReportsNoAffinity) {
+  Pipeline p;
+  p.add_stage(counting_source(10), "src");
+  p.add_stage(make_sink<int>([](int) {}), "sink");
+  ASSERT_TRUE(p.run_and_wait().ok());
+  for (const UnitReport& r : p.reports()) EXPECT_EQ(r.pinned_cpu, -1);
+}
+
 TEST(FarmTest, OrderedFarmWithFilteringHoles) {
   // Dropped items must not stall the ordered collector.
   Pipeline p;

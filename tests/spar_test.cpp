@@ -5,6 +5,7 @@
 
 #include <numeric>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "spar/spar.hpp"
@@ -71,6 +72,38 @@ TEST(SparTest, GraphDescriptionShowsLowering) {
             "pipeline(source, farm(stage x 8), stage, sink)");
   // source + sink + (8 workers + emitter + collector) + serial stage
   EXPECT_EQ(region.thread_count(), 13);
+}
+
+TEST(SparTest, StageOptionsForceFarmLowersSingleReplicaToFarm) {
+  ToStream region("ff");
+  region.source<int>([]() -> std::optional<int> { return std::nullopt; });
+  StageOptions opts;
+  opts.force_farm = true;
+  region.stage<int, int>(Replicate(1), opts, [](int v) { return v; });
+  region.last_stage<int>([](int) {});
+  EXPECT_EQ(region.graph_description(),
+            "pipeline(source, farm(stage x 1), sink)");
+  // source + sink + (1 worker + emitter + collector)
+  EXPECT_EQ(region.thread_count(), 5);
+}
+
+TEST(SparTest, PerStagePolicyAndOrderingOverridesRun) {
+  // An unordered least-loaded farm inside an ordered region: all items
+  // arrive, order not required.
+  ToStream region("override");
+  region.source<int>([i = 0]() mutable -> std::optional<int> {
+    return i < 500 ? std::optional<int>(i++) : std::nullopt;
+  });
+  StageOptions opts;
+  opts.force_farm = true;
+  opts.ordered = false;
+  opts.policy = flow::SchedPolicy::kLeastLoaded;
+  region.stage<int, int>(Replicate(3), opts, [](int v) { return v; });
+  std::multiset<int> got;
+  region.last_stage<int>([&](int v) { got.insert(v); });
+  ASSERT_TRUE(region.run().ok());
+  ASSERT_EQ(got.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(got.count(i), 1u);
 }
 
 TEST(SparTest, StageNodesFactoryForStatefulWorkers) {
