@@ -8,6 +8,13 @@
 //
 // Flags: --paper-scale | --quick | --dim=N --niter=N | --csv
 //        --batch=N (default 32) | --map-cache=DIR
+//        --sched=static|adaptive (default static). static reproduces the
+//                          paper's ladder bit-for-bit; adaptive appends
+//                          rows where the batch size is discovered by the
+//                          AIMD sizer and multi-GPU dispatch is least-
+//                          loaded instead of round-robin (DESIGN.md §4h).
+//                          The fault/telemetry demos also switch the
+//                          functional pipeline to tracker-driven dispatch.
 //        --json=PATH      (also write every row — label, modeled time,
 //                          speedup, kernel launches — as machine-readable
 //                          JSON, same shape as the fig5/micro outputs)
@@ -33,6 +40,7 @@
 #include "mandel/calibrate.hpp"
 #include "mandel/modeled.hpp"
 #include "mandel/pipelines.hpp"
+#include "sched/sched.hpp"
 
 namespace hs {
 namespace {
@@ -51,7 +59,8 @@ struct PaperRef {
 /// --faults demo: the real (functional) SPar+CUDA pipeline under an
 /// injected fault plan must produce the bit-exact fault-free image.
 /// Returns 0 on success.
-int run_fault_demo(const std::string& spec, kernels::MandelParams params) {
+int run_fault_demo(const std::string& spec, kernels::MandelParams params,
+                   sched::SchedMode mode) {
   auto plan = gpusim::FaultPlan::Parse(spec);
   if (!plan.ok()) {
     std::cerr << "[bench] bad --faults spec: " << plan.status().ToString()
@@ -62,10 +71,13 @@ int run_fault_demo(const std::string& spec, kernels::MandelParams params) {
   params.dim = std::min(params.dim, 256);
   params.niter = std::min(params.niter, 2000);
 
+  const bool adaptive = mode == sched::SchedMode::kAdaptive;
   auto clean_machine =
       gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
   cudax::bind_machine(clean_machine.get());
-  auto clean = mandel::render_spar_cuda(params, 4, *clean_machine);
+  sched::DeviceLoadTracker clean_tracker(clean_machine->device_count());
+  auto clean = mandel::render_spar_cuda(params, 4, *clean_machine, nullptr, {},
+                                        adaptive ? &clean_tracker : nullptr);
   cudax::unbind_machine();
   if (!clean.ok()) {
     std::cerr << "[bench] fault-free run failed: " << clean.status().ToString()
@@ -79,16 +91,23 @@ int run_fault_demo(const std::string& spec, kernels::MandelParams params) {
   }
   cudax::bind_machine(machine.get());
   RetryStats stats;
-  auto faulty = mandel::render_spar_cuda(params, 4, *machine, &stats);
+  sched::DeviceLoadTracker tracker(machine->device_count());
+  auto faulty = mandel::render_spar_cuda(params, 4, *machine, &stats, {},
+                                         adaptive ? &tracker : nullptr);
   cudax::unbind_machine();
 
   std::cout << "\n--faults=" << spec << " (dim=" << params.dim
-            << ", functional SPar+CUDA pipeline)\n";
+            << ", functional SPar+CUDA pipeline, sched="
+            << sched::to_string(mode) << ")\n";
   for (int d = 0; d < machine->device_count(); ++d) {
     std::cout << "  device " << d << ": "
               << machine->device(d).fault_telemetry().ToString() << "\n";
   }
   std::cout << "  recovery: " << stats.ToString() << "\n";
+  if (adaptive) {
+    std::cout << "  scheduler: picks=" << tracker.picks()
+              << " steals=" << tracker.steals() << "\n";
+  }
   if (!faulty.ok()) {
     std::cerr << "[bench] faulty run failed: " << faulty.status().ToString()
               << "\n";
@@ -107,14 +126,21 @@ int run_fault_demo(const std::string& spec, kernels::MandelParams params) {
 /// the process-wide telemetry singletons capturing, exported to the
 /// requested files. Returns 0 on success.
 int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
-                       kernels::MandelParams params) {
+                       kernels::MandelParams params, sched::SchedMode mode) {
   // The functional pipeline computes for real; keep the workload modest.
   params.dim = std::min(params.dim, 256);
   params.niter = std::min(params.niter, 2000);
   auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
   cudax::bind_machine(machine.get());
   benchtool::begin_telemetry_capture(outs);
-  auto image = mandel::render_spar_cuda(params, 4, *machine);
+  sched::DeviceLoadTracker tracker(machine->device_count());
+  if (mode == sched::SchedMode::kAdaptive) {
+    // Export the scheduler's decisions alongside the pipeline's metrics.
+    tracker.bind_metrics(&telemetry::Registry::Default(), "sched");
+  }
+  auto image = mandel::render_spar_cuda(
+      params, 4, *machine, nullptr, {},
+      mode == sched::SchedMode::kAdaptive ? &tracker : nullptr);
   int rc = benchtool::end_telemetry_capture(outs);
   cudax::unbind_machine();
   if (!image.ok()) {
@@ -135,8 +161,20 @@ int run(int argc, const char** argv) {
   kernels::MandelParams params = benchtool::mandel_workload(args);
   mandel::IterationMap map = benchtool::load_map(args, params);
 
+  auto batch_or = args.get_positive_int("batch", 32);
+  if (!batch_or.ok()) {
+    std::cerr << batch_or.status().ToString() << "\n";
+    return 1;
+  }
+  auto sched_or = sched::parse_sched_mode(args.get_string("sched", "static"));
+  if (!sched_or.ok()) {
+    std::cerr << sched_or.status().ToString() << "\n";
+    return 1;
+  }
+  const sched::SchedMode sched_mode = sched_or.value();
+
   ModeledConfig cfg;
-  cfg.batch_lines = static_cast<int>(args.get_int("batch", 32));
+  cfg.batch_lines = static_cast<int>(batch_or.value());
   if (args.get_bool("calibrate", true)) {
     cfg = mandel::calibrate_to_paper(map, {}, cfg);
   }
@@ -232,6 +270,47 @@ int run(int argc, const char** argv) {
     add(r, {"3.07s", "130x"});
   }
 
+  // Adaptive rows: the AIMD sizer discovers the batch size and multi-GPU
+  // dispatch goes least-loaded. The paper has no reference numbers for
+  // these; the interesting comparison is against the hand-tuned static
+  // rungs above (the sizer should land at or past the 32-line break-even).
+  std::uint64_t adaptive_lines = 0;
+  if (sched_mode == sched::SchedMode::kAdaptive) {
+    table.add_separator();
+    {
+      ModeledConfig c = with_trace(cfg, "adaptive");
+      c.sched = sched::SchedMode::kAdaptive;
+      auto r = run_gpu_single_thread(map, c, GpuApi::kCuda, GpuMode::kBatched);
+      adaptive_lines = r.adaptive_batch_lines;
+      add(r, {"-", "-"});
+    }
+    {
+      ModeledConfig c = cfg;
+      c.sched = sched::SchedMode::kAdaptive;
+      c.buffers_per_gpu = 2;
+      add(run_gpu_single_thread(map, c, GpuApi::kCuda, GpuMode::kBatched),
+          {"-", "-"});
+    }
+    {
+      ModeledConfig c = cfg;
+      c.sched = sched::SchedMode::kAdaptive;
+      c.devices = 2;
+      c.buffers_per_gpu = 1;
+      add(run_gpu_single_thread(map, c, GpuApi::kCuda, GpuMode::kBatched),
+          {"-", "-"});
+    }
+    {
+      ModeledConfig c = with_trace(cfg, "adaptive_2buf_2gpu");
+      c.sched = sched::SchedMode::kAdaptive;
+      c.devices = 2;
+      c.buffers_per_gpu = 2;
+      add(run_gpu_single_thread(map, c, GpuApi::kCuda, GpuMode::kBatched),
+          {"-", "-"});
+      add(run_gpu_single_thread(map, c, GpuApi::kOpenCl, GpuMode::kBatched),
+          {"-", "-"});
+    }
+  }
+
   if (args.get_bool("csv", false)) {
     table.render_csv(std::cout);
   } else {
@@ -239,6 +318,12 @@ int run(int argc, const char** argv) {
     std::cout << "\npaper columns: reported at dim=2000, niter=200000 on "
                  "2x Titan XP; modeled columns use the calibrated simulator "
                  "(DESIGN.md S2). Checksums of all variants verified equal.\n";
+    if (sched_mode == sched::SchedMode::kAdaptive) {
+      std::cout << "adaptive rows: AIMD batch sizer converged at "
+                << adaptive_lines
+                << " lines/batch (hand-tuned static value: "
+                << cfg.batch_lines << "); multi-GPU dispatch least-loaded.\n";
+    }
   }
 
   if (!json_path.empty()) {
@@ -265,10 +350,12 @@ int run(int argc, const char** argv) {
   }
 
   if (const std::string spec = args.get_string("faults", ""); !spec.empty()) {
-    if (int rc = run_fault_demo(spec, params); rc != 0) return rc;
+    if (int rc = run_fault_demo(spec, params, sched_mode); rc != 0) return rc;
   }
   if (const auto outs = benchtool::telemetry_outputs(args); outs.active()) {
-    if (int rc = run_telemetry_demo(outs, params); rc != 0) return rc;
+    if (int rc = run_telemetry_demo(outs, params, sched_mode); rc != 0) {
+      return rc;
+    }
   }
 
   // Cross-variant functional check: every rung rendered the same image.

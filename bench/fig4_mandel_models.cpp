@@ -8,6 +8,10 @@
 //
 // Flags: --paper-scale | --quick | --dim=N --niter=N | --csv
 //        --cpu-workers=N (19) | --combined-workers=N (10) | --batch=N (32)
+//        --sched=static|adaptive (default static). static reproduces the
+//        figure bit-for-bit; adaptive appends GPU-only and combined rows
+//        where the batch size is AIMD-discovered and multi-GPU dispatch is
+//        least-loaded (DESIGN.md §4h).
 //        --json=PATH (also write every row — label, modeled time, speedup —
 //        as machine-readable JSON, same shape as the fig1/fig5 outputs)
 //        --trace=FILE --metrics=FILE (run the functional TBB-equivalent
@@ -24,6 +28,7 @@
 #include "mandel/calibrate.hpp"
 #include "mandel/modeled.hpp"
 #include "mandel/pipelines.hpp"
+#include "sched/sched.hpp"
 
 namespace hs {
 namespace {
@@ -76,14 +81,27 @@ int run(int argc, const char** argv) {
   kernels::MandelParams params = benchtool::mandel_workload(args);
   mandel::IterationMap map = benchtool::load_map(args, params);
 
+  auto batch_or = args.get_positive_int("batch", 32);
+  auto cpu_workers_or = args.get_positive_int("cpu-workers", 19);
+  auto combined_workers_or = args.get_positive_int("combined-workers", 10);
+  auto sched_or = sched::parse_sched_mode(args.get_string("sched", "static"));
+  for (const Status& s :
+       {batch_or.status(), cpu_workers_or.status(),
+        combined_workers_or.status(), sched_or.status()}) {
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  const sched::SchedMode sched_mode = sched_or.value();
+
   ModeledConfig cfg;
-  cfg.batch_lines = static_cast<int>(args.get_int("batch", 32));
+  cfg.batch_lines = static_cast<int>(batch_or.value());
   if (args.get_bool("calibrate", true)) {
     cfg = mandel::calibrate_to_paper(map, {}, cfg);
   }
-  cfg.cpu_workers = static_cast<int>(args.get_int("cpu-workers", 19));
-  cfg.combined_workers =
-      static_cast<int>(args.get_int("combined-workers", 10));
+  cfg.cpu_workers = static_cast<int>(cpu_workers_or.value());
+  cfg.combined_workers = static_cast<int>(combined_workers_or.value());
 
   Table table("Fig. 4 — Mandelbrot results across programming models "
               "(modeled)");
@@ -151,6 +169,45 @@ int run(int argc, const char** argv) {
       }
     }
     if (devices == 1) table.add_separator();
+  }
+
+  // Adaptive rows: same GPU-only and combined shapes, but the batch size
+  // is discovered by the AIMD sizer and multi-GPU dispatch is least-loaded
+  // instead of the per-worker round-robin. No paper bars exist for these;
+  // compare against the hand-tuned static rows above.
+  if (sched_mode == sched::SchedMode::kAdaptive) {
+    table.add_separator();
+    for (int devices : {1, 2}) {
+      ModeledConfig c = cfg;
+      c.sched = sched::SchedMode::kAdaptive;
+      c.devices = devices;
+      c.buffers_per_gpu = 4 / devices;
+      for (GpuApi api : {GpuApi::kCuda, GpuApi::kOpenCl}) {
+        add(run_gpu_single_thread(map, c, api, GpuMode::kBatched));
+      }
+    }
+    table.add_separator();
+    for (int devices : {1, 2}) {
+      ModeledConfig c = cfg;
+      c.sched = sched::SchedMode::kAdaptive;
+      c.devices = devices;
+      c.tbb_tokens = 50;
+      for (CpuModel m :
+           {CpuModel::kSpar, CpuModel::kTbb, CpuModel::kFastFlow}) {
+        for (GpuApi api : {GpuApi::kCuda, GpuApi::kOpenCl}) {
+          auto r = run_combined(map, c, m, api);
+          if (m == CpuModel::kSpar && api == GpuApi::kCuda) {
+            std::fprintf(stderr,
+                         "[bench] combined adaptive %dgpu: sizer at %llu "
+                         "lines/batch\n",
+                         devices,
+                         static_cast<unsigned long long>(
+                             r.adaptive_batch_lines));
+          }
+          add(std::move(r));
+        }
+      }
+    }
   }
 
   if (args.get_bool("csv", false)) {

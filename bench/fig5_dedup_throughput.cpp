@@ -14,6 +14,11 @@
 //
 // Flags: --input-size=BYTES | --dataset=parsec|source|silesia (default:
 //        all) | --replicas=N (19) | --batch-size=BYTES (1MiB) | --csv
+//        --sched=static|adaptive (default static). static reproduces the
+//        figure bit-for-bit; adaptive appends SPar+GPU rows where batches
+//        go to the globally least-loaded device instead of the replica's
+//        round-robin binding (DESIGN.md §4h). The fault/telemetry demos
+//        also switch the functional archiver to tracker-driven dispatch.
 //        --json=PATH (also write every row — dataset, label, modeled time,
 //        throughput, kernel launches — as machine-readable JSON, e.g.
 //        BENCH_fig5.json, so the perf trajectory is tracked across PRs)
@@ -47,6 +52,7 @@
 #include "dedup/modeled.hpp"
 #include "dedup/pipelines.hpp"
 #include "gpusim/fault_plan.hpp"
+#include "sched/sched.hpp"
 
 namespace hs {
 namespace {
@@ -58,7 +64,8 @@ using dedup::Fig5Result;
 /// --faults demo: the real (functional) SPar+CUDA archiver under an
 /// injected fault plan must still produce an archive whose extraction is
 /// bit-exact against the input. Returns 0 on success.
-int run_fault_demo(const std::string& spec, dedup::DedupConfig config) {
+int run_fault_demo(const std::string& spec, dedup::DedupConfig config,
+                   sched::SchedMode mode) {
   auto plan = gpusim::FaultPlan::Parse(spec);
   if (!plan.ok()) {
     std::cerr << "[bench] bad --faults spec: " << plan.status().ToString()
@@ -78,17 +85,25 @@ int run_fault_demo(const std::string& spec, dedup::DedupConfig config) {
   }
   cudax::bind_machine(machine.get());
   RetryStats stats;
-  auto archive = dedup::archive_spar_cuda(input, config, 4, *machine, &stats);
+  sched::DeviceLoadTracker tracker(machine->device_count());
+  const bool adaptive = mode == sched::SchedMode::kAdaptive;
+  auto archive = dedup::archive_spar_cuda(input, config, 4, *machine, &stats,
+                                          {}, adaptive ? &tracker : nullptr);
   cudax::unbind_machine();
 
   std::cout << "\n--faults=" << spec << " ("
             << format_bytes(corpus.bytes)
-            << " parsec-like input, functional SPar+CUDA archiver)\n";
+            << " parsec-like input, functional SPar+CUDA archiver, sched="
+            << sched::to_string(mode) << ")\n";
   for (int d = 0; d < machine->device_count(); ++d) {
     std::cout << "  device " << d << ": "
               << machine->device(d).fault_telemetry().ToString() << "\n";
   }
   std::cout << "  recovery: " << stats.ToString() << "\n";
+  if (adaptive) {
+    std::cout << "  scheduler: picks=" << tracker.picks()
+              << " steals=" << tracker.steals() << "\n";
+  }
   if (!archive.ok()) {
     std::cerr << "[bench] faulty archive run failed: "
               << archive.status().ToString() << "\n";
@@ -114,7 +129,7 @@ int run_fault_demo(const std::string& spec, dedup::DedupConfig config) {
 /// the process-wide telemetry singletons capturing, exported to the
 /// requested files. Returns 0 on success.
 int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
-                       dedup::DedupConfig config) {
+                       dedup::DedupConfig config, sched::SchedMode mode) {
   datagen::CorpusSpec corpus;
   corpus.kind = datagen::CorpusKind::kParsecLike;
   corpus.bytes = 2 * 1000 * 1000;
@@ -124,7 +139,14 @@ int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
   auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
   cudax::bind_machine(machine.get());
   benchtool::begin_telemetry_capture(outs);
-  auto archive = dedup::archive_spar_cuda(input, config, 4, *machine);
+  sched::DeviceLoadTracker tracker(machine->device_count());
+  if (mode == sched::SchedMode::kAdaptive) {
+    // Export the scheduler's decisions alongside the pipeline's metrics.
+    tracker.bind_metrics(&telemetry::Registry::Default(), "sched");
+  }
+  auto archive = dedup::archive_spar_cuda(
+      input, config, 4, *machine, nullptr, {},
+      mode == sched::SchedMode::kAdaptive ? &tracker : nullptr);
   int rc = benchtool::end_telemetry_capture(outs);
   cudax::unbind_machine();
   if (!archive.ok()) {
@@ -142,13 +164,22 @@ int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
 int run_functional(const std::vector<datagen::CorpusKind>& kinds,
                    std::uint64_t input_size, dedup::DedupConfig config,
                    const CliArgs& args) {
+  auto workers_hash_or = args.get_positive_int("workers-hash", 4);
+  auto workers_compress_or = args.get_positive_int("workers-compress", 4);
+  auto reps_or = args.get_positive_int("functional-reps", 3);
+  for (const Status& s : {workers_hash_or.status(),
+                          workers_compress_or.status(), reps_or.status()}) {
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
   dedup::SparCpuOptions opts;
-  opts.workers_hash = static_cast<int>(args.get_int("workers-hash", 4));
-  opts.workers_compress =
-      static_cast<int>(args.get_int("workers-compress", 4));
+  opts.workers_hash = static_cast<int>(workers_hash_or.value());
+  opts.workers_compress = static_cast<int>(workers_compress_or.value());
   opts.hash_ordered = !args.get_bool("hash-unordered", false);
   opts.pin.enabled = args.get_bool("pin", false);
-  const int reps = static_cast<int>(args.get_int("functional-reps", 3));
+  const int reps = static_cast<int>(reps_or.value());
 
   std::string spar_label = "SPar CPU (functional, hash x" +
                            std::to_string(opts.workers_hash) + ", lzss x" +
@@ -246,14 +277,26 @@ int run(int argc, const char** argv) {
              datagen::CorpusKind::kSilesiaLike};
   }
 
-  Fig5Config cfg;
-  cfg.replicas = static_cast<int>(args.get_int("replicas", 19));
+  auto replicas_or = args.get_positive_int("replicas", 19);
   // Default batch size 256 KiB instead of the paper's 1 MB so the default
   // 16 MB inputs still produce enough batches (64) to feed 19 replicas —
   // the paper's 185-816 MB inputs had 185+ one-MB batches. Full-size runs:
   // --input-size=185MB --batch-size=1MiB.
-  cfg.dedup.batch_size =
-      static_cast<std::uint32_t>(args.get_bytes("batch-size", 256 * 1024));
+  auto batch_size_or = args.get_positive_bytes("batch-size", 256 * 1024);
+  auto devices_or = args.get_positive_int("devices", 2);
+  auto sched_or = sched::parse_sched_mode(args.get_string("sched", "static"));
+  for (const Status& s : {replicas_or.status(), batch_size_or.status(),
+                          devices_or.status(), sched_or.status()}) {
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  const sched::SchedMode sched_mode = sched_or.value();
+
+  Fig5Config cfg;
+  cfg.replicas = static_cast<int>(replicas_or.value());
+  cfg.dedup.batch_size = static_cast<std::uint32_t>(batch_size_or.value());
   cfg.dedup.rabin.mask = 0x7FF;  // ~2 kB blocks
 
   bool csv = args.get_bool("csv", false);
@@ -349,9 +392,25 @@ int run(int argc, const char** argv) {
     // Multi-GPU (combined versions only, as in the paper).
     {
       Fig5Config c = cfg;
-      c.devices = static_cast<int>(args.get_int("devices", 2));
+      c.devices = static_cast<int>(devices_or.value());
       add(c, Fig5Backend::kSparCuda);
       add(c, Fig5Backend::kSparOcl);
+    }
+    if (sched_mode == sched::SchedMode::kAdaptive) {
+      table.add_separator();
+      // Adaptive dispatch: batches go to the memory space whose device
+      // frees up earliest instead of the replica's round-robin binding.
+      // Single- and multi-GPU, so the single-GPU rows isolate the cost of
+      // dynamic selection and the multi-GPU rows its benefit.
+      {
+        Fig5Config c = cfg;
+        c.sched = sched::SchedMode::kAdaptive;
+        add(c, Fig5Backend::kSparCuda);
+        add(c, Fig5Backend::kSparOcl);
+        c.devices = static_cast<int>(devices_or.value());
+        add(c, Fig5Backend::kSparCuda);
+        add(c, Fig5Backend::kSparOcl);
+      }
     }
 
     if (csv) {
@@ -399,10 +458,14 @@ int run(int argc, const char** argv) {
     }
   }
   if (const std::string spec = args.get_string("faults", ""); !spec.empty()) {
-    if (int rc = run_fault_demo(spec, cfg.dedup); rc != 0) return rc;
+    if (int rc = run_fault_demo(spec, cfg.dedup, sched_mode); rc != 0) {
+      return rc;
+    }
   }
   if (const auto outs = benchtool::telemetry_outputs(args); outs.active()) {
-    if (int rc = run_telemetry_demo(outs, cfg.dedup); rc != 0) return rc;
+    if (int rc = run_telemetry_demo(outs, cfg.dedup, sched_mode); rc != 0) {
+      return rc;
+    }
   }
   return 0;
 }

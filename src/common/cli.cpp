@@ -95,4 +95,51 @@ std::uint64_t CliArgs::get_bytes(std::string_view name,
   return parsed.ok() ? parsed.value() : fallback;
 }
 
+Result<std::int64_t> CliArgs::get_int_in_range(std::string_view name,
+                                               std::int64_t fallback,
+                                               std::int64_t min,
+                                               std::int64_t max) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(it->second.data(),
+                                   it->second.data() + it->second.size(), v);
+  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+    return InvalidArgument("--" + std::string(name) + "=" + it->second +
+                           ": not an integer");
+  }
+  if (v < min || v > max) {
+    std::string msg = "--" + std::string(name) + "=" + it->second +
+                      ": must be >= " + std::to_string(min);
+    if (max != std::numeric_limits<std::int64_t>::max()) {
+      msg += " and <= " + std::to_string(max);
+    }
+    return InvalidArgument(std::move(msg));
+  }
+  return v;
+}
+
+Result<std::uint64_t> CliArgs::get_bytes_in_range(std::string_view name,
+                                                  std::uint64_t fallback,
+                                                  std::uint64_t min,
+                                                  std::uint64_t max) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = parse_bytes(it->second);
+  if (!parsed.ok()) {
+    return InvalidArgument("--" + std::string(name) + "=" + it->second + ": " +
+                           parsed.status().message());
+  }
+  const std::uint64_t v = parsed.value();
+  if (v < min || v > max) {
+    std::string msg = "--" + std::string(name) + "=" + it->second +
+                      ": must be >= " + std::to_string(min) + " bytes";
+    if (max != std::numeric_limits<std::uint64_t>::max()) {
+      msg += " and <= " + std::to_string(max) + " bytes";
+    }
+    return InvalidArgument(std::move(msg));
+  }
+  return v;
+}
+
 }  // namespace hs

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -33,6 +34,27 @@ class CliArgs {
   /// "185MB"-style sizes.
   [[nodiscard]] std::uint64_t get_bytes(std::string_view name,
                                         std::uint64_t fallback) const;
+
+  /// Validating variants. Unlike get_int/get_bytes (which silently fall back
+  /// on malformed input), these return InvalidArgument when the flag is
+  /// present but unparseable or outside [min, max] — worker counts, batch
+  /// sizes and token budgets of 0 or below would otherwise construct empty
+  /// farms or divide by zero deep in a bench. Absent flag returns `fallback`
+  /// unchecked, so defaults stay the caller's business.
+  [[nodiscard]] Result<std::int64_t> get_int_in_range(
+      std::string_view name, std::int64_t fallback, std::int64_t min,
+      std::int64_t max = std::numeric_limits<std::int64_t>::max()) const;
+  [[nodiscard]] Result<std::int64_t> get_positive_int(
+      std::string_view name, std::int64_t fallback) const {
+    return get_int_in_range(name, fallback, 1);
+  }
+  [[nodiscard]] Result<std::uint64_t> get_bytes_in_range(
+      std::string_view name, std::uint64_t fallback, std::uint64_t min,
+      std::uint64_t max = std::numeric_limits<std::uint64_t>::max()) const;
+  [[nodiscard]] Result<std::uint64_t> get_positive_bytes(
+      std::string_view name, std::uint64_t fallback) const {
+    return get_bytes_in_range(name, fallback, 1);
+  }
 
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

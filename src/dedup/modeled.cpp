@@ -274,6 +274,9 @@ Fig5Result run_fig5(const DedupTrace& trace, const Fig5Config& config,
   if (farm && gpu && devices > 1) {
     out.label += " " + std::to_string(devices) + "gpu";
   }
+  if (farm && gpu && config.sched == sched::SchedMode::kAdaptive) {
+    out.label += " adaptive";
+  }
 
   ScratchBuffers scratch;
 
@@ -438,6 +441,35 @@ Fig5Result run_fig5(const DedupTrace& trace, const Fig5Config& config,
         spaces[static_cast<std::size_t>(w)].push_back(space);
       }
     }
+    // Adaptive dispatch sees one flat pool of every memory space on every
+    // device and routes each batch to the space whose in-flight d2h
+    // completes earliest (an idle space scores 0, so all spaces get primed
+    // before any is reused; strict < keeps ties on the lowest index).
+    // The replica's host thread still does the enqueueing — only the
+    // device binding becomes dynamic.
+    const bool adaptive = config.sched == sched::SchedMode::kAdaptive;
+    std::vector<Space*> pool;
+    if (adaptive) {
+      for (auto& ws : spaces) {
+        for (Space& s : ws) pool.push_back(&s);
+      }
+    }
+    auto least_loaded = [&]() -> Space& {
+      std::size_t best = 0;
+      double best_t = pool[0]->last_d2h.valid()
+                          ? machine->finish_time(pool[0]->last_d2h.task)
+                          : 0.0;
+      for (std::size_t s = 1; s < pool.size(); ++s) {
+        double t = pool[s]->last_d2h.valid()
+                       ? machine->finish_time(pool[s]->last_d2h.task)
+                       : 0.0;
+        if (t < best_t) {
+          best = s;
+          best_t = t;
+        }
+      }
+      return *pool[best];
+    };
 
     for (std::size_t i = 0; i < trace.batches.size(); ++i) {
       const BatchCosts& b = trace.batches[i];
@@ -446,8 +478,9 @@ Fig5Result run_fig5(const DedupTrace& trace, const Fig5Config& config,
       const std::size_t w = i % static_cast<std::size_t>(replicas);
       ModeledHost& hw = *hash_workers[w];
       Space& space =
-          spaces[w][(i / static_cast<std::size_t>(replicas)) %
-                    spaces[w].size()];
+          adaptive ? least_loaded()
+                   : spaces[w][(i / static_cast<std::size_t>(replicas)) %
+                               spaces[w].size()];
       Device& dev = *space.device;
       ScratchBuffers& sc =
           dev_scratch[static_cast<std::size_t>(dev.index())];

@@ -23,6 +23,7 @@
 #include "dedup/stages.hpp"
 #include "gpusim/device.hpp"
 #include "perfmodel/host_model.hpp"
+#include "sched/sched.hpp"
 
 namespace hs::dedup {
 
@@ -77,6 +78,12 @@ struct Fig5Config {
   bool batched_kernel = true;
   /// Memory spaces (streams + buffers) per driver/worker: 1 or 2.
   int mem_spaces = 1;
+  /// Device dispatch for the SPar+GPU variants. kStatic keeps the paper's
+  /// per-replica round-robin device binding; kAdaptive sends each batch to
+  /// the memory space whose device frees up earliest (least-loaded across
+  /// every device — DESIGN.md §4h). Single-thread and CPU variants ignore
+  /// this; static output is unchanged by the flag.
+  sched::SchedMode sched = sched::SchedMode::kStatic;
 };
 
 struct Fig5Result {

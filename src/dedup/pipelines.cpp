@@ -1,5 +1,6 @@
 #include "dedup/pipelines.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -200,15 +201,17 @@ Status cuda_status(cudax::cudaError e, const char* what) {
 class CudaStageContext {
  public:
   CudaStageContext(gpusim::Machine* machine, int replica_id, RetryStats* stats,
-                   const RetryPolicy& policy)
+                   const RetryPolicy& policy,
+                   sched::DeviceLoadTracker* tracker = nullptr)
       : machine_(machine), replica_(replica_id), stats_(stats),
-        policy_(policy) {}
+        policy_(policy), tracker_(tracker) {}
 
   /// Runs `gpu_pass` (the complete per-batch device sequence, returning
   /// Status; must be idempotent) under the retry policy, migrating across
   /// devices on loss. On failure the caller degrades to the CPU stage.
   template <typename F>
   Status run(std::string_view label, F&& gpu_pass) {
+    if (tracker_ != nullptr) return run_adaptive(label, gpu_pass);
     if (!ready_ && !try_setup(device_ >= 0 ? device_ : replica_)) {
       return Unavailable("no usable CUDA device");
     }
@@ -223,6 +226,67 @@ class CudaStageContext {
       buffers_.clear();
       ready_ = false;
       if (!try_setup(device_ + 1)) return s;
+      if (stats_ != nullptr) {
+        stats_->device_switches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Adaptive variant: the device is re-chosen per batch through the
+  /// tracker (sticky unless another device is idle or ours is lost),
+  /// service time feeds the EWMA, and a lost device is excluded for every
+  /// worker at once.
+  template <typename F>
+  Status run_adaptive(std::string_view label, F&& gpu_pass) {
+    const int want = tracker_->acquire_preferring(device_);
+    if (want < 0) return Unavailable("all CUDA devices excluded");
+    if (ready_ && want != device_) {
+      // Voluntary rebind (steal): release scratch on the old, still-live
+      // device before moving.
+      (void)cudax::cudaSetDevice(device_);
+      for (auto& buf : buffers_) {
+        if (buf.ptr != nullptr) (void)cudax::cudaFree(buf.ptr);
+      }
+      buffers_.clear();
+      ready_ = false;
+    }
+    if (!ready_ && !try_setup(want)) {
+      tracker_->abandon(want);
+      return Unavailable("no usable CUDA device");
+    }
+    int charged = want;
+    if (device_ != charged) {
+      tracker_->transfer(charged, device_);
+      charged = device_;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    while (true) {
+      (void)cudax::cudaSetDevice(device_);
+      Status s = retry_status(policy_, stats_, label, gpu_pass);
+      if (s.ok()) {
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        tracker_->release(charged, dt.count());
+        return s;
+      }
+      if (s.code() != ErrorCode::kUnavailable) {
+        tracker_->abandon(charged);
+        return s;
+      }
+      if (stats_ != nullptr) {
+        stats_->device_losses.fetch_add(1, std::memory_order_relaxed);
+      }
+      tracker_->exclude(device_);
+      buffers_.clear();
+      ready_ = false;
+      const int next = tracker_->acquire_preferring(-1);
+      if (next >= 0) tracker_->abandon(next);  // only a routing hint
+      if (next < 0 || !try_setup(next)) {
+        tracker_->abandon(charged);
+        return s;
+      }
+      tracker_->transfer(charged, device_);
+      charged = device_;
       if (stats_ != nullptr) {
         stats_->device_switches.fetch_add(1, std::memory_order_relaxed);
       }
@@ -311,6 +375,7 @@ class CudaStageContext {
   int replica_;
   RetryStats* stats_;
   RetryPolicy policy_;
+  sched::DeviceLoadTracker* tracker_ = nullptr;
   int device_ = -1;
   int stream_device_ = -1;  ///< device the live stream_ was created on
   bool ready_ = false;
@@ -324,12 +389,13 @@ class CudaStageContext {
 class CudaHashWorker final : public flow::Node {
  public:
   CudaHashWorker(gpusim::Machine* machine, RetryStats* stats,
-                 RetryPolicy policy)
-      : machine_(machine), stats_(stats), policy_(policy) {}
+                 RetryPolicy policy,
+                 sched::DeviceLoadTracker* tracker = nullptr)
+      : machine_(machine), stats_(stats), policy_(policy), tracker_(tracker) {}
 
   void on_init(int replica_id) override {
     ctx_ = std::make_unique<CudaStageContext>(machine_, replica_id, stats_,
-                                              policy_);
+                                              policy_, tracker_);
   }
 
   flow::SvcResult svc(flow::Item in) override {
@@ -436,6 +502,7 @@ class CudaHashWorker final : public flow::Node {
   gpusim::Machine* machine_;
   RetryStats* stats_;
   RetryPolicy policy_;
+  sched::DeviceLoadTracker* tracker_ = nullptr;
   std::unique_ptr<CudaStageContext> ctx_;
   cudax::PinnedPool::Handle staging_;
   std::vector<std::uint8_t> fallback_;
@@ -447,12 +514,14 @@ class CudaHashWorker final : public flow::Node {
 class CudaCompressWorker final : public flow::Node {
  public:
   CudaCompressWorker(gpusim::Machine* machine, const DedupConfig& config,
-                     RetryStats* stats, RetryPolicy policy)
-      : machine_(machine), config_(config), stats_(stats), policy_(policy) {}
+                     RetryStats* stats, RetryPolicy policy,
+                     sched::DeviceLoadTracker* tracker = nullptr)
+      : machine_(machine), config_(config), stats_(stats), policy_(policy),
+        tracker_(tracker) {}
 
   void on_init(int replica_id) override {
     ctx_ = std::make_unique<CudaStageContext>(machine_, replica_id, stats_,
-                                              policy_);
+                                              policy_, tracker_);
   }
 
   flow::SvcResult svc(flow::Item in) override {
@@ -572,6 +641,7 @@ class CudaCompressWorker final : public flow::Node {
   DedupConfig config_;
   RetryStats* stats_;
   RetryPolicy policy_;
+  sched::DeviceLoadTracker* tracker_ = nullptr;
   std::unique_ptr<CudaStageContext> ctx_;
   cudax::PinnedPool::Handle staging_;
 };
@@ -581,7 +651,7 @@ class CudaCompressWorker final : public flow::Node {
 Result<std::vector<std::uint8_t>> archive_spar_cuda(
     std::span<const std::uint8_t> input, const DedupConfig& config,
     int replicas, gpusim::Machine& machine, RetryStats* stats,
-    const RetryPolicy& policy) {
+    const RetryPolicy& policy, sched::DeviceLoadTracker* tracker) {
   if (machine.device_count() == 0) {
     return InvalidArgument("machine has no devices");
   }
@@ -593,17 +663,18 @@ Result<std::vector<std::uint8_t>> archive_spar_cuda(
 
   spar::ToStream region("dedup-cuda");
   region.source<Batch>(BatchSource(input, config, &pool));
-  region.stage_nodes(spar::Replicate(replicas), [&machine, stats, policy] {
-    return std::make_unique<CudaHashWorker>(&machine, stats, policy);
+  region.stage_nodes(spar::Replicate(replicas),
+                     [&machine, stats, policy, tracker] {
+    return std::make_unique<CudaHashWorker>(&machine, stats, policy, tracker);
   });
   region.stage<Batch, Batch>([&cache](Batch batch) {
     cache.check(batch);
     return batch;
   });
   region.stage_nodes(spar::Replicate(replicas),
-                     [&machine, config, stats, policy] {
+                     [&machine, config, stats, policy, tracker] {
     return std::make_unique<CudaCompressWorker>(&machine, config, stats,
-                                                policy);
+                                                policy, tracker);
   });
   region.last_stage<Batch>([&writer, &append_status, &pool](Batch batch) {
     Status s = writer.append(batch);

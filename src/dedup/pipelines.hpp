@@ -18,6 +18,7 @@
 #include "dedup/container.hpp"
 #include "flow/pipeline.hpp"
 #include "gpusim/device.hpp"
+#include "sched/sched.hpp"
 
 namespace hs::dedup {
 
@@ -66,10 +67,16 @@ Result<std::vector<std::uint8_t>> archive_spar_cpu(
 /// the equivalent CPU stage (hash_blocks / compress_blocks_cpu), so the
 /// archive is bit-identical under any injected fault sequence. Pass `stats`
 /// for per-attempt telemetry (null to skip).
+///
+/// With `tracker` set (sched::SchedMode::kAdaptive) the per-replica device
+/// round-robin is replaced by least-loaded selection with idle-device
+/// stealing; lost devices are excluded tracker-wide so their queued batches
+/// drain through the survivors. The archive bytes are identical either way.
 Result<std::vector<std::uint8_t>> archive_spar_cuda(
     std::span<const std::uint8_t> input, const DedupConfig& config,
     int replicas, gpusim::Machine& machine, RetryStats* stats = nullptr,
-    const RetryPolicy& policy = {});
+    const RetryPolicy& policy = {},
+    sched::DeviceLoadTracker* tracker = nullptr);
 
 /// Single-host-thread OpenCL-shim version. `batched_kernel` selects the
 /// paper's optimized single FindMatch kernel per batch (true) or the

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <new>
 #include <utility>
@@ -21,11 +22,28 @@ namespace hs::flow {
 template <typename T>
 class SpscQueue {
  public:
-  /// `capacity` is the number of elements the queue can hold; rounded up to
-  /// a power of two (minimum 2).
-  explicit SpscQueue(std::size_t capacity) {
+  /// Largest capacity this queue supports: the biggest power of two that
+  /// fits in std::size_t. Requests beyond it would make the round-up loop
+  /// below wrap `cap` to 0 and spin forever, so they are clamped (and
+  /// rejected by the assert in debug builds).
+  static constexpr std::size_t kMaxCapacity =
+      (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+
+  /// Rounds `capacity` up to a power of two in [2, kMaxCapacity]. Exposed as
+  /// a static helper so the overflow boundary is unit-testable without
+  /// allocating a multi-exabyte slot array.
+  static constexpr std::size_t rounded_capacity(std::size_t capacity) {
+    if (capacity > kMaxCapacity) return kMaxCapacity;
     std::size_t cap = 2;
     while (cap < capacity) cap <<= 1;
+    return cap;
+  }
+
+  /// `capacity` is the number of elements the queue can hold; rounded up to
+  /// a power of two (minimum 2, clamped at kMaxCapacity).
+  explicit SpscQueue(std::size_t capacity) {
+    assert(capacity <= kMaxCapacity && "SpscQueue capacity overflows size_t");
+    const std::size_t cap = rounded_capacity(capacity);
     mask_ = cap - 1;
     slots_ = std::make_unique<Slot[]>(cap);
   }
@@ -131,9 +149,19 @@ class SpscQueue {
   }
 
   /// Approximate size; exact only when both sides are quiescent.
+  ///
+  /// Load order matters: `head_` must be read before `tail_`. The consumer
+  /// only advances `head_` up to the `tail_` it has observed, so a head read
+  /// that precedes the tail read can never exceed it (tail is monotone).
+  /// Reading tail first allowed a concurrent pop to advance head past the
+  /// stale tail, underflowing `tail - head` to a near-2^64 "depth" that
+  /// QueueDepthSampler then recorded. The result is additionally clamped to
+  /// capacity(): a push racing between the two loads can make the raw
+  /// difference transiently exceed the ring size.
   [[nodiscard]] std::size_t size_approx() const {
-    return tail_.load(std::memory_order_acquire) -
-           head_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return std::min(tail - head, mask_ + 1);
   }
 
   [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }

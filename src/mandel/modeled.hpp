@@ -22,6 +22,7 @@
 #include "gpusim/device.hpp"
 #include "mandel/iteration_map.hpp"
 #include "perfmodel/host_model.hpp"
+#include "sched/sched.hpp"
 
 namespace hs::mandel {
 
@@ -55,6 +56,14 @@ struct ModeledConfig {
   gpusim::DivergenceModel divergence = gpusim::DivergenceModel::kMaxLane;
   bool copy_compute_overlap = true;
 
+  /// kStatic reproduces the paper's schedules bit-for-bit (fixed
+  /// batch_lines, batch->device round-robin). kAdaptive replaces the
+  /// round-robin with least-loaded selection over the modeled completion
+  /// times and grows the batch with sched::AimdBatchSizer until the
+  /// measured per-line cost flattens (the occupancy break-even) or device
+  /// memory rejects the allocation.
+  sched::SchedMode sched = sched::SchedMode::kStatic;
+
   /// When set, the variant's modeled schedule is dumped as Chrome
   /// trace-event JSON (see des/trace_export.hpp) to this path.
   std::string trace_path;
@@ -66,6 +75,8 @@ struct RunResult {
   std::uint64_t checksum = 0;
   std::uint64_t kernel_launches = 0;
   double gpu_compute_utilization = 0;  ///< device 0 compute busy / makespan
+  /// Batch size the AIMD sizer converged to; 0 under SchedMode::kStatic.
+  std::uint64_t adaptive_batch_lines = 0;
 };
 
 /// The sequential baseline (the paper's 400 s reference).

@@ -1,5 +1,6 @@
 #include "mandel/pipelines.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <optional>
 
@@ -145,12 +146,19 @@ Status cuda_status(cudax::cudaError e, const char* what) {
 class CudaLineWorker final : public flow::Node {
  public:
   CudaLineWorker(const MandelParams& params, gpusim::Machine* machine,
-                 RetryStats* stats, RetryPolicy policy)
-      : params_(params), machine_(machine), stats_(stats), policy_(policy) {}
+                 RetryStats* stats, RetryPolicy policy,
+                 sched::DeviceLoadTracker* tracker = nullptr)
+      : params_(params),
+        machine_(machine),
+        stats_(stats),
+        policy_(policy),
+        tracker_(tracker) {}
 
   void on_init(int replica_id) override {
     replica_ = replica_id;
-    (void)try_setup(replica_id);
+    // Adaptive mode defers device choice to the tracker on the first item;
+    // static mode keeps the paper's per-replica round-robin binding.
+    if (tracker_ == nullptr) (void)try_setup(replica_id);
   }
 
   flow::SvcResult svc(flow::Item in) override {
@@ -181,6 +189,7 @@ class CudaLineWorker final : public flow::Node {
 
  private:
   Status render_line(Line& line) {
+    if (tracker_ != nullptr) return render_line_adaptive(line);
     if (!gpu_ready_ && !try_setup(device_ >= 0 ? device_ : replica_)) {
       return Unavailable("no usable CUDA device");
     }
@@ -196,6 +205,58 @@ class CudaLineWorker final : public flow::Node {
       gpu_ready_ = false;
       dev_row_ = nullptr;  // allocation is gone with the device
       if (!try_setup(device_ + 1)) return s;
+      if (stats_ != nullptr) {
+        stats_->device_switches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Adaptive routing: ask the tracker for the least-loaded device (sticky
+  /// to the current binding unless another device is idle or ours is gone),
+  /// feed its EWMA with the observed service time, and exclude lost devices
+  /// so queued lines drain through the survivors.
+  Status render_line_adaptive(Line& line) {
+    const int want = tracker_->acquire_preferring(device_);
+    if (want < 0) return Unavailable("all CUDA devices excluded");
+    if (!gpu_ready_ || want != device_) {
+      if (!try_setup(want)) {
+        tracker_->abandon(want);
+        return Unavailable("no usable CUDA device");
+      }
+    }
+    int charged = want;  // device carrying the in-flight unit
+    if (device_ != charged) {
+      tracker_->transfer(charged, device_);
+      charged = device_;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    while (true) {
+      Status s = retry_status(policy_, stats_, "mandel.line",
+                              [&] { return gpu_line_once(line); });
+      if (s.ok()) {
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        tracker_->release(charged, dt.count());
+        return s;
+      }
+      if (s.code() != ErrorCode::kUnavailable) {
+        tracker_->abandon(charged);
+        return s;
+      }
+      if (stats_ != nullptr) {
+        stats_->device_losses.fetch_add(1, std::memory_order_relaxed);
+      }
+      tracker_->exclude(device_);
+      gpu_ready_ = false;
+      dev_row_ = nullptr;  // allocation is gone with the device
+      const int next = tracker_->acquire_preferring(-1);
+      if (next >= 0) tracker_->abandon(next);  // only a routing hint
+      if (next < 0 || !try_setup(next)) {
+        tracker_->abandon(charged);
+        return s;
+      }
+      tracker_->transfer(charged, device_);
+      charged = device_;
       if (stats_ != nullptr) {
         stats_->device_switches.fetch_add(1, std::memory_order_relaxed);
       }
@@ -308,6 +369,7 @@ class CudaLineWorker final : public flow::Node {
   gpusim::Machine* machine_;
   RetryStats* stats_;
   RetryPolicy policy_;
+  sched::DeviceLoadTracker* tracker_ = nullptr;
   int replica_ = 0;
   int device_ = -1;
   int stream_device_ = -1;  ///< device the live stream_ was created on
@@ -319,11 +381,10 @@ class CudaLineWorker final : public flow::Node {
 
 }  // namespace
 
-Result<std::vector<std::uint8_t>> render_spar_cuda(const MandelParams& params,
-                                                   int workers,
-                                                   gpusim::Machine& machine,
-                                                   RetryStats* stats,
-                                                   const RetryPolicy& policy) {
+Result<std::vector<std::uint8_t>> render_spar_cuda(
+    const MandelParams& params, int workers, gpusim::Machine& machine,
+    RetryStats* stats, const RetryPolicy& policy,
+    sched::DeviceLoadTracker* tracker) {
   if (machine.device_count() == 0) {
     return InvalidArgument("machine has no devices");
   }
@@ -334,8 +395,9 @@ Result<std::vector<std::uint8_t>> render_spar_cuda(const MandelParams& params,
     return Line{i++, {}};
   });
   region.stage_nodes(spar::Replicate(workers), [&params, &machine, stats,
-                                                policy] {
-    return std::make_unique<CudaLineWorker>(params, &machine, stats, policy);
+                                                policy, tracker] {
+    return std::make_unique<CudaLineWorker>(params, &machine, stats, policy,
+                                            tracker);
   });
   region.last_stage<Line>([&image, &params](Line line) {
     store_line(image, params.dim, line);

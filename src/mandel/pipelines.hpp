@@ -16,6 +16,7 @@
 #include "common/status.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/mandel.hpp"
+#include "sched/sched.hpp"
 
 namespace hs::mandel {
 
@@ -49,9 +50,15 @@ Result<std::vector<std::uint8_t>> render_spar(const MandelParams& params,
 /// when none remain — to the bit-exact CPU kernel path, so the rendered
 /// image is identical under any injected fault sequence. Pass `stats` to
 /// collect per-attempt telemetry (may be shared across calls; null to skip).
+/// With `tracker` set (sched::SchedMode::kAdaptive), the per-replica static
+/// binding is replaced by least-loaded device selection with idle-device
+/// stealing: each line is routed through the tracker, service times feed its
+/// EWMA, and a lost device is excluded so queued work drains through the
+/// surviving devices. The rendered image is identical either way.
 Result<std::vector<std::uint8_t>> render_spar_cuda(
     const MandelParams& params, int workers, gpusim::Machine& machine,
-    RetryStats* stats = nullptr, const RetryPolicy& policy = {});
+    RetryStats* stats = nullptr, const RetryPolicy& policy = {},
+    sched::DeviceLoadTracker* tracker = nullptr);
 
 /// Single-host-thread OpenCL version with line batches (Listing 2 port per
 /// §IV-A), exercising platform discovery, buffers, queues and events.

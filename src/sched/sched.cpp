@@ -1,0 +1,281 @@
+#include "sched/sched.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "telemetry/span_recorder.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hs::sched {
+
+Result<SchedMode> parse_sched_mode(std::string_view text) {
+  if (text == "static") return SchedMode::kStatic;
+  if (text == "adaptive") return SchedMode::kAdaptive;
+  return InvalidArgument("--sched=" + std::string(text) +
+                         ": expected 'static' or 'adaptive'");
+}
+
+const char* to_string(SchedMode mode) {
+  return mode == SchedMode::kStatic ? "static" : "adaptive";
+}
+
+// ---- DeviceLoadTracker ------------------------------------------------------
+
+DeviceLoadTracker::DeviceLoadTracker(int devices, double ewma_alpha)
+    : devices_(static_cast<std::size_t>(std::max(devices, 1))),
+      alpha_(std::clamp(ewma_alpha, 0.01, 1.0)) {}
+
+int DeviceLoadTracker::pick_locked(int preferred) {
+  // Score = expected wait if one more unit lands on the device. A device we
+  // have never measured scores 0: it gets primed before the EWMA can bias
+  // selection toward the first device that happened to finish. Equal scores
+  // (e.g. several unmeasured devices) break on in-flight count so initial
+  // work spreads instead of piling onto device 0, then on `preferred`, then
+  // on the lowest index.
+  int best = -1;
+  double best_score = 0.0;
+  int best_inflight = 0;
+  for (int d = 0; d < device_count(); ++d) {
+    const PerDevice& dev = devices_[static_cast<std::size_t>(d)];
+    if (dev.excluded) continue;
+    double score = (dev.inflight + 1) * dev.ewma_seconds;
+    bool better = best < 0 || score < best_score ||
+                  (score == best_score &&
+                   (dev.inflight < best_inflight ||
+                    (dev.inflight == best_inflight && d == preferred)));
+    if (better) {
+      best = d;
+      best_score = score;
+      best_inflight = dev.inflight;
+    }
+  }
+  return best;
+}
+
+void DeviceLoadTracker::publish_locked(int device) {
+  PerDevice& dev = devices_[static_cast<std::size_t>(device)];
+  if (dev.inflight_gauge != nullptr) {
+    dev.inflight_gauge->set(static_cast<double>(dev.inflight));
+  }
+  if (dev.ewma_gauge != nullptr) dev.ewma_gauge->set(dev.ewma_seconds * 1e3);
+}
+
+int DeviceLoadTracker::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int d = pick_locked(/*preferred=*/-1);
+  if (d < 0) return -1;
+  ++picks_;
+  if (picks_counter_ != nullptr) picks_counter_->add();
+  ++devices_[static_cast<std::size_t>(d)].inflight;
+  publish_locked(d);
+  return d;
+}
+
+int DeviceLoadTracker::acquire_preferring(int current) {
+  bool stole = false;
+  int chosen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool current_live = current >= 0 && current < device_count() &&
+                              !devices_[static_cast<std::size_t>(current)]
+                                   .excluded;
+    chosen = current_live ? current : pick_locked(current);
+    if (current_live &&
+        devices_[static_cast<std::size_t>(current)].inflight > 0) {
+      // Current device already has work in flight; hand the item to an idle
+      // live device if one exists (idle-device work stealing).
+      for (int d = 0; d < device_count(); ++d) {
+        const PerDevice& dev = devices_[static_cast<std::size_t>(d)];
+        if (d != current && !dev.excluded && dev.inflight == 0) {
+          chosen = d;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) return -1;
+    ++picks_;
+    if (picks_counter_ != nullptr) picks_counter_->add();
+    stole = current_live && chosen != current;
+    if (stole) {
+      ++steals_;
+      if (steals_counter_ != nullptr) steals_counter_->add();
+    }
+    ++devices_[static_cast<std::size_t>(chosen)].inflight;
+    publish_locked(chosen);
+  }
+  if (stole && telemetry::enabled()) {
+    telemetry::ScopedSpan span(telemetry::tracer(), "sched.steal");
+  }
+  return chosen;
+}
+
+void DeviceLoadTracker::release(int device, double service_seconds) {
+  if (device < 0 || device >= device_count()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PerDevice& dev = devices_[static_cast<std::size_t>(device)];
+  dev.inflight = std::max(dev.inflight - 1, 0);
+  ++dev.completed;
+  dev.ewma_seconds = dev.ewma_seconds <= 0.0
+                         ? service_seconds
+                         : alpha_ * service_seconds +
+                               (1.0 - alpha_) * dev.ewma_seconds;
+  if (dev.items != nullptr) dev.items->add();
+  publish_locked(device);
+}
+
+void DeviceLoadTracker::abandon(int device) {
+  if (device < 0 || device >= device_count()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PerDevice& dev = devices_[static_cast<std::size_t>(device)];
+  dev.inflight = std::max(dev.inflight - 1, 0);
+  publish_locked(device);
+}
+
+void DeviceLoadTracker::transfer(int from, int to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from >= 0 && from < device_count()) {
+    PerDevice& dev = devices_[static_cast<std::size_t>(from)];
+    dev.inflight = std::max(dev.inflight - 1, 0);
+    publish_locked(from);
+  }
+  if (to >= 0 && to < device_count()) {
+    ++devices_[static_cast<std::size_t>(to)].inflight;
+    publish_locked(to);
+  }
+}
+
+void DeviceLoadTracker::exclude(int device) {
+  if (device < 0 || device >= device_count()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  devices_[static_cast<std::size_t>(device)].excluded = true;
+}
+
+bool DeviceLoadTracker::is_excluded(int device) const {
+  if (device < 0 || device >= device_count()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_[static_cast<std::size_t>(device)].excluded;
+}
+
+DeviceSnapshot DeviceLoadTracker::snapshot(int device) const {
+  DeviceSnapshot out;
+  if (device < 0 || device >= device_count()) return out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const PerDevice& dev = devices_[static_cast<std::size_t>(device)];
+  out.inflight = dev.inflight;
+  out.ewma_seconds = dev.ewma_seconds;
+  out.completed = dev.completed;
+  out.excluded = dev.excluded;
+  return out;
+}
+
+std::uint64_t DeviceLoadTracker::picks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return picks_;
+}
+
+std::uint64_t DeviceLoadTracker::steals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steals_;
+}
+
+void DeviceLoadTracker::bind_metrics(telemetry::Registry* registry,
+                                     std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    picks_counter_ = nullptr;
+    steals_counter_ = nullptr;
+    for (auto& dev : devices_) {
+      dev.inflight_gauge = nullptr;
+      dev.ewma_gauge = nullptr;
+      dev.items = nullptr;
+    }
+    return;
+  }
+  const std::string base(prefix);
+  picks_counter_ = registry->counter(base + ".picks");
+  steals_counter_ = registry->counter(base + ".steals");
+  for (int d = 0; d < device_count(); ++d) {
+    PerDevice& dev = devices_[static_cast<std::size_t>(d)];
+    const std::string dev_base = base + ".d" + std::to_string(d);
+    dev.inflight_gauge = registry->gauge(dev_base + ".inflight");
+    dev.ewma_gauge = registry->gauge(dev_base + ".ewma_ms");
+    dev.items = registry->counter(dev_base + ".items");
+  }
+}
+
+// ---- AimdBatchSizer ---------------------------------------------------------
+
+AimdBatchSizer::AimdBatchSizer(AimdConfig cfg) : cfg_(cfg) {
+  cfg_.min_size = std::max<std::uint64_t>(cfg_.min_size, 1);
+  cfg_.max_size = std::max(cfg_.max_size, cfg_.min_size);
+  cfg_.add_step = std::max<std::uint64_t>(cfg_.add_step, 1);
+  limit_ = cfg_.max_size;
+  current_ = std::clamp(cfg_.initial, cfg_.min_size, cfg_.max_size);
+}
+
+void AimdBatchSizer::clamp_to_limit() {
+  current_ = std::clamp(current_, cfg_.min_size, limit_);
+}
+
+void AimdBatchSizer::on_success(double unit_cost) {
+  ++observations_;
+  if (converged_) return;
+  if (slow_start_) {
+    const bool improving =
+        best_unit_cost_ < 0.0 ||
+        unit_cost < best_unit_cost_ * (1.0 - cfg_.improve_eps);
+    if (improving) {
+      best_unit_cost_ = best_unit_cost_ < 0.0
+                            ? unit_cost
+                            : std::min(best_unit_cost_, unit_cost);
+      const std::uint64_t next = std::min(
+          current_ > limit_ / 2 ? limit_ : current_ * 2, limit_);
+      if (next == current_) {
+        converged_ = true;
+      } else {
+        current_ = next;
+        ++grows_;
+      }
+    } else if (cfg_.backoff_on_regress &&
+               unit_cost > best_unit_cost_ * (1.0 + cfg_.improve_eps)) {
+      // Overshoot: the last doubling made things strictly worse (e.g. stage
+      // granularity starving the farm), not merely flat. Step back to the
+      // size that produced the best measurement and stop there.
+      current_ = std::max(current_ / 2, cfg_.min_size);
+      ++shrinks_;
+      clamp_to_limit();
+      converged_ = true;
+    } else {
+      // The per-element curve flattened: the device is full. This is the
+      // occupancy break-even the paper found by hand at ~31 lines.
+      converged_ = true;
+    }
+    return;
+  }
+  // Post-rejection additive probing toward the refined limit.
+  if (current_ >= limit_) {
+    converged_ = true;
+    return;
+  }
+  current_ = std::min(current_ + cfg_.add_step, limit_);
+  ++grows_;
+}
+
+void AimdBatchSizer::on_reject() {
+  ++rejects_;
+  slow_start_ = false;
+  converged_ = false;
+  best_unit_cost_ = -1.0;
+  // The rejected size is known bad; cap probing strictly below it so the
+  // grow/reject cycle cannot repeat at the same size.
+  const std::uint64_t rejected = current_;
+  limit_ = std::min(limit_, rejected > cfg_.add_step ? rejected - cfg_.add_step
+                                                     : cfg_.min_size);
+  limit_ = std::max(limit_, cfg_.min_size);
+  current_ = std::max(rejected / 2, cfg_.min_size);
+  ++shrinks_;
+  clamp_to_limit();
+  if (current_ >= limit_) converged_ = true;
+}
+
+}  // namespace hs::sched

@@ -1,0 +1,217 @@
+// hs::sched — adaptive heterogeneous scheduling.
+//
+// The paper's GPU results encode two hand-tuned constants: 32-line mandel
+// batches (Fig. 1, chosen because ~31 lines fill a Titan XP at dim=2000)
+// and the 1 MB dedup batch OpenCL fell back to when 10 MB batches exhausted
+// device memory (§V-B). Fig. 4 also shows the single-threaded GPU versions
+// *losing* throughput when a second GPU is added — static round-robin
+// assignment keeps feeding a device that is already behind.
+//
+// This module replaces both constants and the static assignment with
+// feedback loops:
+//
+//   DeviceLoadTracker — per-device in-flight counts plus an EWMA of observed
+//     service time. Workers ask it for the least-loaded live device instead
+//     of binding to `replica_id % devices`; an idle device steals work from
+//     a loaded one, and a lost device (fault injection) is excluded so its
+//     queue drains through the stealing path.
+//
+//   AimdBatchSizer — slow-start growth (double while measured per-element
+//     cost keeps improving) recovers the occupancy break-even that made the
+//     paper pick 32 lines; a memory rejection (gpusim::Device::malloc
+//     failing OUT_OF_MEMORY) triggers multiplicative decrease and converts
+//     growth to additive probing below the rejected size, converging just
+//     under the device memory ceiling instead of falling back to a
+//     hardcoded 1 MB.
+//
+// Decisions are observable: pick/steal/grow/shrink counters and per-device
+// inflight/EWMA gauges can be bound to a telemetry::Registry, and steals
+// emit "sched.steal" trace spans.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs::telemetry {
+class Registry;
+class Counter;
+class Gauge;
+}  // namespace hs::telemetry
+
+namespace hs::sched {
+
+/// Scheduling mode selected by the benches' --sched= flag. kStatic keeps
+/// the historical behavior (per-replica device binding, fixed batch sizes)
+/// bit-for-bit; kAdaptive enables the feedback loops in this module.
+enum class SchedMode { kStatic, kAdaptive };
+
+[[nodiscard]] Result<SchedMode> parse_sched_mode(std::string_view text);
+[[nodiscard]] const char* to_string(SchedMode mode);
+
+/// Per-device view returned by DeviceLoadTracker::snapshot().
+struct DeviceSnapshot {
+  int inflight = 0;
+  double ewma_seconds = 0.0;  // 0 until the first completion
+  std::uint64_t completed = 0;
+  bool excluded = false;
+};
+
+/// Tracks in-flight work and observed service time per device and picks the
+/// least-loaded live device. Thread-safe: the functional pipelines call it
+/// from every farm worker. The hot path is one mutex acquisition per item —
+/// items here are batch-of-blocks or line renders (micro- to milliseconds),
+/// so a mutex is cheaper than getting lock-free bookkeeping wrong.
+class DeviceLoadTracker {
+ public:
+  /// `ewma_alpha` weights the newest observation; 0.25 ~ averaging the last
+  /// few batches, enough to follow a device that slows down (contention,
+  /// fault retries) without thrashing on noise.
+  explicit DeviceLoadTracker(int devices, double ewma_alpha = 0.25);
+
+  [[nodiscard]] int device_count() const {
+    return static_cast<int>(devices_.size());
+  }
+
+  /// Least-loaded pick: minimizes (inflight + 1) * ewma over live devices
+  /// (an unmeasured device scores 0 so every device gets primed once; ties
+  /// break to the lowest index). Registers one in-flight unit on the winner.
+  /// Returns -1 when every device is excluded.
+  int acquire();
+
+  /// Sticky variant for workers that keep per-device scratch: returns
+  /// `current` unless it is excluded (forced migration) or another live
+  /// device is idle while `current` already has work in flight — then the
+  /// idle device steals the item. Registers in-flight on the winner; counts
+  /// a steal when the result differs from a live `current`.
+  int acquire_preferring(int current);
+
+  /// Completion: drops the in-flight unit and folds `service_seconds` into
+  /// the device's EWMA.
+  void release(int device, double service_seconds);
+
+  /// Drops the in-flight unit without a service observation (the attempt
+  /// failed; do not poison the EWMA with a retry storm's latency).
+  void abandon(int device);
+
+  /// Moves one in-flight unit from `from` to `to` — a worker migrated an
+  /// item off a lost device mid-service.
+  void transfer(int from, int to);
+
+  /// Marks a device lost: never picked again, pending releases still
+  /// accepted. Idempotent.
+  void exclude(int device);
+  [[nodiscard]] bool is_excluded(int device) const;
+
+  [[nodiscard]] DeviceSnapshot snapshot(int device) const;
+  [[nodiscard]] std::uint64_t picks() const;
+  [[nodiscard]] std::uint64_t steals() const;
+
+  /// Publishes decisions to `registry` under `prefix`: counters
+  /// `<prefix>.picks` / `<prefix>.steals`, per-device gauges
+  /// `<prefix>.d<N>.inflight` / `<prefix>.d<N>.ewma_ms` and counters
+  /// `<prefix>.d<N>.items`. Pass nullptr to detach.
+  void bind_metrics(telemetry::Registry* registry, std::string_view prefix);
+
+ private:
+  struct PerDevice {
+    int inflight = 0;
+    double ewma_seconds = 0.0;
+    std::uint64_t completed = 0;
+    bool excluded = false;
+    telemetry::Gauge* inflight_gauge = nullptr;
+    telemetry::Gauge* ewma_gauge = nullptr;
+    telemetry::Counter* items = nullptr;
+  };
+
+  int pick_locked(int preferred);
+  void publish_locked(int device);
+
+  mutable std::mutex mu_;
+  std::vector<PerDevice> devices_;
+  double alpha_;
+  std::uint64_t picks_ = 0;
+  std::uint64_t steals_ = 0;
+  telemetry::Counter* picks_counter_ = nullptr;
+  telemetry::Counter* steals_counter_ = nullptr;
+};
+
+/// Configuration for AimdBatchSizer. Sizes are in caller units — lines for
+/// the mandel pipelines, bytes for dedup batches.
+struct AimdConfig {
+  std::uint64_t min_size = 1;
+  std::uint64_t max_size = std::uint64_t{1} << 62;  // hard cap from the caller
+  std::uint64_t initial = 1;
+  /// Additive step used once a memory rejection ends slow-start. Keep it at
+  /// the workload's natural granularity (1 line, 64 kB of blocks, ...).
+  std::uint64_t add_step = 1;
+  /// Slow-start keeps doubling while per-element cost improves by more than
+  /// this fraction; below it the curve has flattened (device full).
+  double improve_eps = 0.02;
+  /// Step back to the previous size before converging when a doubling makes
+  /// per-element cost strictly worse (by > improve_eps). Enable only when
+  /// elements are homogeneous (dedup's fixed-size batches); with
+  /// position-dependent element costs (mandel lines near the set) a
+  /// regression usually means the larger batch hit expensive elements, not
+  /// that the size is wrong, so the default holds at the last size instead.
+  bool backoff_on_regress = false;
+};
+
+/// Additive-increase/multiplicative-decrease batch sizing with a slow-start
+/// ramp, driven by two signals: measured per-element cost (on_success) and
+/// device memory rejections (on_reject). Deterministic: the same sequence
+/// of observations yields the same sizes, so modeled runs stay reproducible.
+///
+/// Not thread-safe; each modeled run or pipeline owns one instance (guard it
+/// yourself if workers share it).
+class AimdBatchSizer {
+ public:
+  explicit AimdBatchSizer(AimdConfig cfg);
+
+  [[nodiscard]] std::uint64_t current() const { return current_; }
+  [[nodiscard]] bool converged() const { return converged_; }
+
+  /// Largest size currently believed to fit: cfg.max_size until a rejection
+  /// refines it downward.
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+
+  /// A batch of current() elements completed at `unit_cost` per element
+  /// (any consistent unit — modeled seconds, wall seconds). Slow-start:
+  /// double while cost improves by > improve_eps, else hold (converged);
+  /// with backoff_on_regress, a doubling that made cost strictly worse
+  /// steps back to the previous size before converging. After a rejection:
+  /// additive growth toward limit().
+  void on_success(double unit_cost);
+
+  /// current() did not fit in device memory. Multiplicative decrease (halve)
+  /// and refine limit() to just below the rejected size; future growth is
+  /// additive. Each distinct rejection lowers limit() by at least add_step,
+  /// so probing terminates.
+  void on_reject();
+
+  [[nodiscard]] std::uint64_t grows() const { return grows_; }
+  [[nodiscard]] std::uint64_t shrinks() const { return shrinks_; }
+  [[nodiscard]] std::uint64_t rejects() const { return rejects_; }
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+
+ private:
+  void clamp_to_limit();
+
+  AimdConfig cfg_;
+  std::uint64_t current_;
+  std::uint64_t limit_;
+  double best_unit_cost_ = -1.0;  // <0: no observation yet
+  bool slow_start_ = true;
+  bool converged_ = false;
+  std::uint64_t grows_ = 0;
+  std::uint64_t shrinks_ = 0;
+  std::uint64_t rejects_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace hs::sched

@@ -266,6 +266,71 @@ TEST(CliTest, FallbacksOnMissingOrMalformed) {
   EXPECT_EQ(args.value().get_double("nope", 1.5), 1.5);
 }
 
+TEST(CliTest, ValidatedIntRejectsZeroNegativeAndGarbage) {
+  auto v = argv_of({"--workers=0", "--batch-lines=-4", "--tokens=abc",
+                    "--replicas=19"});
+  auto args = CliArgs::Parse(static_cast<int>(v.size()), v.data());
+  ASSERT_TRUE(args.ok());
+  const CliArgs& a = args.value();
+
+  auto workers = a.get_positive_int("workers", 20);
+  ASSERT_FALSE(workers.ok());
+  EXPECT_EQ(workers.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(workers.status().message().find("--workers=0"),
+            std::string::npos);
+
+  auto batch = a.get_positive_int("batch-lines", 32);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().message().find("must be >= 1"), std::string::npos);
+
+  auto tokens = a.get_positive_int("tokens", 38);
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("not an integer"),
+            std::string::npos);
+
+  auto replicas = a.get_positive_int("replicas", 1);
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_EQ(replicas.value(), 19);
+
+  // Absent flags keep the fallback without validation fuss.
+  auto absent = a.get_positive_int("absent", 7);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_EQ(absent.value(), 7);
+}
+
+TEST(CliTest, ValidatedIntHonorsRange) {
+  auto v = argv_of({"--devices=5"});
+  auto args = CliArgs::Parse(static_cast<int>(v.size()), v.data());
+  ASSERT_TRUE(args.ok());
+  auto devices = args.value().get_int_in_range("devices", 1, 1, 4);
+  ASSERT_FALSE(devices.ok());
+  EXPECT_NE(devices.status().message().find("<= 4"), std::string::npos);
+  auto ok = args.value().get_int_in_range("devices", 1, 1, 8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+}
+
+TEST(CliTest, ValidatedBytesRejectsZeroAndGarbage) {
+  auto v = argv_of({"--batch-size=0", "--input-size=12parsecs",
+                    "--device-mem=1GiB"});
+  auto args = CliArgs::Parse(static_cast<int>(v.size()), v.data());
+  ASSERT_TRUE(args.ok());
+  const CliArgs& a = args.value();
+
+  auto batch = a.get_positive_bytes("batch-size", 1 << 20);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(batch.status().message().find("--batch-size=0"),
+            std::string::npos);
+
+  auto input = a.get_positive_bytes("input-size", 1);
+  ASSERT_FALSE(input.ok());
+
+  auto mem = a.get_positive_bytes("device-mem", 1);
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ(mem.value(), 1024ull * 1024 * 1024);
+}
+
 // ---- table --------------------------------------------------------------------
 
 TEST(TableTest, RendersAlignedAscii) {

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -205,6 +206,63 @@ TEST(SpscQueueTest, ConcurrentBatchFifoProperty) {
     for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], expected++);
   }
   producer.join();
+}
+
+TEST(SpscQueueTest, CapacityRoundingClampsAtOverflowBoundary) {
+  // The round-up loop (`cap <<= 1`) used to wrap to 0 and spin forever for
+  // requests above SIZE_MAX/2 + 1. The helper must clamp instead.
+  constexpr std::size_t kMax = SpscQueue<int>::kMaxCapacity;
+  static_assert(kMax == (std::numeric_limits<std::size_t>::max() >> 1) + 1);
+  EXPECT_EQ(SpscQueue<int>::rounded_capacity(0), 2u);
+  EXPECT_EQ(SpscQueue<int>::rounded_capacity(2), 2u);
+  EXPECT_EQ(SpscQueue<int>::rounded_capacity(kMax), kMax);
+  EXPECT_EQ(SpscQueue<int>::rounded_capacity(kMax - 1), kMax);
+  EXPECT_EQ(SpscQueue<int>::rounded_capacity(kMax + 1), kMax);
+  EXPECT_EQ(SpscQueue<int>::rounded_capacity(
+                std::numeric_limits<std::size_t>::max()),
+            kMax);
+}
+
+TEST(SpscQueueTest, SizeApproxNeverUnderflowsAgainstConcurrentPop) {
+  // Regression: size_approx() loaded tail_ before head_, so a pop advancing
+  // head between the two loads made `tail - head` wrap to a near-2^64 value
+  // (seen by QueueDepthSampler as an absurd queue depth). Hammer pops against
+  // a sampling thread; any sample above capacity() is the bug.
+  constexpr int kCount = 200000;
+  SpscQueue<int> q(16);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> worst{0};
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::size_t depth = q.size_approx();
+      std::size_t prev = worst.load(std::memory_order_relaxed);
+      while (depth > prev &&
+             !worst.compare_exchange_weak(prev, depth,
+                                          std::memory_order_relaxed)) {
+      }
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < kCount;) {
+      if (q.try_push(int{i})) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int out = 0;
+  for (int popped = 0; popped < kCount;) {
+    if (q.try_pop(out)) {
+      ++popped;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_LE(worst.load(), q.capacity());
 }
 
 // ---- Item ---------------------------------------------------------------------
