@@ -92,8 +92,10 @@ int run_fault_demo(const std::string& spec, kernels::MandelParams params,
   cudax::bind_machine(machine.get());
   RetryStats stats;
   sched::DeviceLoadTracker tracker(machine->device_count());
+  flow::FailureReport failures;
   auto faulty = mandel::render_spar_cuda(params, 4, *machine, &stats, {},
-                                         adaptive ? &tracker : nullptr);
+                                         adaptive ? &tracker : nullptr,
+                                         &failures);
   cudax::unbind_machine();
 
   std::cout << "\n--faults=" << spec << " (dim=" << params.dim
@@ -116,6 +118,13 @@ int run_fault_demo(const std::string& spec, kernels::MandelParams params,
   if (faulty.value() != clean.value()) {
     std::cerr << "[bench] FAULT DEMO MISMATCH: image differs from fault-free "
                  "run\n";
+    return 1;
+  }
+  if (!failures.ok()) {
+    // The retry ladder is supposed to absorb every injected fault; a stage
+    // failure on record means something went unrecovered.
+    std::cerr << "[bench] unrecovered stage failures: " << failures.ToString()
+              << "\n";
     return 1;
   }
   std::cout << "  image bit-exact vs fault-free run: OK\n";

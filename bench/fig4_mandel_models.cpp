@@ -53,7 +53,9 @@ int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
   cudax::bind_machine(machine.get());
   benchtool::begin_telemetry_capture(outs);
   auto tbb_image = mandel::render_taskx(params, 4, 8);
-  auto spar_image = mandel::render_spar_cuda(params, 4, *machine);
+  flow::FailureReport failures;
+  auto spar_image = mandel::render_spar_cuda(params, 4, *machine, nullptr, {},
+                                             nullptr, &failures);
   int rc = benchtool::end_telemetry_capture(outs);
   cudax::unbind_machine();
   for (const auto* image : {&tbb_image, &spar_image}) {
@@ -62,6 +64,11 @@ int run_telemetry_demo(const benchtool::TelemetryOutputs& outs,
                 << image->status().ToString() << "\n";
       return 1;
     }
+  }
+  if (!failures.ok()) {
+    std::cerr << "[bench] unrecovered stage failures: " << failures.ToString()
+              << "\n";
+    return 1;
   }
   if (tbb_image.value() != spar_image.value()) {
     std::cerr << "[bench] telemetry demo: taskx and spar+cuda images "

@@ -87,8 +87,10 @@ int run_fault_demo(const std::string& spec, dedup::DedupConfig config,
   RetryStats stats;
   sched::DeviceLoadTracker tracker(machine->device_count());
   const bool adaptive = mode == sched::SchedMode::kAdaptive;
+  flow::FailureReport failures;
   auto archive = dedup::archive_spar_cuda(input, config, 4, *machine, &stats,
-                                          {}, adaptive ? &tracker : nullptr);
+                                          {}, adaptive ? &tracker : nullptr,
+                                          &failures);
   cudax::unbind_machine();
 
   std::cout << "\n--faults=" << spec << " ("
@@ -119,6 +121,13 @@ int run_fault_demo(const std::string& spec, dedup::DedupConfig config,
   if (!roundtrip.ok() || roundtrip.value() != input) {
     std::cerr << "[bench] FAULT DEMO MISMATCH: archive does not extract to "
                  "the input\n";
+    return 1;
+  }
+  if (!failures.ok()) {
+    // The retry ladder is supposed to absorb every injected fault; a stage
+    // failure on record means something went unrecovered.
+    std::cerr << "[bench] unrecovered stage failures: " << failures.ToString()
+              << "\n";
     return 1;
   }
   std::cout << "  archive bit-exact and extracts to the input: OK\n";

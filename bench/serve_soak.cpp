@@ -1,0 +1,441 @@
+// Chaos-soak harness for the serve layer: open-loop Poisson/bursty load
+// against the multi-tenant Service, with fault injection and the adaptive
+// scheduler running simultaneously.
+//
+// Three phases:
+//   1. calibrate — closed-loop measurement of the per-job service time on a
+//      clean machine; saturation ~= workers / t_job.
+//   2. curve     — open-loop runs at 0.25x..2x saturation, recording the
+//      tail latency of accepted jobs plus shed / deadline-miss counts
+//      (the tail-latency-vs-offered-load curve).
+//   3. soak      — --duration seconds at 2x saturation with --faults
+//      injected on every device for the first 70% of the run (the chaos
+//      window), then cleared so tripped breakers must recover to closed.
+//
+// Exit is non-zero when the soak violates its envelope: pipeline failure,
+// breaker stuck open after the chaos window, no shedding at 2x overload,
+// or an unbounded accepted-job p99. Results land in --json (default
+// BENCH_serve.json); --trace/--metrics capture the usual telemetry.
+//
+// Examples:
+//   serve_soak --quick
+//   serve_soak --duration=30 --faults=launch.p=0.02,alloc.p=0.01 \
+//              --sched=adaptive --json=BENCH_serve.json
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "cudax/cudax.hpp"
+#include "datagen/corpus.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/fault_plan.hpp"
+#include "serve/service.hpp"
+
+namespace hs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SoakOptions {
+  int devices = 2;
+  int workers = 4;
+  int tenants = 3;
+  double duration_s = 10.0;       ///< soak phase
+  double curve_point_s = 1.0;     ///< per curve point
+  bool skip_curve = false;
+  std::string faults;             ///< FaultPlan spec applied to every device
+  double fault_window = 0.7;      ///< fraction of the soak with faults live
+  sched::SchedMode sched = sched::SchedMode::kStatic;
+  bool bursty = false;            ///< Poisson bursts of `burst` arrivals
+  int burst = 8;
+  int dim = 32;                   ///< mandel job frame
+  int niter = 300;
+  std::uint64_t payload_bytes = 48 * 1024;  ///< dedup job input
+  double deadline_ms = 0;         ///< 0 = auto (20x calibrated job time)
+  std::uint64_t seed = 42;
+  std::string json_path = "BENCH_serve.json";
+};
+
+struct PhaseResult {
+  double offered_mult = 0;   ///< offered load as a multiple of saturation
+  double offered_rate = 0;   ///< jobs/s
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_miss = 0;
+  std::uint64_t cpu_jobs = 0;
+  std::uint64_t breaker_trips = 0;
+  int breakers_open_end = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  std::string failure;
+};
+
+serve::JobRequest make_job(const SoakOptions& opt,
+                           const std::vector<std::uint8_t>& payload,
+                           std::uint64_t n) {
+  serve::JobRequest req;
+  if (n % 2 == 0) {
+    req.kind = serve::JobKind::kMandel;
+    req.mandel.dim = opt.dim;
+    req.mandel.niter = opt.niter;
+  } else {
+    req.kind = serve::JobKind::kDedup;
+    req.payload = payload;
+    req.dedup.batch_size = 16 * 1024;
+  }
+  return req;
+}
+
+serve::ServiceConfig service_config(const SoakOptions& opt,
+                                    telemetry::Registry* reg,
+                                    std::uint64_t deadline_ns) {
+  serve::ServiceConfig cfg;
+  cfg.workers = opt.workers;
+  cfg.sched = opt.sched;
+  cfg.registry = reg;
+  cfg.default_deadline_ns = deadline_ns;
+  // Keep total standing work (tenant watermarks + flow queue) below what
+  // the deadline budget can absorb, so queue-depth admission control — not
+  // just deadline expiry — is what bounds the backlog under overload.
+  cfg.tenant_queue_capacity = 16;
+  cfg.queue_capacity = static_cast<std::size_t>(opt.workers) * 4;
+  // Latency watermark: shed while the windowed p99 exceeds the deadline
+  // budget (the point where accepted work is mostly wasted anyway).
+  cfg.p99_shed_budget_ns = deadline_ns;
+  cfg.retry.base_delay = std::chrono::microseconds(20);
+  cfg.retry.max_delay = std::chrono::microseconds(2000);
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.cooldown = std::chrono::milliseconds(5);
+  return cfg;
+}
+
+/// Closed-loop: measures the mean per-job wall time on a clean machine.
+double calibrate_job_seconds(const SoakOptions& opt,
+                             const std::vector<std::uint8_t>& payload) {
+  auto machine = gpusim::Machine::Create(opt.devices,
+                                         gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  telemetry::Registry reg;
+  serve::Service service(machine.get(), service_config(opt, &reg, 0));
+  if (!service.start().ok()) {
+    std::fprintf(stderr, "[soak] calibrate: service failed to start\n");
+    std::exit(1);
+  }
+  constexpr int kJobs = 16;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kJobs; ++i) {
+    auto r = service.submit("calibrate",
+                            make_job(opt, payload,
+                                     static_cast<std::uint64_t>(i)));
+    if (!r.accepted()) {
+      std::fprintf(stderr, "[soak] calibrate: submission rejected\n");
+      std::exit(1);
+    }
+    (void)r.result.get();
+  }
+  const std::chrono::duration<double> dt = Clock::now() - t0;
+  (void)service.stop();
+  cudax::unbind_machine();
+  return dt.count() / kJobs;
+}
+
+/// Open-loop phase driver: Poisson (or bursty) arrivals at `rate` jobs/s
+/// for `seconds`, against a fresh machine. `fault_spec` (if any) is armed
+/// on every device and cleared after `fault_window` of the phase.
+PhaseResult run_open_loop(const SoakOptions& opt,
+                          const std::vector<std::uint8_t>& payload,
+                          double rate, double seconds,
+                          const std::string& fault_spec, double fault_window,
+                          std::uint64_t deadline_ns, const char* label) {
+  PhaseResult out;
+  out.offered_rate = rate;
+  auto machine = gpusim::Machine::Create(opt.devices,
+                                         gpusim::DeviceSpec::TitanXP());
+  if (!fault_spec.empty()) {
+    for (int d = 0; d < machine->device_count(); ++d) {
+      // Decorrelate the per-device fault streams unless the spec pins one.
+      std::string spec = fault_spec;
+      if (spec.find("seed=") == std::string::npos) {
+        spec = "seed=" + std::to_string(opt.seed + 100 + static_cast<std::uint64_t>(d)) +
+               "," + spec;
+      }
+      auto plan = gpusim::FaultPlan::Parse(spec);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "[soak] bad --faults spec: %s\n",
+                     plan.status().ToString().c_str());
+        std::exit(1);
+      }
+      machine->device(d).set_fault_plan(std::move(plan).value());
+    }
+  }
+  cudax::bind_machine(machine.get());
+  telemetry::Registry reg;
+  serve::Service service(machine.get(),
+                         service_config(opt, &reg, deadline_ns));
+  if (!service.start().ok()) {
+    std::fprintf(stderr, "[soak] %s: service failed to start\n", label);
+    std::exit(1);
+  }
+
+  Xoshiro256 rng(opt.seed ^ 0x5048415345ull);
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(seconds));
+  const auto chaos_end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds * fault_window));
+  bool chaos_cleared = fault_spec.empty();
+  double next_arrival = 0;  // seconds since start
+  std::uint64_t n = 0;
+  while (Clock::now() < deadline) {
+    if (!chaos_cleared && Clock::now() >= chaos_end) {
+      // Close the chaos window: the remaining run must let every tripped
+      // breaker probe its device back to closed.
+      for (int d = 0; d < machine->device_count(); ++d) {
+        machine->device(d).clear_fault_plan();
+      }
+      chaos_cleared = true;
+    }
+    const int arrivals = opt.bursty ? opt.burst : 1;
+    for (int k = 0; k < arrivals; ++k) {
+      const std::string tenant =
+          "tenant-" + std::to_string(n % static_cast<std::uint64_t>(opt.tenants));
+      auto r = service.submit(tenant, make_job(opt, payload, n),
+                              /*want_result=*/false);
+      (void)r;
+      ++n;
+    }
+    // Poisson inter-arrival for the next batch (bursty mode stretches the
+    // gap by the burst size so the mean offered rate stays `rate`).
+    const double u = std::max(rng.uniform(), 1e-12);
+    next_arrival += -std::log(u) / rate * arrivals;
+    const auto wake = start + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(next_arrival));
+    std::this_thread::sleep_until(std::min(wake, deadline));
+  }
+  Status run = service.stop();
+  cudax::unbind_machine();
+
+  const auto stats = service.stats();
+  out.submitted = stats.submitted;
+  out.accepted = stats.accepted;
+  out.shed = stats.shed;
+  out.completed = stats.completed;
+  out.deadline_miss = stats.deadline_miss;
+  out.cpu_jobs = stats.cpu_jobs;
+  out.breaker_trips = stats.breaker_trips;
+  out.breakers_open_end = stats.breakers_open;
+  const auto lat = service.latency();
+  out.p50_ms = lat.p50() / 1e6;
+  out.p95_ms = lat.p95() / 1e6;
+  out.p99_ms = lat.p99() / 1e6;
+  if (!run.ok()) out.failure = run.ToString();
+  const std::string stage_failures = service.failure_summary();
+  if (!stage_failures.empty()) {
+    out.failure += out.failure.empty() ? stage_failures : "; " + stage_failures;
+  }
+  std::fprintf(stderr,
+               "[soak] %-10s rate=%7.1f/s submitted=%llu accepted=%llu "
+               "shed=%llu miss=%llu cpu=%llu trips=%llu open@end=%d "
+               "p99=%.2fms\n",
+               label, rate, static_cast<unsigned long long>(out.submitted),
+               static_cast<unsigned long long>(out.accepted),
+               static_cast<unsigned long long>(out.shed),
+               static_cast<unsigned long long>(out.deadline_miss),
+               static_cast<unsigned long long>(out.cpu_jobs),
+               static_cast<unsigned long long>(out.breaker_trips),
+               out.breakers_open_end, out.p99_ms);
+  return out;
+}
+
+void write_json(const SoakOptions& opt, double job_s, double saturation,
+                const std::vector<PhaseResult>& curve,
+                const PhaseResult& soak) {
+  FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[soak] cannot write %s\n", opt.json_path.c_str());
+    std::exit(1);
+  }
+  auto phase_json = [&](const PhaseResult& p) {
+    std::fprintf(f,
+                 "    {\"offered_mult\": %.3f, \"offered_rate\": %.2f, "
+                 "\"submitted\": %llu, \"accepted\": %llu, \"shed\": %llu, "
+                 "\"completed\": %llu, \"deadline_miss\": %llu, "
+                 "\"cpu_jobs\": %llu, \"breaker_trips\": %llu, "
+                 "\"breakers_open_end\": %d, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"failure\": \"%s\"}",
+                 p.offered_mult, p.offered_rate,
+                 static_cast<unsigned long long>(p.submitted),
+                 static_cast<unsigned long long>(p.accepted),
+                 static_cast<unsigned long long>(p.shed),
+                 static_cast<unsigned long long>(p.completed),
+                 static_cast<unsigned long long>(p.deadline_miss),
+                 static_cast<unsigned long long>(p.cpu_jobs),
+                 static_cast<unsigned long long>(p.breaker_trips),
+                 p.breakers_open_end, p.p50_ms, p.p95_ms, p.p99_ms,
+                 p.failure.c_str());
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve_soak\",\n");
+  std::fprintf(f, "  \"devices\": %d,\n  \"workers\": %d,\n", opt.devices,
+               opt.workers);
+  std::fprintf(f, "  \"sched\": \"%s\",\n",
+               opt.sched == sched::SchedMode::kAdaptive ? "adaptive"
+                                                        : "static");
+  std::fprintf(f, "  \"faults\": \"%s\",\n", opt.faults.c_str());
+  std::fprintf(f, "  \"bursty\": %s,\n", opt.bursty ? "true" : "false");
+  std::fprintf(f, "  \"job_seconds\": %.6f,\n", job_s);
+  std::fprintf(f, "  \"saturation_jobs_per_sec\": %.2f,\n", saturation);
+  std::fprintf(f, "  \"curve\": [\n");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    phase_json(curve[i]);
+    std::fprintf(f, "%s\n", i + 1 < curve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"soak\": \n");
+  phase_json(soak);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[soak] results written to %s\n",
+               opt.json_path.c_str());
+}
+
+int run(int argc, const char** argv) {
+  auto args_or = CliArgs::Parse(argc, argv);
+  if (!args_or.ok()) {
+    std::fprintf(stderr, "serve_soak: %s\n",
+                 args_or.status().ToString().c_str());
+    return 2;
+  }
+  const CliArgs& args = args_or.value();
+  SoakOptions opt;
+  opt.devices = static_cast<int>(args.get_int("devices", opt.devices));
+  opt.workers = static_cast<int>(args.get_int("workers", opt.workers));
+  opt.tenants = static_cast<int>(args.get_int("tenants", opt.tenants));
+  opt.duration_s = args.get_double("duration", opt.duration_s);
+  opt.curve_point_s =
+      args.get_double("curve-seconds", std::max(1.0, opt.duration_s / 10.0));
+  opt.skip_curve = args.get_bool("skip-curve", false);
+  opt.faults = args.get_string("faults", "");
+  opt.fault_window = args.get_double("fault-window", opt.fault_window);
+  opt.sched = args.get_string("sched", "static") == "adaptive"
+                  ? sched::SchedMode::kAdaptive
+                  : sched::SchedMode::kStatic;
+  opt.bursty = args.get_bool("bursty", false);
+  opt.burst = static_cast<int>(args.get_int("burst", opt.burst));
+  opt.dim = static_cast<int>(args.get_int("dim", opt.dim));
+  opt.niter = static_cast<int>(args.get_int("niter", opt.niter));
+  opt.payload_bytes = args.get_bytes("payload-bytes", opt.payload_bytes);
+  opt.deadline_ms = args.get_double("deadline-ms", 0.0);
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  opt.json_path = args.get_string("json", "BENCH_serve.json");
+  if (args.get_bool("quick", false)) {
+    opt.duration_s = 3.0;
+    opt.curve_point_s = 0.5;
+  }
+
+  const auto outs = benchtool::telemetry_outputs(args);
+  if (outs.active()) benchtool::begin_telemetry_capture(outs);
+
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = opt.payload_bytes;
+  spec.seed = opt.seed;
+  const auto payload = datagen::generate(spec);
+
+  // Phase 1: calibrate.
+  const double job_s = calibrate_job_seconds(opt, payload);
+  const double saturation = static_cast<double>(opt.workers) / job_s;
+  const std::uint64_t deadline_ns =
+      opt.deadline_ms > 0
+          ? static_cast<std::uint64_t>(opt.deadline_ms * 1e6)
+          : static_cast<std::uint64_t>(20.0 * job_s * 1e9);
+  std::fprintf(stderr,
+               "[soak] calibrated job=%.3fms saturation=%.1f jobs/s "
+               "deadline=%.1fms\n",
+               job_s * 1e3, saturation,
+               static_cast<double>(deadline_ns) / 1e6);
+
+  // Phase 2: tail-latency-vs-offered-load curve (clean machine).
+  std::vector<PhaseResult> curve;
+  if (!opt.skip_curve) {
+    for (double mult : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+      PhaseResult p = run_open_loop(opt, payload, saturation * mult,
+                                    opt.curve_point_s, "", 1.0, deadline_ns,
+                                    "curve");
+      p.offered_mult = mult;
+      curve.push_back(std::move(p));
+    }
+  }
+
+  // Phase 3: chaos soak at 2x saturation with faults + scheduler together.
+  PhaseResult soak =
+      run_open_loop(opt, payload, saturation * 2.0, opt.duration_s,
+                    opt.faults, opt.fault_window, deadline_ns, "soak");
+  soak.offered_mult = 2.0;
+
+  write_json(opt, job_s, saturation, curve, soak);
+
+  int rc = 0;
+  if (!soak.failure.empty()) {
+    std::fprintf(stderr, "[soak] FAIL: pipeline failure: %s\n",
+                 soak.failure.c_str());
+    rc = 1;
+  }
+  if (soak.breakers_open_end > 0) {
+    std::fprintf(stderr,
+                 "[soak] FAIL: %d breaker(s) stuck open after the chaos "
+                 "window\n",
+                 soak.breakers_open_end);
+    rc = 1;
+  }
+  if (soak.shed == 0) {
+    std::fprintf(stderr,
+                 "[soak] FAIL: no shedding at 2x saturation (admission "
+                 "control inert)\n");
+    rc = 1;
+  }
+  if (soak.completed != soak.accepted) {
+    std::fprintf(stderr,
+                 "[soak] FAIL: accepted=%llu but completed=%llu (lost "
+                 "work)\n",
+                 static_cast<unsigned long long>(soak.accepted),
+                 static_cast<unsigned long long>(soak.completed));
+    rc = 1;
+  }
+  // "Bounded p99": accepted jobs must complete within the deadline budget
+  // plus one job of slack — queue + execution, not an open-ended backlog.
+  const double p99_bound_ms =
+      static_cast<double>(deadline_ns) / 1e6 + job_s * 1e3 + 50.0;
+  if (soak.p99_ms > p99_bound_ms) {
+    std::fprintf(stderr, "[soak] FAIL: p99 %.2fms exceeds bound %.2fms\n",
+                 soak.p99_ms, p99_bound_ms);
+    rc = 1;
+  }
+  if (outs.active()) {
+    const int trc = benchtool::end_telemetry_capture(outs);
+    if (rc == 0) rc = trc;
+  }
+  std::printf("serve_soak: %s (saturation=%.1f jobs/s, soak 2x: shed=%llu "
+              "miss=%llu trips=%llu p99=%.2fms)\n",
+              rc == 0 ? "PASS" : "FAIL", saturation,
+              static_cast<unsigned long long>(soak.shed),
+              static_cast<unsigned long long>(soak.deadline_miss),
+              static_cast<unsigned long long>(soak.breaker_trips),
+              soak.p99_ms);
+  return rc;
+}
+
+}  // namespace
+}  // namespace hs
+
+int main(int argc, const char** argv) { return hs::run(argc, argv); }

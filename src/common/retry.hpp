@@ -117,11 +117,15 @@ inline void retry_delay(const RetryPolicy& policy, int retry_index) {
 
 }  // namespace detail
 
-/// Run `op` (a callable returning Status) up to policy.max_attempts times.
-/// Non-retriable codes surface immediately. `stats` may be null.
-template <typename F>
+/// Run `op` (a callable returning Status) up to policy.max_attempts times,
+/// waiting `delay(retry_index)` between attempts (retry_index is 0-based:
+/// 0 before the first retry). Non-retriable codes surface immediately.
+/// `stats` may be null. The delay callable owns the wait entirely — pass
+/// serve::BackoffSequence-backed jitter for shared-fate retry storms, or a
+/// no-op for tests that must not sleep.
+template <typename F, typename DelayFn>
 Status retry_status(const RetryPolicy& policy, RetryStats* stats,
-                    std::string_view label, F&& op) {
+                    std::string_view label, F&& op, DelayFn&& delay) {
   Status last;
   const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -141,9 +145,20 @@ Status retry_status(const RetryPolicy& policy, RetryStats* stats,
       }
     }
     if (!can_retry) return last;
-    detail::retry_delay(policy, attempt - 1);
+    delay(attempt - 1);
   }
   return last;
+}
+
+/// Fixed-ladder form: delays follow the policy's deterministic exponential
+/// staircase (base_delay * multiplier^n, capped at max_delay).
+template <typename F>
+Status retry_status(const RetryPolicy& policy, RetryStats* stats,
+                    std::string_view label, F&& op) {
+  return retry_status(policy, stats, label, std::forward<F>(op),
+                      [&policy](int retry_index) {
+                        detail::retry_delay(policy, retry_index);
+                      });
 }
 
 }  // namespace hs

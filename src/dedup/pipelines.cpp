@@ -10,6 +10,7 @@
 #include "dedup/stages.hpp"
 #include "flow/adapters.hpp"
 #include "oclx/oclx.hpp"
+#include "serve/backoff.hpp"
 #include "spar/spar.hpp"
 #include "telemetry/span_recorder.hpp"
 
@@ -204,7 +205,17 @@ class CudaStageContext {
                    const RetryPolicy& policy,
                    sched::DeviceLoadTracker* tracker = nullptr)
       : machine_(machine), replica_(replica_id), stats_(stats),
-        policy_(policy), tracker_(tracker) {}
+        policy_(policy), tracker_(tracker),
+        backoff_(serve::BackoffPolicy{policy.base_delay, policy.max_delay},
+                 0x646564757Aull + static_cast<std::uint64_t>(replica_id)) {}
+
+  /// Retry delay hook: decorrelated jitter, restarted per operation.
+  auto jitter_delay() {
+    return [this](int retry_index) {
+      if (retry_index == 0) backoff_.reset();
+      std::this_thread::sleep_for(backoff_.next());
+    };
+  }
 
   /// Runs `gpu_pass` (the complete per-batch device sequence, returning
   /// Status; must be idempotent) under the retry policy, migrating across
@@ -217,7 +228,8 @@ class CudaStageContext {
     }
     while (true) {
       (void)cudax::cudaSetDevice(device_);
-      Status s = retry_status(policy_, stats_, label, gpu_pass);
+      Status s =
+          retry_status(policy_, stats_, label, gpu_pass, jitter_delay());
       if (s.ok() || s.code() != ErrorCode::kUnavailable) return s;
       // Device lost: its allocations are gone; migrate to a survivor.
       if (stats_ != nullptr) {
@@ -262,7 +274,8 @@ class CudaStageContext {
     const auto t0 = std::chrono::steady_clock::now();
     while (true) {
       (void)cudax::cudaSetDevice(device_);
-      Status s = retry_status(policy_, stats_, label, gpu_pass);
+      Status s =
+          retry_status(policy_, stats_, label, gpu_pass, jitter_delay());
       if (s.ok()) {
         const std::chrono::duration<double> dt =
             std::chrono::steady_clock::now() - t0;
@@ -338,7 +351,7 @@ class CudaStageContext {
       const int d = gpusim::pick_surviving_device(*machine_, start);
       if (d < 0) return false;
       Status s = retry_status(policy_, stats_, "dedup.setup",
-                              [&] { return setup_on(d); });
+                              [&] { return setup_on(d); }, jitter_delay());
       if (s.ok()) {
         device_ = d;
         ready_ = true;
@@ -376,6 +389,7 @@ class CudaStageContext {
   RetryStats* stats_;
   RetryPolicy policy_;
   sched::DeviceLoadTracker* tracker_ = nullptr;
+  serve::BackoffSequence backoff_;
   int device_ = -1;
   int stream_device_ = -1;  ///< device the live stream_ was created on
   bool ready_ = false;
@@ -651,7 +665,8 @@ class CudaCompressWorker final : public flow::Node {
 Result<std::vector<std::uint8_t>> archive_spar_cuda(
     std::span<const std::uint8_t> input, const DedupConfig& config,
     int replicas, gpusim::Machine& machine, RetryStats* stats,
-    const RetryPolicy& policy, sched::DeviceLoadTracker* tracker) {
+    const RetryPolicy& policy, sched::DeviceLoadTracker* tracker,
+    flow::FailureReport* failures) {
   if (machine.device_count() == 0) {
     return InvalidArgument("machine has no devices");
   }
@@ -681,7 +696,9 @@ Result<std::vector<std::uint8_t>> archive_spar_cuda(
     if (!s.ok() && append_status.ok()) append_status = s;
     pool.release(std::move(batch));
   });
-  HS_RETURN_IF_ERROR(region.run());
+  Status run_status = region.run();
+  if (failures != nullptr) *failures = region.failure_report();
+  HS_RETURN_IF_ERROR(run_status);
   if (!append_status.ok()) return append_status;
   return writer.finish(input_digest(input));
 }

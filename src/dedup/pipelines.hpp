@@ -72,11 +72,15 @@ Result<std::vector<std::uint8_t>> archive_spar_cpu(
 /// round-robin is replaced by least-loaded selection with idle-device
 /// stealing; lost devices are excluded tracker-wide so their queued batches
 /// drain through the survivors. The archive bytes are identical either way.
+/// With `failures` set, the region's full per-stage failure report is
+/// copied out after the run (empty on clean runs) — callers can flag
+/// unrecovered stage failures even when a partial archive was produced.
 Result<std::vector<std::uint8_t>> archive_spar_cuda(
     std::span<const std::uint8_t> input, const DedupConfig& config,
     int replicas, gpusim::Machine& machine, RetryStats* stats = nullptr,
     const RetryPolicy& policy = {},
-    sched::DeviceLoadTracker* tracker = nullptr);
+    sched::DeviceLoadTracker* tracker = nullptr,
+    flow::FailureReport* failures = nullptr);
 
 /// Single-host-thread OpenCL-shim version. `batched_kernel` selects the
 /// paper's optimized single FindMatch kernel per batch (true) or the

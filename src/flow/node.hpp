@@ -52,6 +52,9 @@ class OutPort {
 struct NodeStats {
   std::uint64_t items_in = 0;
   std::uint64_t items_out = 0;
+  /// Items this stage skipped (forwarded unserviced) because their deadline
+  /// had already passed when they reached the stage boundary.
+  std::uint64_t deadline_drops = 0;
   double busy_seconds = 0;
 };
 

@@ -419,13 +419,20 @@ class SourceUnit final : public Unit {
 class StageUnit final : public Unit {
  public:
   StageUnit(std::string name, RunState* state, bool collect_stats, Node* node,
-            Channel* in, Router router, bool propagate_seq, int replica_id)
+            Channel* in, Router router, bool propagate_seq, int replica_id,
+            bool is_sink = false)
       : Unit(std::move(name), state, collect_stats),
         node_(node),
         in_(in),
         router_(std::move(router)),
         propagate_seq_(propagate_seq),
-        replica_id_(replica_id) {}
+        replica_id_(replica_id),
+        is_sink_(is_sink) {}
+
+  /// Counter for deadline-expired items this stage skipped (may be null).
+  void set_deadline_counter(telemetry::Counter* counter) {
+    deadline_counter_ = counter;
+  }
 
   void run() override {
     NodeAccess::bind(*node_, &router_, /*emit_allowed=*/!propagate_seq_);
@@ -450,6 +457,27 @@ class StageUnit final : public Unit {
         ++stats_.items_in;
         count_item();
         std::uint64_t seq = env.seq;
+        // Deadline budget: an expired item is not serviced by a non-sink
+        // stage — it is forwarded unchanged (sequence preserved) so the
+        // sink can complete its ticket as a miss, and counted once, by the
+        // first stage that saw the deadline pass. Items without a deadline
+        // (deadline_ns == 0, every pre-serve caller) cost one branch.
+        if (env.item.deadline_ns() != 0 && !is_sink_) {
+          if (!env.item.deadline_expired() &&
+              deadline_clock_now() > env.item.deadline_ns()) {
+            env.item.mark_deadline_expired();
+            ++stats_.deadline_drops;
+            if (deadline_counter_ != nullptr) deadline_counter_->add(1);
+          }
+          if (env.item.deadline_expired()) {
+            Envelope fwd;
+            fwd.kind = EnvKind::kItem;
+            fwd.seq = propagate_seq_ ? seq : router_.take_seq();
+            fwd.item = std::move(env.item);
+            if (!router_.route(std::move(fwd))) running = false;
+            continue;
+          }
+        }
         SvcResult r =
             guarded_svc([&] { return node_->svc(std::move(env.item)); });
         if (r.kind == SvcResult::Kind::kEos) {
@@ -484,6 +512,8 @@ class StageUnit final : public Unit {
   Router router_;
   bool propagate_seq_;
   int replica_id_;
+  bool is_sink_;
+  telemetry::Counter* deadline_counter_ = nullptr;
 };
 
 /// Farm front-end: stamps sequence numbers and schedules items to workers.
@@ -639,6 +669,7 @@ struct RunCore {
   telemetry::StreamInstrumentation instr;
   telemetry::Counter* queue_full_counter = nullptr;
   telemetry::Counter* watchdog_counter = nullptr;
+  telemetry::Counter* deadline_counter = nullptr;
   std::vector<std::uint64_t> sampler_ids;
 
   // Completion signalling for run_and_wait's supervision loop.
@@ -793,6 +824,8 @@ Status Pipeline::run_and_wait() {
         core->instr.registry->counter(core->instr.prefix + ".queue_full");
     core->watchdog_counter = core->instr.registry->counter(
         core->instr.prefix + ".watchdog_aborts");
+    core->deadline_counter = core->instr.registry->counter(
+        core->instr.prefix + ".deadline_drops");
     im.straggler_counter = core->instr.registry->counter(
         core->instr.prefix + ".stragglers_detached");
   }
@@ -833,9 +866,12 @@ Status Pipeline::run_and_wait() {
         entry = nullptr;
       } else {
         Channel* in = core->new_channel(plain->name + ".in");
-        units.push_back(std::make_unique<StageUnit>(
+        auto stage_unit = std::make_unique<StageUnit>(
             plain->name, &core->state, stats, node, in,
-            std::move(router), /*propagate_seq=*/false, /*replica_id=*/0));
+            std::move(router), /*propagate_seq=*/false, /*replica_id=*/0,
+            /*is_sink=*/idx == im.stages.size() - 1);
+        stage_unit->set_deadline_counter(core->deadline_counter);
+        units.push_back(std::move(stage_unit));
         entry = in;
       }
       attach_telemetry(units.back().get(), plain->name);
@@ -863,11 +899,13 @@ Status Pipeline::run_and_wait() {
       worker_ins.push_back(win);
       auto node = farm.factory();
       assert(node && "worker factory returned null");
-      units.push_back(std::make_unique<StageUnit>(
+      auto worker_unit = std::make_unique<StageUnit>(
           worker_name, &core->state, stats, node.get(),
           win, Router({worker_outs[static_cast<std::size_t>(w)]},
                       SchedPolicy::kRoundRobin),
-          /*propagate_seq=*/farm.options.ordered, /*replica_id=*/w));
+          /*propagate_seq=*/farm.options.ordered, /*replica_id=*/w);
+      worker_unit->set_deadline_counter(core->deadline_counter);
+      units.push_back(std::move(worker_unit));
       core->nodes.push_back(std::move(node));
       attach_telemetry(units.back().get(), worker_name);
     }

@@ -85,6 +85,8 @@ struct PipelineOptions {
   /// records "<prefix>.<stage>.svc_ns" (histogram), "<prefix>.<stage>.items"
   /// (counter), a span per svc() call on the stage's thread, plus
   /// "<prefix>.queue_full" (pushes that found a queue full),
+  /// "<prefix>.deadline_drops" (items whose deadline budget expired at a
+  /// stage boundary — see Item::set_deadline_ns),
   /// "<prefix>.watchdog_aborts" / "<prefix>.stragglers_detached", and
   /// registers every channel with the sampler as "<prefix>.<queue>". The
   /// supplied registry/recorder/sampler must outlive the Pipeline.

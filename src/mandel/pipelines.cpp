@@ -9,6 +9,7 @@
 #include "flow/adapters.hpp"
 #include "flow/pipeline.hpp"
 #include "oclx/oclx.hpp"
+#include "serve/backoff.hpp"
 #include "spar/spar.hpp"
 #include "taskx/pipeline.hpp"
 #include "taskx/pool.hpp"
@@ -156,6 +157,11 @@ class CudaLineWorker final : public flow::Node {
 
   void on_init(int replica_id) override {
     replica_ = replica_id;
+    // Per-replica jitter stream: decorrelated retry delays so replicas that
+    // hit the same fault burst do not re-collide in lockstep.
+    backoff_ = serve::BackoffSequence(
+        serve::BackoffPolicy{policy_.base_delay, policy_.max_delay},
+        0x6d616e64656cull + static_cast<std::uint64_t>(replica_id));
     // Adaptive mode defers device choice to the tracker on the first item;
     // static mode keeps the paper's per-replica round-robin binding.
     if (tracker_ == nullptr) (void)try_setup(replica_id);
@@ -188,6 +194,14 @@ class CudaLineWorker final : public flow::Node {
   }
 
  private:
+  /// Retry delay hook: decorrelated jitter, restarted per operation.
+  auto jitter_delay() {
+    return [this](int retry_index) {
+      if (retry_index == 0) backoff_.reset();
+      std::this_thread::sleep_for(backoff_.next());
+    };
+  }
+
   Status render_line(Line& line) {
     if (tracker_ != nullptr) return render_line_adaptive(line);
     if (!gpu_ready_ && !try_setup(device_ >= 0 ? device_ : replica_)) {
@@ -195,7 +209,8 @@ class CudaLineWorker final : public flow::Node {
     }
     while (true) {
       Status s = retry_status(policy_, stats_, "mandel.line",
-                              [&] { return gpu_line_once(line); });
+                              [&] { return gpu_line_once(line); },
+                              jitter_delay());
       if (s.ok() || s.code() != ErrorCode::kUnavailable) return s;
       // The device died under us: drop it and migrate. pick_surviving_device
       // skips lost devices, so this loop visits each device at most once.
@@ -232,7 +247,8 @@ class CudaLineWorker final : public flow::Node {
     const auto t0 = std::chrono::steady_clock::now();
     while (true) {
       Status s = retry_status(policy_, stats_, "mandel.line",
-                              [&] { return gpu_line_once(line); });
+                              [&] { return gpu_line_once(line); },
+                              jitter_delay());
       if (s.ok()) {
         const std::chrono::duration<double> dt =
             std::chrono::steady_clock::now() - t0;
@@ -330,7 +346,7 @@ class CudaLineWorker final : public flow::Node {
       const int d = gpusim::pick_surviving_device(*machine_, start);
       if (d < 0) return false;
       Status s = retry_status(policy_, stats_, "mandel.setup",
-                              [&] { return setup_on(d); });
+                              [&] { return setup_on(d); }, jitter_delay());
       if (s.ok()) {
         device_ = d;
         gpu_ready_ = true;
@@ -370,6 +386,7 @@ class CudaLineWorker final : public flow::Node {
   RetryStats* stats_;
   RetryPolicy policy_;
   sched::DeviceLoadTracker* tracker_ = nullptr;
+  serve::BackoffSequence backoff_;
   int replica_ = 0;
   int device_ = -1;
   int stream_device_ = -1;  ///< device the live stream_ was created on
@@ -384,7 +401,7 @@ class CudaLineWorker final : public flow::Node {
 Result<std::vector<std::uint8_t>> render_spar_cuda(
     const MandelParams& params, int workers, gpusim::Machine& machine,
     RetryStats* stats, const RetryPolicy& policy,
-    sched::DeviceLoadTracker* tracker) {
+    sched::DeviceLoadTracker* tracker, flow::FailureReport* failures) {
   if (machine.device_count() == 0) {
     return InvalidArgument("machine has no devices");
   }
@@ -402,7 +419,9 @@ Result<std::vector<std::uint8_t>> render_spar_cuda(
   region.last_stage<Line>([&image, &params](Line line) {
     store_line(image, params.dim, line);
   });
-  HS_RETURN_IF_ERROR(region.run());
+  Status run_status = region.run();
+  if (failures != nullptr) *failures = region.failure_report();
+  HS_RETURN_IF_ERROR(run_status);
   return image;
 }
 

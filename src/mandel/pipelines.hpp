@@ -14,6 +14,7 @@
 
 #include "common/retry.hpp"
 #include "common/status.hpp"
+#include "flow/pipeline.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/mandel.hpp"
 #include "sched/sched.hpp"
@@ -55,10 +56,14 @@ Result<std::vector<std::uint8_t>> render_spar(const MandelParams& params,
 /// stealing: each line is routed through the tracker, service times feed its
 /// EWMA, and a lost device is excluded so queued work drains through the
 /// surviving devices. The rendered image is identical either way.
+/// With `failures` set, the region's full per-stage failure report is
+/// copied out after the run (empty on clean runs) — callers can flag
+/// unrecovered stage failures even when a full image was produced.
 Result<std::vector<std::uint8_t>> render_spar_cuda(
     const MandelParams& params, int workers, gpusim::Machine& machine,
     RetryStats* stats = nullptr, const RetryPolicy& policy = {},
-    sched::DeviceLoadTracker* tracker = nullptr);
+    sched::DeviceLoadTracker* tracker = nullptr,
+    flow::FailureReport* failures = nullptr);
 
 /// Single-host-thread OpenCL version with line batches (Listing 2 port per
 /// §IV-A), exercising platform discovery, buffers, queues and events.

@@ -1,0 +1,82 @@
+// Capped exponential backoff with decorrelated jitter for the GPU retry
+// ladder and the serve layer's own retries.
+//
+// The PR-1 recovery ladder used a fixed deterministic exponential delay
+// (common/retry.hpp detail::retry_delay). Under the serve layer that is a
+// liability: when a fault burst hits every farm worker at once, all of them
+// sleep the same 50/100/200us staircase and re-arrive at the sick device in
+// lockstep, re-colliding on every rung. Decorrelated jitter (Brooker,
+// "Exponential Backoff And Jitter") spreads the retry times:
+//
+//   delay[0]   = uniform(base, base * growth)
+//   delay[n+1] = min(cap, uniform(base, delay[n] * growth))
+//
+// which keeps the expected delay growing exponentially while the actual
+// sleep of each worker is drawn independently. The sequence is driven by
+// the repo's deterministic Xoshiro256, so a seeded run replays the same
+// delays (tests bound them; nothing about output bytes depends on timing).
+//
+// Header-only on purpose: hs_mandel/hs_dedup use it inside their recovery
+// ladders while hs_serve links *them*, so this header must not drag a
+// library dependency in the other direction.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace hs::serve {
+
+/// Shape of one retry-delay sequence. Defaults mirror RetryPolicy's fixed
+/// ladder (50us base, 5ms cap) so swapping the delay source does not change
+/// the magnitude of waits, only their distribution.
+struct BackoffPolicy {
+  std::chrono::microseconds base{50};  ///< minimum (and first-draw floor)
+  std::chrono::microseconds cap{5000};  ///< hard ceiling on any delay
+  /// Upper-bound multiplier between consecutive draws; 3.0 is the
+  /// decorrelated-jitter standard (expected growth ~2x per retry).
+  double growth = 3.0;
+};
+
+/// One decorrelated-jitter delay sequence. Not thread-safe; each worker
+/// (farm replica) owns one, seeded uniquely, and calls reset() when a fresh
+/// operation starts so the first retry of every op waits near `base`.
+class BackoffSequence {
+ public:
+  explicit BackoffSequence(BackoffPolicy policy = {}, std::uint64_t seed = 1)
+      : policy_(sanitize(policy)), rng_(seed), prev_(policy_.base) {}
+
+  /// Next delay: uniform in [base, min(cap, prev * growth)], remembered as
+  /// the new `prev`. Every value is within [base, cap] by construction.
+  [[nodiscard]] std::chrono::microseconds next() {
+    const auto base_us = static_cast<double>(policy_.base.count());
+    const auto cap_us = static_cast<double>(policy_.cap.count());
+    double hi = static_cast<double>(prev_.count()) * policy_.growth;
+    hi = std::clamp(hi, base_us, cap_us);
+    const double us = base_us + (hi - base_us) * rng_.uniform();
+    prev_ = std::chrono::microseconds(static_cast<std::int64_t>(us));
+    return prev_;
+  }
+
+  /// Restart the sequence for a new operation (the RNG stream continues, so
+  /// two ops on the same worker still draw different delays).
+  void reset() { prev_ = policy_.base; }
+
+  [[nodiscard]] const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  static BackoffPolicy sanitize(BackoffPolicy p) {
+    if (p.base.count() < 0) p.base = std::chrono::microseconds(0);
+    if (p.cap < p.base) p.cap = p.base;
+    if (p.growth < 1.0) p.growth = 1.0;
+    return p;
+  }
+
+  BackoffPolicy policy_;
+  Xoshiro256 rng_;
+  std::chrono::microseconds prev_;
+};
+
+}  // namespace hs::serve

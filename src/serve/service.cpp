@@ -1,0 +1,393 @@
+#include "serve/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "flow/item.hpp"
+#include "flow/node.hpp"
+#include "flow/pipeline.hpp"
+
+namespace hs::serve {
+
+std::string_view reject_code_name(RejectCode code) {
+  switch (code) {
+    case RejectCode::kOverload: return "overload";
+    case RejectCode::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The stream item: one accepted job riding through the pipeline.
+struct Ticket {
+  JobRequest request;
+  std::uint64_t job_id = 0;
+  std::uint64_t submit_ns = 0;
+  std::uint64_t deadline_ns = 0;  ///< absolute, 0 = none
+  std::shared_ptr<std::promise<JobResult>> promise;  ///< null = fire-and-forget
+  JobResult result;
+};
+
+}  // namespace
+
+namespace detail {
+
+struct ServiceImpl {
+  ServiceImpl(gpusim::Machine* m, ServiceConfig cfg)
+      : machine(m),
+        config(std::move(cfg)),
+        breakers(m != nullptr ? m->device_count() : 0, config.breaker,
+                 config.registry, config.prefix) {
+    if (config.workers < 1) config.workers = 1;
+    if (config.tenant_queue_capacity < 1) config.tenant_queue_capacity = 1;
+    if (config.admission_refresh < 1) config.admission_refresh = 1;
+    if (config.sched == sched::SchedMode::kAdaptive && machine != nullptr &&
+        machine->device_count() > 0) {
+      tracker.emplace(machine->device_count());
+    }
+    if (config.registry != nullptr) {
+      shed_counter = config.registry->counter(config.prefix + ".shed");
+      miss_counter = config.registry->counter(config.prefix + ".deadline_miss");
+      accepted_counter = config.registry->counter(config.prefix + ".accepted");
+      completed_counter =
+          config.registry->counter(config.prefix + ".completed");
+      latency_hist = config.registry->histogram(config.prefix + ".latency_ns");
+    }
+  }
+
+  /// Round-robin pop across tenant queues; false when all are empty.
+  bool pop_next(Ticket& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    const std::size_t n = queues.size();
+    if (n == 0) return false;
+    auto it = queues.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rr % n));
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!it->second.empty()) {
+        out = std::move(it->second.front());
+        it->second.pop_front();
+        rr = (rr % n + k + 1) % n;
+        backlog.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      ++it;
+      if (it == queues.end()) it = queues.begin();
+    }
+    return false;
+  }
+
+  gpusim::Machine* machine;
+  ServiceConfig config;
+  BreakerBoard breakers;
+  std::optional<sched::DeviceLoadTracker> tracker;
+  RetryStats retry_stats;
+
+  mutable std::mutex mu;  ///< guards queues + rr
+  std::map<std::string, std::deque<Ticket>, std::less<>> queues;
+  std::size_t rr = 0;
+
+  std::atomic<bool> running{false};
+  std::atomic<bool> draining{false};
+  bool started = false;   ///< owner-thread lifecycle state
+  bool finished = false;
+  std::atomic<std::size_t> backlog{0};
+  std::atomic<std::uint64_t> next_job_id{1};
+  std::atomic<std::uint64_t> submit_seq{0};
+  std::atomic<bool> latency_overloaded{false};
+  std::mutex admission_mu;  ///< guards latency_window_base
+  telemetry::HistogramSnapshot latency_window_base;
+
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> deadline_miss{0};
+
+  telemetry::Counter* shed_counter = nullptr;
+  telemetry::Counter* miss_counter = nullptr;
+  telemetry::Counter* accepted_counter = nullptr;
+  telemetry::Counter* completed_counter = nullptr;
+  telemetry::Histogram* latency_hist = nullptr;
+
+  std::unique_ptr<flow::Pipeline> pipeline;
+  std::thread runner;
+  Status run_status;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Pipeline source: drains the tenant queues round-robin; idles politely
+/// when empty and ends the stream once the service is draining and dry.
+class SourceNode final : public flow::Node {
+ public:
+  explicit SourceNode(detail::ServiceImpl* impl) : impl_(impl) {}
+
+  flow::SvcResult svc(flow::Item) override {
+    Ticket ticket;
+    if (impl_->pop_next(ticket)) {
+      const std::uint64_t deadline = ticket.deadline_ns;
+      flow::Item item = flow::Item::make<Ticket>(std::move(ticket));
+      if (deadline != 0) item.set_deadline_ns(deadline);
+      return flow::SvcResult::Out(std::move(item));
+    }
+    if (impl_->draining.load(std::memory_order_acquire)) {
+      return flow::SvcResult::Eos();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return flow::SvcResult::GoOn();
+  }
+
+ private:
+  detail::ServiceImpl* impl_;
+};
+
+/// Farm worker: executes the job through the JobEngine ladder. Expired
+/// items never reach svc() — the flow runtime forwards them unserviced, so
+/// an expired job never occupies a GPU slot.
+class WorkerNode final : public flow::Node {
+ public:
+  explicit WorkerNode(detail::ServiceImpl* impl) : impl_(impl) {}
+
+  void on_init(int replica_id) override {
+    engine_ = std::make_unique<JobEngine>(
+        impl_->machine, &impl_->breakers,
+        impl_->tracker.has_value() ? &*impl_->tracker : nullptr,
+        impl_->config.retry, &impl_->retry_stats, replica_id);
+  }
+
+  flow::SvcResult svc(flow::Item in) override {
+    const std::uint64_t deadline = in.deadline_ns();
+    Ticket ticket = in.take<Ticket>();
+    ticket.result = engine_->run(ticket.request);
+    flow::Item out = flow::Item::make<Ticket>(std::move(ticket));
+    // Re-arm the envelope deadline so the miss is still visible at the sink
+    // if the budget expires between here and completion.
+    if (deadline != 0) out.set_deadline_ns(deadline);
+    return flow::SvcResult::Out(std::move(out));
+  }
+
+ private:
+  detail::ServiceImpl* impl_;
+  std::unique_ptr<JobEngine> engine_;
+};
+
+/// Sink: finalizes the ticket — latency, deadline-miss accounting, promise
+/// completion — and periodically refreshes the breaker gauges.
+class SinkNode final : public flow::Node {
+ public:
+  explicit SinkNode(detail::ServiceImpl* impl) : impl_(impl) {}
+
+  flow::SvcResult svc(flow::Item in) override {
+    const bool expired = in.deadline_expired();
+    Ticket ticket = in.take<Ticket>();
+    const std::uint64_t now = flow::deadline_clock_now();
+    ticket.result.latency_ns =
+        now > ticket.submit_ns ? now - ticket.submit_ns : 0;
+    ticket.result.deadline_missed =
+        expired || (ticket.deadline_ns != 0 && now > ticket.deadline_ns);
+    if (expired) {
+      // Never executed: the runtime skipped every stage once the budget ran
+      // out, so there is no result payload to report.
+      ticket.result.status = Aborted("deadline budget exhausted in queue");
+    }
+    if (ticket.result.deadline_missed) {
+      impl_->deadline_miss.fetch_add(1, std::memory_order_relaxed);
+      if (impl_->miss_counter != nullptr) impl_->miss_counter->add(1);
+    }
+    impl_->completed.fetch_add(1, std::memory_order_relaxed);
+    if (impl_->completed_counter != nullptr) impl_->completed_counter->add(1);
+    if (impl_->latency_hist != nullptr) {
+      impl_->latency_hist->record(ticket.result.latency_ns);
+    }
+    if (ticket.promise != nullptr) {
+      ticket.promise->set_value(std::move(ticket.result));
+    }
+    if (++since_publish_ >= 64) {
+      since_publish_ = 0;
+      impl_->breakers.publish();
+    }
+    return flow::SvcResult::GoOn();
+  }
+
+  void on_end() override { impl_->breakers.publish(); }
+
+ private:
+  detail::ServiceImpl* impl_;
+  int since_publish_ = 0;
+};
+
+}  // namespace
+
+Service::Service(gpusim::Machine* machine, ServiceConfig config)
+    : impl_(std::make_unique<detail::ServiceImpl>(machine, std::move(config))) {}
+
+Service::~Service() { (void)stop(); }
+
+Status Service::start() {
+  if (impl_->started) return FailedPrecondition("service already started");
+  impl_->started = true;
+  impl_->draining.store(false, std::memory_order_release);
+
+  flow::PipelineOptions opts;
+  opts.queue_capacity = impl_->config.queue_capacity;
+  opts.telemetry.registry = impl_->config.registry;
+  opts.telemetry.spans = impl_->config.spans;
+  opts.telemetry.sampler = impl_->config.sampler;
+  opts.telemetry.prefix = impl_->config.prefix;
+  impl_->pipeline = std::make_unique<flow::Pipeline>(opts);
+  detail::ServiceImpl* impl = impl_.get();
+  impl_->pipeline->add_stage(std::make_unique<SourceNode>(impl), "ingest");
+  flow::FarmOptions farm;
+  farm.replicas = impl_->config.workers;
+  farm.ordered = false;
+  farm.policy = flow::SchedPolicy::kLeastLoaded;
+  impl_->pipeline->add_farm(
+      [impl] { return std::make_unique<WorkerNode>(impl); }, farm, "exec");
+  impl_->pipeline->add_stage(std::make_unique<SinkNode>(impl), "complete");
+
+  impl_->running.store(true, std::memory_order_release);
+  impl_->runner = std::thread([impl] {
+    Status s = impl->pipeline->run_and_wait();
+    impl->run_status = s;  // read only after join in stop()
+  });
+  return OkStatus();
+}
+
+Status Service::stop() {
+  if (!impl_->started) return OkStatus();
+  if (impl_->finished) return impl_->run_status;
+  impl_->running.store(false, std::memory_order_release);
+  impl_->draining.store(true, std::memory_order_release);
+  if (impl_->runner.joinable()) impl_->runner.join();
+  impl_->finished = true;
+  impl_->breakers.publish();
+  return impl_->run_status;
+}
+
+SubmitResult Service::submit(std::string_view tenant, JobRequest request,
+                             bool want_result) {
+  SubmitResult out;
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  auto reject = [&](RejectCode code, std::string detail) {
+    if (code == RejectCode::kOverload) {
+      impl_->shed.fetch_add(1, std::memory_order_relaxed);
+      if (impl_->shed_counter != nullptr) impl_->shed_counter->add(1);
+    }
+    out.rejected = Rejected{code, std::move(detail)};
+    return std::move(out);
+  };
+  if (!impl_->running.load(std::memory_order_acquire)) {
+    return reject(RejectCode::kShuttingDown, "service not accepting work");
+  }
+
+  const ServiceConfig& cfg = impl_->config;
+  // Latency watermark: recompute the observed p99 every admission_refresh
+  // submissions (a snapshot per submit would dominate the admission cost).
+  // The p99 is taken over the window since the previous refresh, not since
+  // start(), so the gate reopens once completions get fast again.
+  if (cfg.p99_shed_budget_ns != 0 && impl_->latency_hist != nullptr) {
+    const std::uint64_t seq =
+        impl_->submit_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (seq % static_cast<std::uint64_t>(cfg.admission_refresh) == 0) {
+      const auto snap = impl_->latency_hist->snapshot();
+      std::lock_guard<std::mutex> lock(impl_->admission_mu);
+      telemetry::HistogramSnapshot window = snap;
+      const auto& base = impl_->latency_window_base;
+      window.count -= base.count;
+      window.sum -= base.sum;
+      for (std::size_t b = 0; b < window.buckets.size(); ++b) {
+        window.buckets[b] -= base.buckets[b];
+      }
+      impl_->latency_overloaded.store(
+          window.count >= 16 &&
+              window.p99() > static_cast<double>(cfg.p99_shed_budget_ns),
+          std::memory_order_relaxed);
+      impl_->latency_window_base = snap;
+    }
+    if (impl_->latency_overloaded.load(std::memory_order_relaxed)) {
+      return reject(RejectCode::kOverload, "p99 latency over budget");
+    }
+  }
+
+  Ticket ticket;
+  ticket.request = std::move(request);
+  ticket.job_id = impl_->next_job_id.fetch_add(1, std::memory_order_relaxed);
+  ticket.submit_ns = flow::deadline_clock_now();
+  const std::uint64_t budget = ticket.request.deadline_budget_ns != 0
+                                   ? ticket.request.deadline_budget_ns
+                                   : cfg.default_deadline_ns;
+  if (budget != 0) ticket.deadline_ns = ticket.submit_ns + budget;
+  out.job_id = ticket.job_id;
+  if (want_result) {
+    ticket.promise = std::make_shared<std::promise<JobResult>>();
+    out.result = ticket.promise->get_future();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->queues.find(tenant);
+    if (it == impl_->queues.end()) {
+      it = impl_->queues.emplace(std::string(tenant), std::deque<Ticket>())
+               .first;
+    }
+    std::deque<Ticket>& q = it->second;
+    if (q.size() >= cfg.tenant_queue_capacity) {
+      out.result = {};
+      return reject(RejectCode::kOverload, "tenant queue full");
+    }
+    if (cfg.shed_watermark < 1.0 &&
+        static_cast<double>(q.size()) >=
+            cfg.shed_watermark *
+                static_cast<double>(cfg.tenant_queue_capacity)) {
+      out.result = {};
+      return reject(RejectCode::kOverload, "tenant queue over watermark");
+    }
+    q.push_back(std::move(ticket));
+  }
+  impl_->backlog.fetch_add(1, std::memory_order_relaxed);
+  impl_->accepted.fetch_add(1, std::memory_order_relaxed);
+  if (impl_->accepted_counter != nullptr) impl_->accepted_counter->add(1);
+  return out;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  s.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  s.shed = impl_->shed.load(std::memory_order_relaxed);
+  s.completed = impl_->completed.load(std::memory_order_relaxed);
+  s.deadline_miss = impl_->deadline_miss.load(std::memory_order_relaxed);
+  s.cpu_jobs = impl_->retry_stats.cpu_fallbacks.load(std::memory_order_relaxed);
+  s.breaker_trips = impl_->breakers.total_trips();
+  s.breakers_open = impl_->breakers.open_count();
+  return s;
+}
+
+const RetryStats& Service::retry_stats() const { return impl_->retry_stats; }
+
+BreakerBoard& Service::breakers() { return impl_->breakers; }
+
+telemetry::HistogramSnapshot Service::latency() const {
+  if (impl_->latency_hist == nullptr) return {};
+  return impl_->latency_hist->snapshot();
+}
+
+std::size_t Service::backlog() const {
+  return impl_->backlog.load(std::memory_order_relaxed);
+}
+
+std::string Service::failure_summary() const {
+  if (!impl_->finished || impl_->pipeline == nullptr) return {};
+  return impl_->pipeline->failure_report().ToString();
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,142 @@
+// Long-running multi-tenant job service over the stream runtime.
+//
+// The service wraps the dedup and mandel pipelines behind named job
+// submission: tenants submit() JobRequests into bounded per-tenant queues;
+// a persistent flow::Pipeline (source -> worker farm -> sink) drains them.
+// Overload protection is layered (paper §V's "the runtime must not fall
+// over when the offered load exceeds the service rate"):
+//
+//   * admission control — a full tenant queue, a queue-depth watermark, or
+//     the observed p99 latency crossing its budget sheds new work at
+//     submit() with an explicit Rejected{kOverload} (counted in
+//     "<prefix>.shed") instead of queueing it into a latency cliff;
+//   * deadline budgets — accepted jobs carry an absolute deadline through
+//     the pipeline; the flow runtime drops expired work at stage
+//     boundaries (it never occupies a GPU slot) and the sink completes the
+//     ticket as a miss ("<prefix>.deadline_miss");
+//   * circuit breakers + jittered retries — per-device breakers gate the
+//     JobEngine's device choice, with capped-exponential decorrelated
+//     jitter between retry attempts (serve/backoff.hpp).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/retry.hpp"
+#include "common/status.hpp"
+#include "gpusim/device.hpp"
+#include "sched/sched.hpp"
+#include "serve/breaker.hpp"
+#include "serve/jobs.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hs::serve {
+
+/// Why a submission was not accepted.
+enum class RejectCode : std::uint8_t {
+  kOverload,      ///< shed: queue full / watermark / p99 over budget
+  kShuttingDown,  ///< service is stopped or draining
+};
+
+std::string_view reject_code_name(RejectCode code);
+
+struct Rejected {
+  RejectCode code = RejectCode::kOverload;
+  std::string detail;
+};
+
+/// Outcome of submit(). Accepted jobs optionally carry a future the caller
+/// can wait on; rejected ones say why.
+struct SubmitResult {
+  std::optional<Rejected> rejected;
+  std::uint64_t job_id = 0;
+  std::future<JobResult> result;  ///< valid when accepted with want_result
+
+  [[nodiscard]] bool accepted() const { return !rejected.has_value(); }
+};
+
+struct ServiceConfig {
+  int workers = 4;
+  /// Bounded per-tenant queue: submissions beyond this are shed.
+  std::size_t tenant_queue_capacity = 64;
+  /// Soft admission watermark as a fraction of tenant_queue_capacity; a
+  /// tenant whose backlog reaches it sheds even though space remains, so
+  /// accepted jobs keep a bounded wait. >= 1.0 disables the soft shed.
+  double shed_watermark = 0.75;
+  /// Shed everything while the observed completion p99 exceeds this budget
+  /// (re-evaluated every admission_refresh submissions). 0 disables.
+  std::uint64_t p99_shed_budget_ns = 0;
+  int admission_refresh = 64;
+  /// Deadline budget armed at submission for requests that do not carry
+  /// their own. 0 = no deadline.
+  std::uint64_t default_deadline_ns = 0;
+  sched::SchedMode sched = sched::SchedMode::kStatic;
+  RetryPolicy retry;
+  BreakerConfig breaker;
+  /// flow queue capacity between source/farm/sink.
+  std::size_t queue_capacity = 256;
+  /// Telemetry sinks (null = uninstrumented). Metric names use `prefix`.
+  telemetry::Registry* registry = nullptr;
+  telemetry::SpanRecorder* spans = nullptr;
+  telemetry::QueueDepthSampler* sampler = nullptr;
+  std::string prefix = "serve";
+};
+
+/// Aggregate service counters (all monotonic since start()).
+namespace detail {
+struct ServiceImpl;
+}  // namespace detail
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_miss = 0;
+  std::uint64_t cpu_jobs = 0;        ///< jobs finished on the CPU rung
+  std::uint64_t breaker_trips = 0;
+  int breakers_open = 0;             ///< currently open (not half-open)
+};
+
+/// The service. Thread-safe submit(); start()/stop() from one owner thread.
+class Service {
+ public:
+  /// `machine` may be null (CPU-only service). The config's telemetry
+  /// sinks, machine and registry must outlive the service.
+  explicit Service(gpusim::Machine* machine, ServiceConfig config = {});
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Spawns the pipeline. Fails if already started.
+  Status start();
+
+  /// Drains accepted work, stops the pipeline and joins it. Idempotent.
+  /// Returns the pipeline's run status.
+  Status stop();
+
+  /// Admission-controlled enqueue for `tenant`. With want_result=false the
+  /// ticket completes without promise machinery (open-loop load drivers).
+  SubmitResult submit(std::string_view tenant, JobRequest request,
+                      bool want_result = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const RetryStats& retry_stats() const;
+  [[nodiscard]] BreakerBoard& breakers();
+  /// Latency histogram snapshot of completed jobs ("<prefix>.latency_ns").
+  [[nodiscard]] telemetry::HistogramSnapshot latency() const;
+  /// Jobs currently queued across all tenants.
+  [[nodiscard]] std::size_t backlog() const;
+  /// Per-stage failure summary of the run ("" while running or when clean);
+  /// meaningful after stop().
+  [[nodiscard]] std::string failure_summary() const;
+
+ private:
+  std::unique_ptr<detail::ServiceImpl> impl_;
+};
+
+}  // namespace hs::serve

@@ -128,7 +128,9 @@ Status ToStream::run(const Options& options) {
     }
   }
   pipe.add_stage(std::move(sink_), name_ + ".sink");
-  return pipe.run_and_wait();
+  Status s = pipe.run_and_wait();
+  failure_report_ = pipe.failure_report();
+  return s;
 }
 
 }  // namespace hs::spar

@@ -167,6 +167,14 @@ class ToStream {
   /// Compiles to the flow runtime and executes to completion. Single-shot.
   Status run(const Options& options = {});
 
+  /// Every stage failure the lowered pipeline recorded, in observation
+  /// order; valid after run() (empty before, and on clean runs). run()'s
+  /// status is the first entry — this is the full per-stage picture, the
+  /// analogue of flow::Pipeline::failure_report().
+  [[nodiscard]] const flow::FailureReport& failure_report() const {
+    return failure_report_;
+  }
+
  private:
   struct StageDecl {
     int replicas = 1;
@@ -193,6 +201,7 @@ class ToStream {
   bool has_bad_replicate_ = false;
   int bad_replicate_ = 0;  // first nonpositive Replicate seen
   bool ran_ = false;
+  flow::FailureReport failure_report_;
 };
 
 }  // namespace hs::spar

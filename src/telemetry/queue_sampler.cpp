@@ -23,12 +23,9 @@ QueueDepthSampler& QueueDepthSampler::Default() {
 std::uint64_t QueueDepthSampler::add_queue(std::string name, DepthFn depth,
                                            std::size_t capacity) {
   Entry entry;
+  entry.name = std::move(name);
   entry.depth = std::move(depth);
   entry.capacity = capacity;
-  entry.hist = registry_->histogram(name + ".depth");
-  entry.now_gauge = registry_->gauge(name + ".depth_now");
-  entry.util_gauge =
-      capacity > 0 ? registry_->gauge(name + ".utilization") : nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   entry.id = next_id_++;
   entries_.push_back(std::move(entry));
@@ -69,6 +66,15 @@ void QueueDepthSampler::run(std::chrono::microseconds period) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (Entry& e : entries_) {
+        if (e.hist == nullptr) {
+          // First sample of this queue: materialize its series now, so a
+          // registered-but-never-sampled queue never exports empty series.
+          e.hist = registry_->histogram(e.name + ".depth");
+          e.now_gauge = registry_->gauge(e.name + ".depth_now");
+          e.util_gauge = e.capacity > 0
+                             ? registry_->gauge(e.name + ".utilization")
+                             : nullptr;
+        }
         std::size_t depth = e.depth();
         e.hist->record(depth);
         e.now_gauge->set(static_cast<double>(depth));

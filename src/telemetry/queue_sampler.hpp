@@ -43,8 +43,11 @@ class QueueDepthSampler {
 
   /// Register a queue. Metrics: "<name>.depth" (histogram),
   /// "<name>.depth_now" (gauge), and "<name>.utilization" (gauge, only when
-  /// `capacity` > 0). Returns an id for remove_queue(); safe while the
-  /// sampler runs.
+  /// `capacity` > 0). The series are materialized in the registry on the
+  /// first sweep that samples the queue — a queue that is registered but
+  /// never sampled (sampler not running, or removed before a sweep) leaves
+  /// no empty series behind in the metrics export. Returns an id for
+  /// remove_queue(); safe while the sampler runs.
   std::uint64_t add_queue(std::string name, DepthFn depth,
                           std::size_t capacity = 0);
   void remove_queue(std::uint64_t id);
@@ -68,11 +71,14 @@ class QueueDepthSampler {
  private:
   struct Entry {
     std::uint64_t id = 0;
+    std::string name;
     DepthFn depth;
     std::size_t capacity = 0;
-    Histogram* hist = nullptr;    // owned by the registry
-    Gauge* now_gauge = nullptr;   // owned by the registry
-    Gauge* util_gauge = nullptr;  // null when capacity unknown
+    // Created lazily on the first sweep (see add_queue doc); all owned by
+    // the registry. util_gauge stays null when capacity is unknown.
+    Histogram* hist = nullptr;
+    Gauge* now_gauge = nullptr;
+    Gauge* util_gauge = nullptr;
   };
 
   void run(std::chrono::microseconds period);

@@ -9,6 +9,7 @@
 //    drains through the stealing path).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "cudax/cudax.hpp"
@@ -367,6 +368,69 @@ TEST(SchedFunctionalTest, DeviceLossDrainsThroughSurvivorBitExactly) {
   // the survivor.
   EXPECT_TRUE(tracker.is_excluded(0));
   EXPECT_FALSE(tracker.is_excluded(1));
+  EXPECT_GT(machine->device(1).counters().kernels_launched, 0u);
+  EXPECT_EQ(tracker.snapshot(0).inflight, 0);
+  EXPECT_EQ(tracker.snapshot(1).inflight, 0);
+}
+
+TEST(SchedFunctionalTest, FaultsAndAdaptiveSchedWithAimdProbingStayBitExact) {
+  // The combined regime the serve soak runs in: fault injection (including
+  // a device loss) and the adaptive scheduler active at the same time,
+  // while an AIMD batch sizer is still probing batch sizes — every probe
+  // round must drain through the survivors and stay bit-exact.
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = 256 * 1024;
+  const auto input = datagen::generate(spec);
+
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  {
+    gpusim::FaultPlan plan =
+        gpusim::FaultPlan::Parse("seed=5,launch.p=0.1,lost.nth=30").value();
+    machine->device(0).set_fault_plan(std::move(plan));
+  }
+  {
+    gpusim::FaultPlan plan =
+        gpusim::FaultPlan::Parse("seed=6,h2d.p=0.05").value();
+    machine->device(1).set_fault_plan(std::move(plan));
+  }
+  cudax::bind_machine(machine.get());
+
+  AimdConfig cfg;
+  cfg.initial = 1;
+  cfg.max_size = 8;  // batch_size = current() * 16 kB, so 16 kB .. 128 kB
+  AimdBatchSizer sizer(cfg);
+  DeviceLoadTracker tracker(machine->device_count());
+  RetryStats stats;
+  int rounds = 0;
+  while (!sizer.converged() && rounds < 8) {
+    dedup::DedupConfig config;
+    config.batch_size = static_cast<std::uint32_t>(sizer.current()) * 16 * 1024;
+    auto reference = dedup::archive_sequential(input, config);
+    ASSERT_TRUE(reference.ok());
+    const auto t0 = std::chrono::steady_clock::now();
+    auto archive = dedup::archive_spar_cuda(input, config, 4, *machine,
+                                            &stats, {}, &tracker);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    ASSERT_TRUE(archive.ok()) << "round " << rounds << ": "
+                              << archive.status().ToString();
+    EXPECT_EQ(archive.value(), reference.value()) << "round " << rounds;
+    sizer.on_success(dt.count() / static_cast<double>(sizer.current()));
+    ++rounds;
+  }
+  cudax::unbind_machine();
+
+  // The sizer really probed (several observations, at least one doubling)
+  // while the injected loss forced a migration that stuck for every
+  // subsequent round.
+  EXPECT_GT(rounds, 1);
+  EXPECT_EQ(sizer.observations(), static_cast<std::uint64_t>(rounds));
+  EXPECT_GT(sizer.grows(), 0u);
+  EXPECT_TRUE(machine->device(0).lost());
+  EXPECT_TRUE(tracker.is_excluded(0));
+  EXPECT_FALSE(tracker.is_excluded(1));
+  EXPECT_GT(stats.retries.load(), 0u);
   EXPECT_GT(machine->device(1).counters().kernels_launched, 0u);
   EXPECT_EQ(tracker.snapshot(0).inflight, 0);
   EXPECT_EQ(tracker.snapshot(1).inflight, 0);

@@ -1,0 +1,459 @@
+// Tests for the serve layer: decorrelated-jitter backoff, per-device
+// circuit breakers, and the multi-tenant Service (admission control,
+// deadline budgets, breaker-gated execution, bit-exact results on every
+// rung of the degradation ladder).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cudax/cudax.hpp"
+#include "datagen/corpus.hpp"
+#include "dedup/stages.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/fault_plan.hpp"
+#include "kernels/mandel.hpp"
+#include "mandel/iteration_map.hpp"
+#include "serve/backoff.hpp"
+#include "serve/breaker.hpp"
+#include "serve/jobs.hpp"
+#include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hs::serve {
+namespace {
+
+// ---- BackoffSequence ---------------------------------------------------------
+
+TEST(BackoffTest, SequenceStaysInsidePolicyBounds) {
+  BackoffPolicy policy;
+  policy.base = std::chrono::microseconds(100);
+  policy.cap = std::chrono::microseconds(4000);
+  policy.growth = 3.0;
+  BackoffSequence seq(policy, /*seed=*/7);
+  std::chrono::microseconds prev = policy.base;
+  for (int i = 0; i < 200; ++i) {
+    const auto d = seq.next();
+    // Decorrelated jitter: every delay lies in [base, min(cap, 3*prev)].
+    EXPECT_GE(d, policy.base) << "step " << i;
+    EXPECT_LE(d, policy.cap) << "step " << i;
+    const auto growth_bound = std::chrono::microseconds(
+        std::min<std::int64_t>(policy.cap.count(), prev.count() * 3));
+    EXPECT_LE(d, growth_bound) << "step " << i;
+    prev = d;
+  }
+}
+
+TEST(BackoffTest, DeterministicPerSeedAndResettable) {
+  BackoffPolicy policy;
+  policy.base = std::chrono::microseconds(50);
+  policy.cap = std::chrono::microseconds(5000);
+  BackoffSequence a(policy, 42);
+  BackoffSequence b(policy, 42);
+  std::vector<std::chrono::microseconds> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(b.next(), first[i]) << i;
+  // Distinct seeds decorrelate (not byte-identical over a window).
+  BackoffSequence c(policy, 43);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) differs |= (c.next() != first[i]);
+  EXPECT_TRUE(differs);
+  // reset() restarts the growth envelope from base.
+  a.reset();
+  EXPECT_LE(a.next(), std::chrono::microseconds(
+                          std::min<std::int64_t>(policy.cap.count(),
+                                                 policy.base.count() * 3)));
+}
+
+TEST(BackoffTest, DegeneratePoliciesAreSanitized) {
+  BackoffPolicy policy;
+  policy.base = std::chrono::microseconds(-5);
+  policy.cap = std::chrono::microseconds(-10);
+  policy.growth = 0.0;
+  BackoffSequence seq(policy, 1);
+  for (int i = 0; i < 8; ++i) {
+    const auto d = seq.next();
+    EXPECT_GE(d.count(), 0) << i;
+    EXPECT_LE(d, seq.policy().cap) << i;
+  }
+}
+
+// ---- CircuitBreaker ----------------------------------------------------------
+
+BreakerConfig fast_breaker() {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.cooldown = std::chrono::microseconds(1000);
+  cfg.half_open_successes = 2;
+  return cfg;
+}
+
+TEST(BreakerTest, TripsAfterConsecutiveFailuresAndRecovers) {
+  CircuitBreaker breaker(fast_breaker());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // Two failures + success resets the streak.
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_failure();
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_failure();
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // Three consecutive failures trip it.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.on_failure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allow());
+  // After the cooldown one probe is admitted; siblings stay rejected until
+  // the probe's verdict.
+  std::this_thread::sleep_for(std::chrono::microseconds(1500));
+  ASSERT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());
+  breaker.on_success();
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(BreakerTest, FailedProbeReopensWithFreshCooldown) {
+  CircuitBreaker breaker(fast_breaker());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.on_failure();
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(1500));
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allow());
+}
+
+TEST(BreakerTest, ForceOpenTripsImmediately) {
+  CircuitBreaker breaker(fast_breaker());
+  breaker.force_open();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(BreakerTest, BoardPublishesGauges) {
+  telemetry::Registry reg;
+  BreakerBoard board(2, fast_breaker(), &reg, "serve");
+  board.device(0).force_open();
+  board.publish();
+  auto snap = reg.snapshot();
+  const auto* state = snap.find_gauge("serve.breaker.state");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->value, 1.0);
+  const auto* d0 = snap.find_gauge("serve.breaker.d0.state");
+  ASSERT_NE(d0, nullptr);
+  EXPECT_EQ(d0->value, 2.0);  // BreakerState::kOpen
+  const auto* trips = snap.find_gauge("serve.breaker.trips");
+  ASSERT_NE(trips, nullptr);
+  EXPECT_EQ(trips->value, 1.0);
+}
+
+// ---- Service -----------------------------------------------------------------
+
+JobRequest mandel_job(int dim = 32, int niter = 200) {
+  JobRequest req;
+  req.kind = JobKind::kMandel;
+  req.mandel.dim = dim;
+  req.mandel.niter = niter;
+  return req;
+}
+
+JobRequest dedup_job(std::uint64_t seed = 1) {
+  JobRequest req;
+  req.kind = JobKind::kDedup;
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = 64 * 1024;
+  spec.seed = seed;
+  req.payload = datagen::generate(spec);
+  req.dedup.batch_size = 16 * 1024;
+  return req;
+}
+
+std::uint64_t mandel_reference_checksum(const kernels::MandelParams& p) {
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(p.dim) *
+                                  static_cast<std::size_t>(p.dim));
+  for (int i = 0; i < p.dim; ++i) {
+    kernels::mandel_line(
+        p, i,
+        std::span<std::uint8_t>(
+            image.data() +
+                static_cast<std::size_t>(i) * static_cast<std::size_t>(p.dim),
+            static_cast<std::size_t>(p.dim)));
+  }
+  return mandel::image_checksum(image);
+}
+
+std::uint64_t dedup_reference_checksum(const JobRequest& req) {
+  auto batches = dedup::fragment_input(
+      std::span<const std::uint8_t>(req.payload.data(), req.payload.size()),
+      req.dedup);
+  dedup::DupCache cache;
+  for (auto& b : batches) {
+    dedup::hash_blocks(b);
+    cache.check(b);
+  }
+  return dedup_job_checksum(batches);
+}
+
+TEST(ServiceTest, JobsCompleteBitExactOnGpu) {
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  telemetry::Registry reg;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.registry = &reg;
+  Service service(machine.get(), cfg);
+  ASSERT_TRUE(service.start().ok());
+
+  const JobRequest mjob = mandel_job();
+  const JobRequest djob = dedup_job();
+  auto m = service.submit("tenant-a", mjob);
+  auto d = service.submit("tenant-b", djob);
+  ASSERT_TRUE(m.accepted());
+  ASSERT_TRUE(d.accepted());
+  JobResult mr = m.result.get();
+  JobResult dr = d.result.get();
+  ASSERT_TRUE(service.stop().ok());
+  cudax::unbind_machine();
+
+  ASSERT_TRUE(mr.status.ok()) << mr.status.ToString();
+  ASSERT_TRUE(dr.status.ok()) << dr.status.ToString();
+  EXPECT_FALSE(mr.cpu_path);
+  EXPECT_GE(mr.device, 0);
+  EXPECT_EQ(mr.checksum, mandel_reference_checksum(mjob.mandel));
+  EXPECT_EQ(dr.checksum, dedup_reference_checksum(djob));
+  EXPECT_FALSE(mr.deadline_missed);
+  EXPECT_GT(mr.latency_ns, 0u);
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.deadline_miss, 0u);
+  auto snap = reg.snapshot();
+  ASSERT_NE(snap.find_counter("serve.completed"), nullptr);
+  EXPECT_EQ(snap.find_counter("serve.completed")->value, 2u);
+}
+
+TEST(ServiceTest, CpuOnlyServiceMatchesGpuChecksums) {
+  Service service(nullptr, {});
+  ASSERT_TRUE(service.start().ok());
+  const JobRequest mjob = mandel_job();
+  auto m = service.submit("t", mjob);
+  ASSERT_TRUE(m.accepted());
+  JobResult mr = m.result.get();
+  ASSERT_TRUE(service.stop().ok());
+  ASSERT_TRUE(mr.status.ok());
+  EXPECT_TRUE(mr.cpu_path);
+  EXPECT_EQ(mr.device, -1);
+  EXPECT_EQ(mr.checksum, mandel_reference_checksum(mjob.mandel));
+}
+
+TEST(ServiceTest, OverloadShedsWithExplicitRejection) {
+  auto machine = gpusim::Machine::Create(1, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  telemetry::Registry reg;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.tenant_queue_capacity = 2;
+  cfg.shed_watermark = 1.0;  // hard bound only, deterministic
+  cfg.registry = &reg;
+  Service service(machine.get(), cfg);
+  ASSERT_TRUE(service.start().ok());
+
+  // Burst far past the queue bound; the single worker cannot drain 64
+  // frames before the burst finishes submitting.
+  int rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    auto r = service.submit("bursty", mandel_job(48, 500),
+                            /*want_result=*/false);
+    if (!r.accepted()) {
+      ++rejected;
+      EXPECT_EQ(r.rejected->code, RejectCode::kOverload);
+    }
+  }
+  ASSERT_TRUE(service.stop().ok());
+  cudax::unbind_machine();
+
+  auto stats = service.stats();
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(stats.accepted + stats.shed, stats.submitted);
+  EXPECT_EQ(stats.completed, stats.accepted);  // accepted work always drains
+  auto snap = reg.snapshot();
+  ASSERT_NE(snap.find_counter("serve.shed"), nullptr);
+  EXPECT_EQ(snap.find_counter("serve.shed")->value, stats.shed);
+}
+
+TEST(ServiceTest, P99WatermarkShedsAndReopensWithTheWindow) {
+  telemetry::Registry reg;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.tenant_queue_capacity = 1024;  // keep queue-depth shedding out of play
+  cfg.shed_watermark = 1.0;
+  cfg.p99_shed_budget_ns = 1;  // any real completion exceeds 1 ns
+  cfg.admission_refresh = 1;   // re-evaluate on every submit
+  cfg.registry = &reg;
+  Service slow(nullptr, cfg);
+  ASSERT_TRUE(slow.start().ok());
+
+  // Pollute one refresh window with >=16 over-budget completions: submit a
+  // burst (each inter-submit window sees at most a couple of completions,
+  // far short of the 16-sample floor), then let everything finish.
+  std::vector<std::future<JobResult>> pending;
+  for (int i = 0; i < 24; ++i) {
+    auto r = slow.submit("t", mandel_job(32, 2000));
+    ASSERT_TRUE(r.accepted()) << i;
+    pending.push_back(std::move(r.result));
+  }
+  for (auto& f : pending) (void)f.get();
+
+  // The next refresh sees all 24 samples in its window and sheds.
+  auto shed = slow.submit("t", mandel_job(32, 2000), /*want_result=*/false);
+  ASSERT_FALSE(shed.accepted());
+  EXPECT_EQ(shed.rejected->code, RejectCode::kOverload);
+  EXPECT_EQ(shed.rejected->detail, "p99 latency over budget");
+
+  // The gate is windowed, not cumulative: no fresh completions since the
+  // shed refresh, so the next window has count < 16 and the gate reopens.
+  auto reopened = slow.submit("t", mandel_job(32, 2000));
+  ASSERT_TRUE(reopened.accepted());
+  (void)reopened.result.get();
+  ASSERT_TRUE(slow.stop().ok());
+  EXPECT_GT(slow.stats().shed, 0u);
+}
+
+TEST(ServiceTest, SubmitAfterStopIsRejectedAsShutdown) {
+  Service service(nullptr, {});
+  ASSERT_TRUE(service.start().ok());
+  ASSERT_TRUE(service.stop().ok());
+  auto r = service.submit("t", mandel_job());
+  ASSERT_FALSE(r.accepted());
+  EXPECT_EQ(r.rejected->code, RejectCode::kShuttingDown);
+}
+
+TEST(ServiceTest, ExpiredDeadlinesNeverOccupyTheGpu) {
+  auto machine = gpusim::Machine::Create(1, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  telemetry::Registry reg;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.default_deadline_ns = 1;  // expires before any stage can run
+  cfg.registry = &reg;
+  Service service(machine.get(), cfg);
+  ASSERT_TRUE(service.start().ok());
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto r = service.submit("t", mandel_job());
+    ASSERT_TRUE(r.accepted());
+    futures.push_back(std::move(r.result));
+  }
+  for (auto& f : futures) {
+    JobResult jr = f.get();
+    EXPECT_TRUE(jr.deadline_missed);
+    EXPECT_EQ(jr.status.code(), ErrorCode::kAborted);
+    EXPECT_EQ(jr.checksum, 0u);  // never executed
+  }
+  ASSERT_TRUE(service.stop().ok());
+  cudax::unbind_machine();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.deadline_miss, 8u);
+  // The GPU never saw the work: no kernels, no job attempts.
+  EXPECT_EQ(machine->device(0).counters().kernels_launched, 0u);
+  EXPECT_EQ(service.retry_stats().attempts.load(), 0u);
+  auto snap = reg.snapshot();
+  ASSERT_NE(snap.find_counter("serve.deadline_miss"), nullptr);
+  EXPECT_EQ(snap.find_counter("serve.deadline_miss")->value, 8u);
+  // The flow runtime counted the stage-boundary drops too.
+  ASSERT_NE(snap.find_counter("serve.deadline_drops"), nullptr);
+  EXPECT_GT(snap.find_counter("serve.deadline_drops")->value, 0u);
+}
+
+TEST(ServiceTest, BreakerTripsUnderFaultsAndJobsStayBitExact) {
+  auto machine = gpusim::Machine::Create(1, gpusim::DeviceSpec::TitanXP());
+  // Every launch fails transiently: retries exhaust, the breaker trips, and
+  // jobs complete on the bit-exact CPU rung.
+  auto plan = gpusim::FaultPlan::Parse("seed=11,launch.p=1.0");
+  ASSERT_TRUE(plan.ok());
+  machine->device(0).set_fault_plan(std::move(plan).value());
+  cudax::bind_machine(machine.get());
+  telemetry::Registry reg;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.registry = &reg;
+  cfg.retry.base_delay = std::chrono::microseconds(1);
+  cfg.retry.max_delay = std::chrono::microseconds(10);
+  Service service(machine.get(), cfg);
+  ASSERT_TRUE(service.start().ok());
+  const JobRequest mjob = mandel_job();
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    auto r = service.submit("t", mjob);
+    ASSERT_TRUE(r.accepted());
+    futures.push_back(std::move(r.result));
+  }
+  const std::uint64_t want = mandel_reference_checksum(mjob.mandel);
+  for (auto& f : futures) {
+    JobResult jr = f.get();
+    ASSERT_TRUE(jr.status.ok());
+    EXPECT_EQ(jr.checksum, want);
+  }
+  ASSERT_TRUE(service.stop().ok());
+  cudax::unbind_machine();
+  auto stats = service.stats();
+  EXPECT_GE(stats.breaker_trips, 1u);
+  EXPECT_GT(stats.cpu_jobs, 0u);
+  EXPECT_EQ(stats.completed, 12u);
+  auto snap = reg.snapshot();
+  ASSERT_NE(snap.find_gauge("serve.breaker.trips"), nullptr);
+  EXPECT_GE(snap.find_gauge("serve.breaker.trips")->value, 1.0);
+}
+
+TEST(ServiceTest, AdaptiveSchedSurvivesDeviceLossBitExactly) {
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  gpusim::FaultPlan plan;
+  plan.lose_device_at(10);
+  machine->device(0).set_fault_plan(std::move(plan));
+  cudax::bind_machine(machine.get());
+  ServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.sched = sched::SchedMode::kAdaptive;
+  cfg.retry.base_delay = std::chrono::microseconds(1);
+  cfg.retry.max_delay = std::chrono::microseconds(10);
+  Service service(machine.get(), cfg);
+  ASSERT_TRUE(service.start().ok());
+  const JobRequest mjob = mandel_job();
+  const std::uint64_t want = mandel_reference_checksum(mjob.mandel);
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 24; ++i) {
+    auto r = service.submit("t", mjob);
+    ASSERT_TRUE(r.accepted());
+    futures.push_back(std::move(r.result));
+  }
+  for (auto& f : futures) {
+    JobResult jr = f.get();
+    ASSERT_TRUE(jr.status.ok());
+    EXPECT_EQ(jr.checksum, want);
+  }
+  ASSERT_TRUE(service.stop().ok());
+  cudax::unbind_machine();
+  EXPECT_TRUE(machine->device(0).lost());
+  auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 24u);
+}
+
+}  // namespace
+}  // namespace hs::serve

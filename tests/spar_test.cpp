@@ -153,6 +153,36 @@ TEST(SparTest, AnnotationStyleInputOutputTags) {
 
 // ---- diagnostics ---------------------------------------------------------------
 
+TEST(SparTest, FailureReportEmptyOnCleanRunRecordedOnStageThrow) {
+  ToStream clean("clean");
+  clean.source<int>([i = 0]() mutable -> std::optional<int> {
+    return i < 10 ? std::optional<int>(i++) : std::nullopt;
+  });
+  clean.stage<int, int>(Replicate(2), [](int v) { return v; });
+  clean.last_stage<int>([](int) {});
+  ASSERT_TRUE(clean.run().ok());
+  EXPECT_TRUE(clean.failure_report().ok());
+  EXPECT_TRUE(clean.failure_report().failures.empty());
+
+  ToStream faulty("faulty");
+  faulty.source<int>([i = 0]() mutable -> std::optional<int> {
+    return i < 100 ? std::optional<int>(i++) : std::nullopt;
+  });
+  faulty.stage<int, int>(Replicate(2), [](int v) -> int {
+    if (v == 7) throw std::runtime_error("unrecovered");
+    return v;
+  });
+  faulty.last_stage<int>([](int) {});
+  Status s = faulty.run();
+  ASSERT_FALSE(s.ok());
+  const flow::FailureReport& report = faulty.failure_report();
+  ASSERT_FALSE(report.ok());
+  // run() returns exactly the first recorded failure, and the report names
+  // the lowered stage ("faulty.stage0").
+  EXPECT_EQ(s.message(), report.first().message());
+  EXPECT_NE(report.ToString().find("faulty.stage0"), std::string::npos);
+}
+
 TEST(SparDiagnosticsTest, MissingSource) {
   ToStream region("bad");
   region.stage<int, int>([](int v) { return v; });

@@ -560,6 +560,36 @@ TEST(QueueDepthSamplerTest, StartStopLifecycle) {
   sampler.stop();
 }
 
+TEST(QueueDepthSamplerTest, NeverSampledQueueEmitsNoSeries) {
+  Registry reg;
+  QueueDepthSampler sampler(&reg);
+  // Registered but never swept: a sampler started before any pipeline
+  // registers stages (or never started at all) must not pollute the
+  // registry with empty-series gauges/histograms.
+  const std::uint64_t id =
+      sampler.add_queue("ghost", [] { return std::size_t{0}; },
+                        /*capacity=*/8);
+  sampler.remove_queue(id);
+
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find_histogram("ghost.depth"), nullptr);
+  EXPECT_EQ(snap.find_gauge("ghost.depth_now"), nullptr);
+  EXPECT_EQ(snap.find_gauge("ghost.utilization"), nullptr);
+
+  // A queue that IS swept still materializes its series lazily.
+  sampler.add_queue("live", [] { return std::size_t{2}; }, /*capacity=*/8);
+  ASSERT_TRUE(sampler.start(std::chrono::microseconds(100)).ok());
+  const std::uint64_t before = sampler.sweeps();
+  while (sampler.sweeps() < before + 2) std::this_thread::yield();
+  sampler.stop();
+  snap = reg.snapshot();
+  ASSERT_NE(snap.find_histogram("live.depth"), nullptr);
+  ASSERT_NE(snap.find_gauge("live.depth_now"), nullptr);
+  EXPECT_EQ(snap.find_gauge("live.depth_now")->value, 2.0);
+  EXPECT_EQ(snap.find_histogram("ghost.depth"), nullptr)
+      << "removing before any sweep must leave no trace";
+}
+
 TEST(QueueDepthSamplerTest, DestructorStopsRunningThread) {
   Registry reg;
   {
