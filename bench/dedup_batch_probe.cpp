@@ -17,6 +17,13 @@
 // Flags: --input-size=BYTES (8MB) | --dataset=... (parsec) |
 //        --batches=65536,262144,... | --replicas=N (19) | --mem-spaces=N
 //        --device-mem=BYTES | --csv
+//        --lzss=legacy|chain match finder for every config built here
+//        (default legacy, matching the calibrated cost model)
+//        --store=DIR runs the functional persistence probe instead:
+//        archive through the sequential pipeline with a persistent
+//        DupStore at DIR, spill, and print one parseable key=value line
+//        (run twice against one DIR: identical archive_sha1, second run
+//        store_misses=0 — the restart-equivalence CI leg)
 //        --sched=static|adaptive (default static). static walks the
 //        --batches list as before; adaptive discards the list and lets the
 //        AIMD sizer discover the batch size: each iteration allocates the
@@ -31,11 +38,68 @@
 
 #include "bench_common.hpp"
 #include "datagen/corpus.hpp"
+#include "dedup/dup_store.hpp"
 #include "dedup/modeled.hpp"
+#include "dedup/pipelines.hpp"
+#include "kernels/lzss.hpp"
+#include "kernels/sha1.hpp"
 #include "sched/sched.hpp"
 
 namespace hs {
 namespace {
+
+/// --lzss=legacy|chain for every config this probe builds (default legacy:
+/// the modeled rows are calibrated against the brute-force FindMatch cost).
+kernels::LzssMode g_lzss_mode = kernels::LzssMode::kLegacy;
+
+void apply_lzss(dedup::DedupConfig& cfg) {
+  cfg.lzss.mode = g_lzss_mode;
+  if (g_lzss_mode == kernels::LzssMode::kChain) {
+    cfg.lzss.window_size = 4096;  // tuned chain config
+    cfg.lzss.chain_depth = 2;
+  }
+}
+
+/// --store=DIR: functional persistence probe. Archives `input` through the
+/// sequential pipeline with a persistent DupStore attached to DIR, spills,
+/// and prints one parseable key=value line. Run twice against the same
+/// directory and the second run's store_misses must be 0 (every digest
+/// recovered from the spilled segments) while the archive SHA-1 is
+/// identical — the restart-equivalence contract the CI persistence leg
+/// diffs.
+int run_store_probe(std::span<const std::uint8_t> input,
+                    const dedup::DedupConfig& dcfg, const std::string& dir) {
+  dedup::DupStore store;
+  Status st = store.open(dir);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  auto archive = dedup::archive_sequential(input, dcfg, &store);
+  if (!archive.ok()) {
+    std::cerr << archive.status().ToString() << "\n";
+    return 1;
+  }
+  st = store.spill();
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  const dedup::DupStore::Stats s = store.stats();
+  const auto digest = kernels::Sha1::hash(archive.value());
+  std::cout << "store_probe archive_sha1=" << kernels::digest_hex(digest)
+            << " archive_bytes=" << archive.value().size()
+            << " blocks=" << s.store_hits + s.store_misses
+            << " store_hits=" << s.store_hits
+            << " store_misses=" << s.store_misses
+            << " entries=" << s.entries
+            << " segments_loaded=" << s.segments_loaded
+            << " entries_recovered=" << s.entries_recovered
+            << " truncated_segments=" << s.truncated_segments
+            << " quarantined_segments=" << s.quarantined_segments
+            << " spills=" << s.spills << "\n";
+  return 0;
+}
 
 /// --sched=adaptive: AIMD probe. Returns the converged batch size.
 int run_adaptive(std::span<const std::uint8_t> input, int replicas,
@@ -102,6 +166,7 @@ int run_adaptive(std::span<const std::uint8_t> input, int replicas,
       cfg.mem_spaces = mem_spaces;
       cfg.dedup.batch_size = static_cast<std::uint32_t>(batch);
       cfg.dedup.rabin.mask = 0x7FF;
+      apply_lzss(cfg.dedup);
       cfg.dedup.rabin.max_block =
           std::min<std::uint32_t>(65536, static_cast<std::uint32_t>(batch));
       dedup::DedupTrace trace = dedup::build_trace(input, cfg.dedup);
@@ -176,6 +241,26 @@ int run(int argc, const char** argv) {
   spec.bytes = input_size;
   auto input = datagen::generate(spec);
 
+  const std::string lzss_name = args.get_string("lzss", "legacy");
+  if (!kernels::parse_lzss_mode(lzss_name, g_lzss_mode)) {
+    std::cerr << "unknown --lzss='" << lzss_name
+              << "' (expected legacy|chain)\n";
+    return 1;
+  }
+
+  if (args.has("store")) {
+    const std::string dir = args.get_string("store", "");
+    if (dir.empty()) {
+      std::cerr << "--store requires a directory path\n";
+      return 1;
+    }
+    dedup::DedupConfig dcfg;
+    dcfg.batch_size = 256 * 1024;
+    dcfg.rabin.mask = 0x7FF;
+    apply_lzss(dcfg);
+    return run_store_probe(input, dcfg, dir);
+  }
+
   if (sched_or.value() == sched::SchedMode::kAdaptive) {
     return run_adaptive(input, replicas, mem_spaces, device_mem,
                         datagen::corpus_name(spec.kind),
@@ -206,6 +291,7 @@ int run(int argc, const char** argv) {
     cfg.mem_spaces = mem_spaces;
     cfg.dedup.batch_size = static_cast<std::uint32_t>(batch);
     cfg.dedup.rabin.mask = 0x7FF;
+    apply_lzss(cfg.dedup);
     cfg.dedup.rabin.max_block =
         std::min<std::uint32_t>(65536, static_cast<std::uint32_t>(batch));
 

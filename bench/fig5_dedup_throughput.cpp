@@ -43,6 +43,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "kernels/lzss.hpp"
 #include "kernels/simd/dispatch.hpp"
 
 #include "bench_common.hpp"
@@ -307,6 +308,24 @@ int run(int argc, const char** argv) {
   cfg.replicas = static_cast<int>(replicas_or.value());
   cfg.dedup.batch_size = static_cast<std::uint32_t>(batch_size_or.value());
   cfg.dedup.rabin.mask = 0x7FF;  // ~2 kB blocks
+
+  // Match-finder selection. Legacy is the default here: the figure rows
+  // are modeled against the paper's brute-force FindMatch cost model, and
+  // the functional cross-checks pin the legacy goldens. --lzss=chain runs
+  // the shipped hash-chain matcher instead (functional rows only get
+  // faster; archives re-golden).
+  const std::string lzss_name = args.get_string("lzss", "legacy");
+  kernels::LzssMode lzss_mode;
+  if (!kernels::parse_lzss_mode(lzss_name, lzss_mode)) {
+    std::cerr << "unknown --lzss='" << lzss_name
+              << "' (expected legacy|chain)\n";
+    return 1;
+  }
+  cfg.dedup.lzss.mode = lzss_mode;
+  if (lzss_mode == kernels::LzssMode::kChain) {
+    cfg.dedup.lzss.window_size = 4096;  // tuned chain config
+    cfg.dedup.lzss.chain_depth = 2;
+  }
 
   bool csv = args.get_bool("csv", false);
   const std::string json_path = args.get_string("json", "");

@@ -10,6 +10,9 @@
 // results (MB/s, ops/s, allocation counts) to BENCH_micro.json so the perf
 // trajectory is tracked across PRs. Flags:
 //   --json=PATH            output path (default BENCH_micro.json)
+//   --lzss=MODE            match finder for the measured rows: chain
+//                          (default; hash-chain, window 4096 depth 2) or
+//                          legacy (seed brute force, window 256)
 //   --quick                single rep per measurement (CI smoke)
 //   --reps=N               explicit rep count (default 3, best-of)
 //   --check-steady-allocs  exit nonzero if the steady-state dedup pipeline
@@ -51,6 +54,7 @@
 #include "kernels/simd/dispatch.hpp"
 #include "kernels/simd/rabin_lanes.hpp"
 #include "kernels/simd/sha1_mb.hpp"
+#include "kernels/simd/sha1_ni.hpp"
 #include "taskx/pipeline.hpp"
 #include "taskx/pool.hpp"
 #include "telemetry/queue_sampler.hpp"
@@ -268,12 +272,26 @@ struct E2eRow {
   std::uint64_t run_heap_allocs = 0;  ///< heap allocations in the best rep
 };
 
+/// Match-finder mode for the measured rows (--lzss=legacy|chain). Chain is
+/// the default: these rows track what the implementation actually ships.
+/// The modeled figure benches and the golden suites stay on legacy.
+kernels::LzssMode g_lzss_mode = kernels::LzssMode::kChain;
+
 /// Probe configuration shared with the recorded pre-PR baselines and the
 /// golden bit-exactness tests: 8 MB inputs, 256 KiB batches, ~2 kB blocks.
+/// In chain mode the matcher runs its tuned configuration (window 4096 =
+/// the format max, depth 2): the chain walk is depth-bounded rather than
+/// window-bounded, so the bigger window is simultaneously faster (fewer
+/// finds per byte) and better-compressing than legacy's 256.
 dedup::DedupConfig e2e_config() {
   dedup::DedupConfig cfg;
   cfg.batch_size = 256 * 1024;
   cfg.rabin.mask = 0x7FF;
+  if (g_lzss_mode == kernels::LzssMode::kChain) {
+    cfg.lzss.mode = kernels::LzssMode::kChain;
+    cfg.lzss.window_size = 4096;
+    cfg.lzss.chain_depth = 2;
+  }
   return cfg;
 }
 
@@ -602,26 +620,57 @@ std::vector<KernelRow> kernel_dispatch_rows(int reps) {
     if (!simd::supports(level)) continue;
     simd::set_active_level(level);
     const std::string name(simd::level_name(level));
+    // Explicit-level entry: the bench must measure the real per-level body
+    // even where the dispatcher's benchmark-or-skip probe would demote it
+    // (the sse42 row documents the regression the demotion exists for).
     rows.push_back({"rabin", name, best_of([&] {
-                      simd::rabin_boundaries(rabin, input, cuts, &rscratch);
+                      simd::rabin_boundaries_at(level, rabin, input, cuts,
+                                                &rscratch);
                       benchmark::DoNotOptimize(cuts.data());
                     })});
     rows.push_back({"sha1", name, best_of([&] {
                       simd::sha1_many(jobs.data(), jobs.size(), &sscratch);
                       benchmark::DoNotOptimize(digests.data());
                     })});
-    rows.push_back({"lzss_match", name, best_of([&] {
-                      for (std::size_t k = 0; k < starts.size(); ++k) {
-                        const std::size_t b = starts[k];
-                        const std::size_t e = k + 1 < starts.size()
-                                                  ? starts[k + 1]
-                                                  : input.size();
-                        benchmark::DoNotOptimize(kernels::lzss_encode(
-                            std::span(input).subspan(b, e - b), cfg.lzss));
-                      }
-                    })});
+    // Pooled sink: the row measures the encoder, not the allocator — this
+    // is the same entry the dedup compress stage runs.
+    const auto lzss_row = [&](const kernels::LzssParams& params) {
+      return best_of([&] {
+        PooledBuffer out;
+        for (std::size_t k = 0; k < starts.size(); ++k) {
+          const std::size_t b = starts[k];
+          const std::size_t e =
+              k + 1 < starts.size() ? starts[k + 1] : input.size();
+          kernels::lzss_encode(input, b, e, params, out);
+          benchmark::DoNotOptimize(out.data());
+        }
+      });
+    };
+    rows.push_back({"lzss_match", name, lzss_row(cfg.lzss)});
+    // Seed-configuration reference (brute-force window 256): the CI perf
+    // gate asserts chain/legacy from the same run, immune to host noise.
+    kernels::LzssParams legacy = cfg.lzss;
+    legacy.mode = kernels::LzssMode::kLegacy;
+    legacy.window_size = 256;
+    legacy.chain_depth = 8;
+    rows.push_back({"lzss_match_legacy", name, lzss_row(legacy)});
   }
   simd::set_active_level(saved);
+  // Single-stream whole-input hash — the container's input-digest path at
+  // writer.finish(). SHA-NI is orthogonal to the level matrix (its own
+  // CPUID bit), so these rows sit outside the per-level loop: the scalar
+  // row is the Sha1 context, the sha_ni row the SHA-extensions body.
+  kernels::Sha1Digest whole{};
+  rows.push_back({"sha1_stream", "scalar", best_of([&] {
+                    whole = kernels::Sha1::hash(input);
+                    benchmark::DoNotOptimize(whole.data());
+                  })});
+  if (simd::sha1_ni_available()) {
+    rows.push_back({"sha1_stream", "sha_ni", best_of([&] {
+                      whole = simd::sha1_hash_ni(input);
+                      benchmark::DoNotOptimize(whole.data());
+                    })});
+  }
   return rows;
 }
 
@@ -640,7 +689,11 @@ void write_json(const std::string& path, const std::vector<E2eRow>& rows,
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   out << "  \"config\": {\"input_bytes\": " << kE2eInputBytes
       << ", \"batch_size\": " << e2e_config().batch_size
-      << ", \"rabin_mask\": " << e2e_config().rabin.mask << "},\n";
+      << ", \"rabin_mask\": " << e2e_config().rabin.mask
+      << ", \"lzss_mode\": \"" << kernels::lzss_mode_name(g_lzss_mode)
+      << "\", \"lzss_window\": " << e2e_config().lzss.window_size
+      << ", \"lzss_chain_depth\": " << e2e_config().lzss.chain_depth
+      << "},\n";
   out << "  \"dedup_e2e\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const E2eRow& r = rows[i];
@@ -667,7 +720,10 @@ void write_json(const std::string& path, const std::vector<E2eRow>& rows,
       << kernels::simd::level_name(kernels::simd::active_level())
       << "\", \"best_supported\": \""
       << kernels::simd::level_name(kernels::simd::best_supported())
-      << "\"},\n";
+      << "\", \"rabin_effective_level\": \""
+      << kernels::simd::level_name(kernels::simd::rabin_effective_level())
+      << "\", \"sha1_ni\": "
+      << (kernels::simd::sha1_ni_available() ? "true" : "false") << "},\n";
   out << "  \"dedup_steady_state\": {\"batches\": " << steady.batches
       << ", \"blocks\": " << steady.blocks
       << ", \"heap_allocs\": " << steady.heap_allocs
@@ -695,6 +751,13 @@ int run_e2e_suite(const CliArgs& args) {
       static_cast<int>(args.get_int("reps", quick ? 1 : 3));
   const std::string json_path =
       args.get_string("json", "BENCH_micro.json");
+  const std::string lzss_name = args.get_string("lzss", "chain");
+  if (!kernels::parse_lzss_mode(lzss_name, g_lzss_mode)) {
+    std::fprintf(stderr,
+                 "[bench] unknown --lzss='%s' (expected legacy|chain)\n",
+                 lzss_name.c_str());
+    return 2;
+  }
 
   std::vector<E2eRow> rows;
   std::fprintf(stderr, "[bench] dedup end-to-end (%d rep%s per row)...\n",
@@ -726,8 +789,9 @@ int run_e2e_suite(const CliArgs& args) {
   write_json(json_path, rows, kernels, steady, spsc_single, spsc_batch,
              overhead, quick);
 
-  std::printf("dedup end-to-end (input %.0f MB, best of %d):\n",
-              kE2eInputBytes / 1e6, reps);
+  std::printf("dedup end-to-end (input %.0f MB, best of %d, lzss=%s):\n",
+              kE2eInputBytes / 1e6, reps,
+              kernels::lzss_mode_name(g_lzss_mode).data());
   for (const E2eRow& r : rows) {
     std::printf("  %-32s %7.2f MB/s", r.name.c_str(), r.mb_per_s);
     if (r.baseline_mb_per_s > 0) {

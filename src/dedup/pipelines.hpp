@@ -16,15 +16,24 @@
 #include "common/retry.hpp"
 #include "common/status.hpp"
 #include "dedup/container.hpp"
+#include "dedup/dup_store.hpp"
 #include "flow/pipeline.hpp"
 #include "gpusim/device.hpp"
 #include "sched/sched.hpp"
 
 namespace hs::dedup {
 
-/// Sequential reference: all five stages in a loop.
+/// Sequential reference: all five stages in a loop. With `store` non-null,
+/// every block digest is also recorded into the persistent DupStore as it
+/// is hashed (store_hit telemetry; see dup_store.hpp) — the archive bytes
+/// are identical with or without a store attached.
 Result<std::vector<std::uint8_t>> archive_sequential(
-    std::span<const std::uint8_t> input, const DedupConfig& config);
+    std::span<const std::uint8_t> input, const DedupConfig& config,
+    DupStore* store);
+inline Result<std::vector<std::uint8_t>> archive_sequential(
+    std::span<const std::uint8_t> input, const DedupConfig& config) {
+  return archive_sequential(input, config, nullptr);
+}
 
 /// Knobs for the SPar CPU pipeline's replicated hot stages. The hash and
 /// compress stages always lower to farms (emitter/workers/collector), so
@@ -44,6 +53,10 @@ struct SparCpuOptions {
   bool hash_ordered = true;
   /// Core affinity for every runtime thread of the lowered pipeline.
   flow::PinPolicy pin;
+  /// Optional persistent content store: when set, every hash worker
+  /// record()s its block digests concurrently (the store is lock-striped
+  /// for exactly this). Telemetry only — archive bytes are unchanged.
+  DupStore* store = nullptr;
 };
 
 /// SPar CPU pipeline: source -> farm(SHA-1) -> serial duplicate check ->

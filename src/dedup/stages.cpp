@@ -96,7 +96,7 @@ std::vector<Batch> fragment_input_variable(
   return batches;
 }
 
-void hash_blocks(Batch& batch) {
+void hash_blocks(Batch& batch, DupStore* store) {
   // The whole batch goes through the multi-buffer lane API in one call:
   // blocks hash in parallel SIMD lanes (4-way SSE4.2 / 8-way AVX2) with
   // digests written straight into the block table.
@@ -109,6 +109,16 @@ void hash_blocks(Batch& batch) {
   }
   kernels::simd::sha1_many(scratch.jobs.data(), scratch.jobs.size(),
                            &scratch.grouping);
+  if (store != nullptr) {
+    // Feed the persistent store from the hash stage, while the digests are
+    // hot — lock-striped, so concurrent hash workers rarely contend. This
+    // runs before the serial stage-3 check and never affects it.
+    for (BlockInfo& block : batch.blocks) {
+      bool present = false;
+      store->record(block.digest, &present);
+      block.store_hit = present;
+    }
+  }
 }
 
 std::uint64_t batch_sha1_rounds(const Batch& batch) {
@@ -117,25 +127,6 @@ std::uint64_t batch_sha1_rounds(const Batch& batch) {
     rounds += kernels::Sha1::compression_rounds(block.len);
   }
   return rounds;
-}
-
-std::uint64_t DupCache::unique_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_id_;
-}
-
-void DupCache::check(Batch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (BlockInfo& block : batch.blocks) {
-    auto [it, inserted] = ids_.try_emplace(block.digest, next_id_);
-    if (inserted) {
-      block.duplicate = false;
-      block.global_id = next_id_++;
-    } else {
-      block.duplicate = true;
-      block.global_id = it->second;
-    }
-  }
 }
 
 namespace {

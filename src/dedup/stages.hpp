@@ -12,12 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <cstring>
-#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "dedup/dup_store.hpp"
 #include "dedup/types.hpp"
 
 namespace hs::dedup {
@@ -50,46 +48,20 @@ std::vector<Batch> fragment_input_variable(
     std::span<const std::uint8_t> input, const DedupConfig& config);
 
 /// Stage 2: fills BlockInfo::digest for every block (CPU reference path;
-/// GPU variants run one simulated thread per block instead).
-void hash_blocks(Batch& batch);
+/// GPU variants run one simulated thread per block instead). With a store
+/// attached, every digest is also record()ed into it as soon as it is
+/// computed — concurrently safe, so replicated hash workers all feed the
+/// same store — and BlockInfo::store_hit is set from the store's answer.
+void hash_blocks(Batch& batch, DupStore* store = nullptr);
 
 /// Total SHA-1 compression rounds of a batch (cost accounting).
 std::uint64_t batch_sha1_rounds(const Batch& batch);
 
-/// Hash of a SHA-1 digest for the duplicate table: the digest is already
-/// uniformly distributed, so folding its words is enough. Keying the table
-/// by the 20-byte array directly (instead of a std::string, which exceeds
-/// the small-string optimization) keeps the per-block lookup heap-free.
-struct DigestHash {
-  std::size_t operator()(const kernels::Sha1Digest& d) const {
-    std::uint64_t a, b;
-    std::uint32_t c;
-    std::memcpy(&a, d.data(), 8);
-    std::memcpy(&b, d.data() + 8, 8);
-    std::memcpy(&c, d.data() + 16, 4);
-    std::uint64_t h = a;
-    h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
-    h ^= c + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
-    return static_cast<std::size_t>(h);
-  }
-};
-
-/// Stage 3's global digest table: digest -> global id of first occurrence.
-/// Thread-safe lookups are not needed (the stage is serial in every
-/// variant) but the class is internally consistent if shared.
-class DupCache {
- public:
-  /// Returns the number of unique blocks registered so far.
-  [[nodiscard]] std::uint64_t unique_count() const;
-
-  /// Stage 3 body: marks duplicates and assigns global ids in order.
-  void check(Batch& batch);
-
- private:
-  mutable std::mutex mu_;
-  std::unordered_map<kernels::Sha1Digest, std::uint64_t, DigestHash> ids_;
-  std::uint64_t next_id_ = 0;
-};
+/// Stage 3's digest table grew into the persistent sharded DupStore
+/// (dup_store.hpp); the historical name stays as an alias — check() and
+/// unique_count() behave exactly as the old archive-local cache did, and a
+/// default-constructed DupStore is a pure in-memory table.
+using DupCache = DupStore;
 
 /// Stage 4 (CPU path): LZSS-compresses every unique block directly.
 void compress_blocks_cpu(Batch& batch, const DedupConfig& config);

@@ -62,6 +62,10 @@ struct BlockInfo {
   std::span<const std::uint8_t> bytes{};  ///< view into Batch::data
   kernels::Sha1Digest digest{};
   bool duplicate = false;
+  /// True when the persistent DupStore already knew this digest (from an
+  /// earlier run or earlier in this one). Telemetry only — never consulted
+  /// by the archive writer, so attaching a store cannot change the bytes.
+  bool store_hit = false;
   /// kLzssHuffman mode: true when the entropy stage beat plain LZSS for
   /// this block (payload = u32 lzss_len | huffman(lzss)).
   bool entropy_coded = false;

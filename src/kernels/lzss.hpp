@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/buffer_pool.hpp"
@@ -28,10 +29,39 @@
 
 namespace hs::kernels {
 
+/// Match-finder selection. The bit stream format is identical either way —
+/// any decoder reads both — but the encoded bytes differ, so goldens pin
+/// one mode.
+///  * kLegacy: the seed brute-force window scan (exact longest match,
+///    oldest candidate on ties). Bit-exact with every archive golden
+///    recorded before the chain matcher existed; the modeled/paper rows
+///    stay on it.
+///  * kChain: LZ4/zlib-style hash-chain matcher (3-byte hash heads +
+///    chained previous positions, bounded walk depth) — approximate
+///    (bounded depth, newest-first ties) but ~20-50x faster. All pipeline
+///    variants still emit bit-identical archives to each other in this
+///    mode; they just differ from the legacy stream.
+enum class LzssMode : std::uint8_t {
+  kLegacy = 0,
+  kChain = 1,
+};
+
+/// "legacy" / "chain".
+[[nodiscard]] std::string_view lzss_mode_name(LzssMode mode);
+
+/// Parses a mode name; false on unknown names (value untouched).
+bool parse_lzss_mode(std::string_view name, LzssMode& out);
+
 struct LzssParams {
   std::uint32_t window_size = 4096;  ///< must be a power of two, <= 4096
   std::uint32_t min_match = 3;
   std::uint32_t max_match = 18;  ///< min_match + 15 with 4 length bits
+  LzssMode mode = LzssMode::kLegacy;
+  /// Chain links visited per kChain query before giving up (ignored by
+  /// kLegacy). Bounds the worst case at O(n·depth) regardless of window
+  /// size; raising it trades speed for ratio. Part of the match-finder
+  /// configuration, so changing it re-goldens chain-mode streams.
+  std::uint32_t chain_depth = 8;
 
   static constexpr std::uint32_t kOffsetBits = 12;
   static constexpr std::uint32_t kLengthBits = 4;
@@ -39,7 +69,7 @@ struct LzssParams {
   [[nodiscard]] bool valid() const {
     return window_size >= 2 && window_size <= (1u << kOffsetBits) &&
            min_match >= 2 && max_match > min_match &&
-           max_match - min_match < (1u << kLengthBits);
+           max_match - min_match < (1u << kLengthBits) && chain_depth >= 1;
   }
 };
 

@@ -40,11 +40,24 @@ struct RabinScratch {
 };
 
 /// Drop-in replacement for Rabin::chunk_boundaries_into, dispatched on
-/// active_level(). Output (including the leading 0 and empty-input
+/// rabin_effective_level(). Output (including the leading 0 and empty-input
 /// behaviour) is bit-identical to the scalar walk.
 void rabin_boundaries(const Rabin& rabin, std::span<const std::uint8_t> data,
                       std::vector<std::uint32_t>& starts,
                       RabinScratch* scratch = nullptr);
+
+/// The level rabin_boundaries actually runs at: active_level(), except that
+/// kSse42 demotes to kScalar when a one-shot startup probe measures the
+/// SSE4.2 bitmap body slower than the scalar walk on this host. SSE4.2 has
+/// no 64-bit lane multiply, so its two lanes are stitched from 32-bit
+/// products — on some cores that emulation loses to the scalar rolling loop
+/// (BENCH_micro.json once recorded 0.50 GB/s sse42 vs 0.92 scalar), and a
+/// "wider" kernel that is measurably slower should not be dispatched to.
+/// AVX2 is never probed (true 64-bit lanes, always ahead). Explicit-level
+/// callers (rabin_boundaries_at) bypass the demotion — tests and the kernel
+/// bench must still exercise the real SSE4.2 body. HS_RABIN_SSE42=on|off
+/// overrides the probe for triage.
+[[nodiscard]] Level rabin_effective_level();
 
 /// Explicit-level entry (tests / kernel bench); levels above the host's
 /// support are clamped. kScalar runs the original rolling walk.

@@ -21,6 +21,7 @@
 #include "kernels/simd/lzss_match.hpp"
 #include "kernels/simd/rabin_lanes.hpp"
 #include "kernels/simd/sha1_mb.hpp"
+#include "kernels/simd/sha1_ni.hpp"
 
 namespace hs::kernels::simd {
 namespace {
@@ -129,6 +130,42 @@ TEST(SimdSha1Test, LargeBuffersMatchScalar) {
       EXPECT_EQ(got[j], Sha1::hash(std::span(jobs[j].data, jobs[j].len)));
     }
   }
+}
+
+// ---- SHA-1 single-stream (SHA-NI) ----------------------------------------
+
+// sha1_hash_ni must be bit-identical to the scalar context for every
+// length — the sweep covers both padding shapes (one tail block for
+// rem < 56, two otherwise) and every block-boundary straddle. When the
+// host lacks the SHA extensions the function falls back to Sha1::hash and
+// the test degenerates to a self-check, which is still worth running for
+// the fallback plumbing.
+TEST(SimdSha1Test, NiSingleStreamMatchesScalarAllLengths) {
+  const std::vector<std::uint8_t> data = random_bytes(600, 0x5AA1);
+  for (std::size_t len = 0; len <= 600; ++len) {
+    const std::span<const std::uint8_t> msg(data.data(), len);
+    EXPECT_EQ(sha1_hash_ni(msg), Sha1::hash(msg)) << "len " << len;
+  }
+}
+
+TEST(SimdSha1Test, NiSingleStreamMatchesScalarLargeBuffers) {
+  for (std::size_t len : {std::size_t{1} << 16, (std::size_t{1} << 20) + 37,
+                          std::size_t{3} << 20}) {
+    const auto data = random_bytes(len, 0xA1 + len);
+    EXPECT_EQ(sha1_hash_ni(data), Sha1::hash(data)) << "len " << len;
+  }
+}
+
+TEST(SimdSha1Test, FastPathHonorsForcedScalarLevel) {
+  const auto data = random_bytes(100000, 0xFA57);
+  const Level saved = active_level();
+  const Sha1Digest want = Sha1::hash(data);
+  for (Level level : {Level::kScalar, best_supported()}) {
+    set_active_level(level);
+    EXPECT_EQ(sha1_hash_fast(data), want)
+        << "level " << level_name(level);
+  }
+  set_active_level(saved);
 }
 
 // ---- Rabin lanes ---------------------------------------------------------
