@@ -1,0 +1,381 @@
+// Cluster-scale sweep: the Fig. 5 (dedup) and Fig. 1 (mandel) schedules on
+// a simulated multi-node full-mesh cluster, comparing naive round-robin
+// stage placement against the greedy traffic-aware placer.
+//
+// On every invocation the bench first proves the 1-node topology byte-
+// identical to the single-host modeled runners (same modeled seconds,
+// throughput, checksum and kernel-launch counts, compared with exact
+// floating-point equality) and exits non-zero on any divergence — the
+// cluster layer is a strict superset of the single-host model, not a fork.
+// It then sweeps node counts, placing the dedup SPar+CUDA pipeline and the
+// mandel SPar+CUDA combined pipeline with both placers, and cross-checks
+// the placement cost estimator against the fabric's actual byte counters
+// (fabric_bytes - shard_bytes == predicted_cross_bytes, exactly).
+//
+// Flags: --nodes=N       sweep only N nodes (default sweep: 1, 2, 4, 8)
+//        --input-size=BYTES (8 MB) --batch-size=BYTES (256 KiB)
+//        --replicas=N    (19) dedup farm replicas
+//        --quick | --paper-scale | --dim=N --niter=N  mandel workload
+//        --batch=N       (32) mandel lines per kernel call
+//        --gpus=N        (2) GPUs per node
+//        --bw=BYTES/S    (12.5GB) per-link bandwidth  --lat=S (2us) latency
+//        --json=PATH     machine-readable rows (e.g. BENCH_cluster.json)
+//        --trace=FILE    Chrome trace of the largest dedup greedy run
+//        --csv
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cluster/modeled.hpp"
+#include "datagen/corpus.hpp"
+#include "dedup/modeled.hpp"
+#include "mandel/calibrate.hpp"
+#include "mandel/modeled.hpp"
+
+namespace hs {
+namespace {
+
+using cluster::ClusterRunOptions;
+using cluster::ClusterRunResult;
+using cluster::Placement;
+using cluster::StageGraph;
+using cluster::Topology;
+using dedup::Fig5Backend;
+
+struct JsonRow {
+  std::string workload;
+  int nodes = 0;
+  std::string placement;
+  std::uint64_t predicted_cross_bytes = 0;
+  std::uint64_t fabric_bytes = 0;
+  std::uint64_t shard_bytes = 0;
+  double modeled_seconds = 0;
+  double throughput_mb_s = 0;
+  std::uint64_t kernel_launches = 0;
+};
+
+/// Exact-equality comparison of a single-host result against the 1-node
+/// cluster rerun. Doubles are compared with ==: the cluster runner must
+/// submit the identical op sequence, so the schedules are the same maths.
+bool check_equal(const std::string& what, const std::string& label_host,
+                 const std::string& label_cluster, double sec_host,
+                 double sec_cluster, std::uint64_t aux_host,
+                 std::uint64_t aux_cluster) {
+  if (label_host == label_cluster && sec_host == sec_cluster &&
+      aux_host == aux_cluster) {
+    return true;
+  }
+  std::cerr << "[bench] 1-NODE EQUIVALENCE FAILURE (" << what << "):\n"
+            << "  single-host: label='" << label_host << "' seconds="
+            << std::hexfloat << sec_host << std::defaultfloat
+            << " aux=" << aux_host << "\n"
+            << "  1-node:      label='" << label_cluster << "' seconds="
+            << std::hexfloat << sec_cluster << std::defaultfloat
+            << " aux=" << aux_cluster << "\n";
+  return false;
+}
+
+int run(int argc, const char** argv) {
+  auto args_or = CliArgs::Parse(argc, argv);
+  if (!args_or.ok()) {
+    std::cerr << args_or.status().ToString() << "\n";
+    return 1;
+  }
+  const CliArgs& args = args_or.value();
+
+  const std::uint64_t input_size =
+      args.get_bytes("input-size", 8 * 1000 * 1000);
+  auto batch_size_or = args.get_positive_bytes("batch-size", 256 * 1024);
+  auto replicas_or = args.get_positive_int("replicas", 19);
+  auto batch_or = args.get_positive_int("batch", 32);
+  auto gpus_or = args.get_positive_int("gpus", 2);
+  auto bw_or = args.get_positive_bytes("bw", 12'500'000'000ULL);
+  for (const Status& s : {batch_size_or.status(), replicas_or.status(),
+                          batch_or.status(), gpus_or.status(),
+                          bw_or.status()}) {
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  const int replicas = static_cast<int>(replicas_or.value());
+  const int gpus = static_cast<int>(gpus_or.value());
+  const double link_bw = static_cast<double>(bw_or.value());
+  const double link_lat = args.get_double("lat", 2e-6);
+  const bool csv = args.get_bool("csv", false);
+  const std::string json_path = args.get_string("json", "");
+  const std::string trace_path = args.get_string("trace", "");
+
+  std::vector<int> node_counts;
+  if (args.has("nodes")) {
+    auto n = args.get_positive_int("nodes", 1);
+    if (!n.ok()) {
+      std::cerr << n.status().ToString() << "\n";
+      return 1;
+    }
+    node_counts.push_back(static_cast<int>(n.value()));
+  } else {
+    node_counts = {1, 2, 4, 8};
+  }
+
+  // The GPU spec travels with the workload: mandel runs against the
+  // calibrated device spec, dedup against the stock Titan XP — each
+  // workload's topology must carry the spec its single-host twin uses.
+  auto mesh = [&](int n, const gpusim::DeviceSpec& spec) {
+    return cluster::full_mesh(n, gpus, spec, link_bw, link_lat);
+  };
+
+  // ---- Workloads -------------------------------------------------------
+  datagen::CorpusSpec corpus;
+  corpus.kind = datagen::CorpusKind::kParsecLike;
+  corpus.bytes = input_size;
+  std::fprintf(stderr, "[bench] generating parsec corpus (%s)...\n",
+               format_bytes(input_size).c_str());
+  const std::vector<std::uint8_t> input = datagen::generate(corpus);
+
+  dedup::Fig5Config dcfg;
+  dcfg.replicas = replicas;
+  dcfg.devices = gpus;  // single-host comparison runs; cluster uses the topo
+  dcfg.dedup.batch_size = static_cast<std::uint32_t>(batch_size_or.value());
+  dcfg.dedup.rabin.mask = 0x7FF;  // ~2 kB blocks, as fig5_dedup_throughput
+  const dedup::DedupTrace trace = dedup::build_trace(input, dcfg.dedup);
+
+  kernels::MandelParams params = benchtool::mandel_workload(args);
+  mandel::IterationMap map = benchtool::load_map(args, params);
+  mandel::ModeledConfig mcfg;
+  mcfg.batch_lines = static_cast<int>(batch_or.value());
+  mcfg.devices = gpus;
+  if (args.get_bool("calibrate", true)) {
+    mcfg = mandel::calibrate_to_paper(map, {}, mcfg);
+    mcfg.devices = gpus;
+  }
+
+  // ---- 1-node equivalence: cluster == single-host, bit for bit ---------
+  ClusterRunOptions one_node;
+  one_node.topo = mesh(1, dcfg.device_spec);
+  ClusterRunOptions one_node_m;
+  one_node_m.topo = mesh(1, mcfg.device_spec);
+  bool equiv_ok = true;
+  {
+    for (Fig5Backend b : {Fig5Backend::kSequential, Fig5Backend::kSparCpu,
+                          Fig5Backend::kSparCuda, Fig5Backend::kSparOcl}) {
+      dedup::Fig5Result host = dedup::run_fig5(trace, dcfg, b);
+      ClusterRunResult one = cluster::run_fig5_cluster(trace, dcfg, b, one_node);
+      equiv_ok &= check_equal(
+          "dedup " + host.label, host.label, one.label, host.modeled_seconds,
+          one.modeled_seconds, host.kernel_launches, one.kernel_launches);
+    }
+    {
+      dedup::Fig5Config c = dcfg;
+      c.mem_spaces = 2;
+      dedup::Fig5Result host =
+          dedup::run_fig5(trace, c, Fig5Backend::kSparCuda);
+      ClusterRunResult one = cluster::run_fig5_cluster(
+          trace, c, Fig5Backend::kSparCuda, one_node);
+      equiv_ok &= check_equal(
+          "dedup " + host.label, host.label, one.label, host.modeled_seconds,
+          one.modeled_seconds, host.kernel_launches, one.kernel_launches);
+    }
+
+    mandel::RunResult seq = mandel::run_sequential(map, mcfg);
+    ClusterRunResult seq1 =
+        cluster::run_mandel_sequential_cluster(map, mcfg, one_node_m);
+    equiv_ok &= check_equal("mandel sequential", seq.label, seq1.label,
+                            seq.modeled_seconds, seq1.modeled_seconds,
+                            seq.checksum, seq1.checksum);
+
+    mandel::ModeledConfig c20 = mcfg;
+    c20.cpu_workers = 20;
+    mandel::RunResult cpu =
+        mandel::run_cpu_pipeline(map, c20, mandel::CpuModel::kSpar);
+    ClusterRunResult cpu1 =
+        cluster::run_mandel_cpu_cluster(map, c20, one_node_m);
+    equiv_ok &= check_equal("mandel spar cpu", cpu.label, cpu1.label,
+                            cpu.modeled_seconds, cpu1.modeled_seconds,
+                            cpu.checksum, cpu1.checksum);
+
+    for (mandel::GpuApi api : {mandel::GpuApi::kCuda, mandel::GpuApi::kOpenCl}) {
+      mandel::RunResult comb =
+          mandel::run_combined(map, mcfg, mandel::CpuModel::kSpar, api);
+      ClusterRunResult comb1 =
+          cluster::run_mandel_combined_cluster(map, mcfg, api, one_node_m);
+      equiv_ok &= check_equal("mandel " + comb.label, comb.label, comb1.label,
+                              comb.modeled_seconds, comb1.modeled_seconds,
+                              comb.checksum, comb1.checksum);
+      equiv_ok &= check_equal("mandel " + comb.label + " kernels", comb.label,
+                              comb1.label, comb.modeled_seconds,
+                              comb1.modeled_seconds, comb.kernel_launches,
+                              comb1.kernel_launches);
+    }
+  }
+  if (!equiv_ok) return 1;
+  if (!csv) {
+    std::cout << "1-node cluster == single-host model (dedup seq/spar-cpu/"
+                 "spar+cuda/spar+opencl/2x-mem, mandel seq/cpu/combined): "
+                 "byte-identical.\n\n";
+  }
+
+  // ---- Multi-node sweep ------------------------------------------------
+  std::vector<JsonRow> rows;
+  bool estimator_ok = true;
+  bool greedy_beats_rr_4node = true;
+
+  Table dtable("Cluster sweep — dedup SPar+CUDA (" +
+               format_bytes(input_size) + ", " + std::to_string(replicas) +
+               " replicas, full mesh, " + format_bytes(bw_or.value()) +
+               "/s links)");
+  dtable.set_header({"nodes", "placement", "predicted cross-bytes",
+                     "fabric bytes", "modeled time", "throughput"});
+  Table mtable("Cluster sweep — mandel SPar+CUDA combined (dim=" +
+               std::to_string(params.dim) + ", " +
+               std::to_string(mcfg.combined_workers) + " workers)");
+  mtable.set_header({"nodes", "placement", "predicted cross-bytes",
+                     "fabric bytes", "modeled time", "speedup vs 1-node"});
+
+  const StageGraph dgraph = cluster::dedup_stage_graph(trace, replicas, true);
+  const StageGraph mgraph = cluster::mandel_stage_graph(
+      params.dim, mcfg.batch_lines, mcfg.combined_workers, true);
+
+  double mandel_base = 0;
+  for (int n : node_counts) {
+    const Topology dtopo = mesh(n, dcfg.device_spec);
+    const Topology mtopo = mesh(n, mcfg.device_spec);
+    struct Placer {
+      const char* name;
+      Placement placement;
+    };
+    const auto sweep = [&](const Topology& topo, const StageGraph& graph,
+                           const char* workload, auto&& run_one, Table& table,
+                           auto&& row_tail) {
+      Placer placers[2] = {
+          {"round-robin", cluster::place_round_robin(graph, topo)},
+          {"greedy", cluster::place_greedy(graph, topo)},
+      };
+      std::array<std::uint64_t, 2> predicted = {0, 0};
+      for (int p = 0; p < 2; ++p) {
+        predicted[p] =
+            cluster::predicted_cross_bytes(graph, placers[p].placement, topo);
+        ClusterRunOptions opts;
+        opts.topo = topo;
+        opts.placement = placers[p].placement;
+        if (!trace_path.empty() && n == node_counts.back() &&
+            std::string(workload) == "dedup-spar+cuda" &&
+            std::string(placers[p].name) == "greedy") {
+          opts.trace_path = trace_path;
+        }
+        ClusterRunResult r = run_one(opts);
+        // Estimator pin: the fabric's non-shard traffic must be exactly
+        // what the placement estimator predicted.
+        if (r.fabric_bytes - r.shard_bytes != predicted[p]) {
+          std::cerr << "[bench] ESTIMATOR MISMATCH (" << workload << ", "
+                    << n << " nodes, " << placers[p].name
+                    << "): fabric=" << r.fabric_bytes
+                    << " shard=" << r.shard_bytes
+                    << " predicted=" << predicted[p] << "\n";
+          estimator_ok = false;
+        }
+        row_tail(table, placers[p].name, predicted[p], r);
+        rows.push_back({workload, n, placers[p].name, predicted[p],
+                        r.fabric_bytes, r.shard_bytes, r.modeled_seconds,
+                        r.throughput_mb_s, r.kernel_launches});
+      }
+      return predicted;
+    };
+
+    auto dpred = sweep(
+        dtopo, dgraph, "dedup-spar+cuda",
+        [&](const ClusterRunOptions& opts) {
+          return cluster::run_fig5_cluster(trace, dcfg,
+                                           Fig5Backend::kSparCuda, opts);
+        },
+        dtable,
+        [&](Table& t, const char* pname, std::uint64_t pred,
+            const ClusterRunResult& r) {
+          t.add_row({std::to_string(n), pname, std::to_string(pred),
+                     std::to_string(r.fabric_bytes),
+                     format_seconds(r.modeled_seconds),
+                     format_fixed(r.throughput_mb_s, 1) + " MB/s"});
+        });
+    if (n == 4 && dpred[1] >= dpred[0]) {
+      std::cerr << "[bench] GREEDY DOES NOT BEAT ROUND-ROBIN at 4 nodes: "
+                << "greedy=" << dpred[1] << " rr=" << dpred[0] << "\n";
+      greedy_beats_rr_4node = false;
+    }
+
+    sweep(
+        mtopo, mgraph, "mandel-combined-cuda",
+        [&](const ClusterRunOptions& opts) {
+          return cluster::run_mandel_combined_cluster(
+              map, mcfg, mandel::GpuApi::kCuda, opts);
+        },
+        mtable,
+        [&](Table& t, const char* pname, std::uint64_t pred,
+            const ClusterRunResult& r) {
+          if (mandel_base == 0) mandel_base = r.modeled_seconds;
+          t.add_row({std::to_string(n), pname, std::to_string(pred),
+                     std::to_string(r.fabric_bytes),
+                     format_seconds(r.modeled_seconds),
+                     benchtool::speedup_cell(mandel_base,
+                                             r.modeled_seconds)});
+        });
+    dtable.add_separator();
+    mtable.add_separator();
+  }
+
+  if (csv) {
+    dtable.render_csv(std::cout);
+    mtable.render_csv(std::cout);
+  } else {
+    dtable.render(std::cout);
+    std::cout << "\n";
+    mtable.render(std::cout);
+    std::cout << "\ngreedy placement co-locates the heavy source->worker and "
+                 "worker->writer edges; round-robin scatters them. The dup "
+                 "check's shard traffic (content-hash routed, digest % nodes) "
+                 "is placement-independent and excluded from the estimator "
+                 "columns.\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "[bench] cannot write " << json_path << "\n";
+      return 1;
+    }
+    json << "{\n  \"bench\": \"fig_cluster\",\n";
+    json << "  \"input_bytes\": " << input_size << ",\n";
+    json << "  \"replicas\": " << replicas << ",\n";
+    json << "  \"dim\": " << params.dim << ",\n";
+    json << "  \"gpus_per_node\": " << gpus << ",\n";
+    json << "  \"link_bandwidth_bytes_per_s\": " << link_bw << ",\n";
+    json << "  \"link_latency_s\": " << link_lat << ",\n";
+    json << "  \"one_node_byte_identical\": " << (equiv_ok ? "true" : "false")
+         << ",\n";
+    json << "  \"greedy_beats_rr_dedup_4node\": "
+         << (greedy_beats_rr_4node ? "true" : "false") << ",\n";
+    json << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const JsonRow& r = rows[i];
+      json << "    {\"workload\": \"" << r.workload << "\", \"nodes\": "
+           << r.nodes << ", \"placement\": \"" << r.placement
+           << "\", \"predicted_cross_bytes\": " << r.predicted_cross_bytes
+           << ", \"fabric_bytes\": " << r.fabric_bytes
+           << ", \"shard_bytes\": " << r.shard_bytes
+           << ", \"modeled_seconds\": " << r.modeled_seconds
+           << ", \"throughput_mb_s\": " << r.throughput_mb_s
+           << ", \"kernel_launches\": " << r.kernel_launches << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::fprintf(stderr, "[bench] json written to %s\n", json_path.c_str());
+  }
+
+  return (estimator_ok && greedy_beats_rr_4node) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hs
+
+int main(int argc, const char** argv) { return hs::run(argc, argv); }

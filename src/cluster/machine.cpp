@@ -1,0 +1,32 @@
+#include "cluster/machine.hpp"
+
+#include <cassert>
+
+#include "des/trace_export.hpp"
+
+namespace hs::cluster {
+
+ClusterMachine::ClusterMachine(const Topology& topo)
+    : topo_(topo), fabric_((assert(topo.validate().ok()), topo_), &timeline_) {
+  nodes_.reserve(topo_.nodes.size());
+  for (const NodeSpec& node : topo_.nodes) {
+    nodes_.push_back(std::make_unique<gpusim::Machine>(
+        node.gpus, &timeline_, &mutex_, node.name + "."));
+  }
+}
+
+std::uint64_t ClusterMachine::kernel_launches() const {
+  std::uint64_t launches = 0;
+  for (const auto& node : nodes_) {
+    for (int d = 0; d < node->device_count(); ++d) {
+      launches += node->device(d).counters().kernels_launched;
+    }
+  }
+  return launches;
+}
+
+Status ClusterMachine::dump_chrome_trace(const std::string& path) const {
+  return des::write_chrome_trace(timeline_, path);
+}
+
+}  // namespace hs::cluster

@@ -1,0 +1,160 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace hs::cluster {
+
+namespace {
+
+bool feasible(const StageInstance& stage, const NodeSpec& node) {
+  return !stage.needs_gpu || !node.gpus.empty();
+}
+
+}  // namespace
+
+std::uint64_t predicted_cross_bytes(const StageGraph& graph,
+                                    const Placement& placement,
+                                    const Topology& topo) {
+  assert(placement.node_of.size() == graph.stages.size());
+  Routes routes = compute_routes(topo);
+  std::uint64_t total = 0;
+  for (const StageEdge& e : graph.edges) {
+    int a = placement.node_of[static_cast<std::size_t>(e.from)];
+    int b = placement.node_of[static_cast<std::size_t>(e.to)];
+    int h = routes.hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+    assert(h >= 0 && "placement uses unreachable nodes");
+    total += e.bytes * static_cast<std::uint64_t>(h);
+  }
+  return total;
+}
+
+Placement place_round_robin(const StageGraph& graph, const Topology& topo) {
+  const int n = static_cast<int>(topo.nodes.size());
+  Placement p;
+  p.node_of.assign(graph.stages.size(), 0);
+  int k = 0;
+  for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+    const StageInstance& stage = graph.stages[i];
+    if (stage.pinned_node >= 0) {
+      p.node_of[i] = stage.pinned_node;
+      continue;
+    }
+    // Next node in rotation that can host the stage (full mesh of GPU
+    // nodes: plain k % N).
+    int chosen = -1;
+    for (int probe = 0; probe < n; ++probe) {
+      int cand = (k + probe) % n;
+      if (feasible(stage, topo.nodes[static_cast<std::size_t>(cand)])) {
+        chosen = cand;
+        k = cand + 1;
+        break;
+      }
+    }
+    assert(chosen >= 0 && "no feasible node for stage");
+    p.node_of[i] = chosen;
+  }
+  return p;
+}
+
+Placement place_greedy(const StageGraph& graph, const Topology& topo) {
+  const int n = static_cast<int>(topo.nodes.size());
+  Routes routes = compute_routes(topo);
+  Placement p;
+  p.node_of.assign(graph.stages.size(), -1);
+
+  std::vector<int> capacity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    capacity[static_cast<std::size_t>(i)] =
+        topo.nodes[static_cast<std::size_t>(i)].cores;
+  }
+
+  // Pinned stages claim their nodes first.
+  for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+    if (graph.stages[i].pinned_node >= 0) {
+      p.node_of[i] = graph.stages[i].pinned_node;
+      capacity[static_cast<std::size_t>(p.node_of[i])] -=
+          graph.stages[i].cores;
+    }
+  }
+
+  // Free stages in descending order of incident bytes (place the heaviest
+  // communicators while the most freedom remains); stable index tie break.
+  std::vector<std::uint64_t> incident(graph.stages.size(), 0);
+  for (const StageEdge& e : graph.edges) {
+    incident[static_cast<std::size_t>(e.from)] += e.bytes;
+    incident[static_cast<std::size_t>(e.to)] += e.bytes;
+  }
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+    if (p.node_of[i] < 0) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return incident[a] > incident[b];
+                   });
+
+  for (std::size_t i : order) {
+    const StageInstance& stage = graph.stages[i];
+    // Added cost on node c: bytes x hops to every already-placed neighbor.
+    auto added_cost = [&](int c) {
+      std::uint64_t cost = 0;
+      for (const StageEdge& e : graph.edges) {
+        std::size_t other;
+        if (e.from == static_cast<int>(i)) {
+          other = static_cast<std::size_t>(e.to);
+        } else if (e.to == static_cast<int>(i)) {
+          other = static_cast<std::size_t>(e.from);
+        } else {
+          continue;
+        }
+        int node = p.node_of[other];
+        if (node < 0) continue;  // neighbor not placed yet
+        cost += e.bytes *
+                static_cast<std::uint64_t>(
+                    routes.hops[static_cast<std::size_t>(c)]
+                               [static_cast<std::size_t>(node)]);
+      }
+      return cost;
+    };
+
+    int best = -1;
+    std::uint64_t best_cost = 0;
+    bool best_has_capacity = false;
+    int best_capacity = 0;
+    for (int c = 0; c < n; ++c) {
+      if (!feasible(stage, topo.nodes[static_cast<std::size_t>(c)])) continue;
+      std::uint64_t cost = added_cost(c);
+      bool has_capacity = capacity[static_cast<std::size_t>(c)] >= stage.cores;
+      // Prefer: within capacity; then lowest added cost; then lowest index.
+      // When every feasible node is over capacity (graph bigger than the
+      // cluster), fall back to the least-loaded of the cheapest nodes.
+      bool better;
+      if (best < 0) {
+        better = true;
+      } else if (has_capacity != best_has_capacity) {
+        better = has_capacity;
+      } else if (cost != best_cost) {
+        better = cost < best_cost;
+      } else if (!has_capacity &&
+                 capacity[static_cast<std::size_t>(c)] != best_capacity) {
+        better = capacity[static_cast<std::size_t>(c)] > best_capacity;
+      } else {
+        better = false;
+      }
+      if (better) {
+        best = c;
+        best_cost = cost;
+        best_has_capacity = has_capacity;
+        best_capacity = capacity[static_cast<std::size_t>(c)];
+      }
+    }
+    assert(best >= 0 && "no feasible node for stage");
+    p.node_of[i] = best;
+    capacity[static_cast<std::size_t>(best)] -= stage.cores;
+  }
+  return p;
+}
+
+}  // namespace hs::cluster

@@ -1,0 +1,59 @@
+// Stage placement: mapping pipeline stage instances onto cluster nodes.
+//
+// The cost estimator predicts cross-link traffic of a candidate placement
+// from per-edge byte totals (derived from a workload trace): an edge
+// contributes bytes x hop-distance between its endpoints' nodes, which is
+// exactly what the Fabric will charge when the schedule runs (each hop
+// moves the full payload once). cluster_test pins the estimator to the
+// fabric's actual byte counters on a dedup run.
+//
+// Two placers:
+//   round_robin — instance k on node k % N (skipping infeasible nodes),
+//                 the naive spread a stream runtime would do;
+//   greedy      — pinned stages first, then free stages in order of
+//                 descending incident bytes, each on the feasible node
+//                 minimizing the added cost (capacity-aware; lowest index
+//                 breaks ties). Deterministic, and strictly better than
+//                 round-robin on traffic-skewed graphs like dedup's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+
+namespace hs::cluster {
+
+struct StageInstance {
+  std::string name;
+  bool needs_gpu = false;  ///< only nodes with >= 1 GPU are feasible
+  int pinned_node = -1;    ///< fixed assignment, -1 = placeable
+  int cores = 1;           ///< host threads consumed on its node
+};
+
+struct StageEdge {
+  int from = 0;  ///< indices into StageGraph::stages
+  int to = 0;
+  std::uint64_t bytes = 0;  ///< total payload over the whole run
+};
+
+struct StageGraph {
+  std::vector<StageInstance> stages;
+  std::vector<StageEdge> edges;
+};
+
+/// node_of[i] = node of stage instance i.
+struct Placement {
+  std::vector<int> node_of;
+};
+
+/// Sum over edges of bytes x hops(node_of[from], node_of[to]).
+std::uint64_t predicted_cross_bytes(const StageGraph& graph,
+                                    const Placement& placement,
+                                    const Topology& topo);
+
+Placement place_round_robin(const StageGraph& graph, const Topology& topo);
+Placement place_greedy(const StageGraph& graph, const Topology& topo);
+
+}  // namespace hs::cluster

@@ -4,24 +4,26 @@
 #include <cassert>
 #include <memory>
 
+#include "dedup/modeled_detail.hpp"
+
 namespace hs::dedup {
 
 namespace {
 
 using gpusim::Device;
-using gpusim::Dim3;
 using gpusim::Machine;
 using gpusim::OpHandle;
-using gpusim::StreamId;
-using gpusim::ThreadCtx;
 using perfmodel::HostProfile;
 using perfmodel::ModeledHost;
 
-/// GPU lane-cost scale factors: the simulator's cost unit is one simple
-/// arithmetic step (one Mandelbrot iteration); one SHA-1 compression round
-/// and one LZSS candidate comparison are worth roughly these many units.
-constexpr double kSha1RoundUnits = 100.0;
-constexpr double kLzssCompareUnits = 2.0;
+// Kernel/copy enqueue bodies and CPU stage costs live in modeled_detail.hpp
+// so the cluster runner (cluster/modeled.cpp) charges identical durations.
+using detail::CpuCosts;
+using detail::launch_findmatch;
+using detail::launch_hash_kernel;
+using detail::per_block_match_readback;
+using detail::ScratchBuffers;
+using detail::Space;
 
 bool is_cuda(Fig5Backend b) {
   return b == Fig5Backend::kCudaSingle || b == Fig5Backend::kSparCuda;
@@ -29,158 +31,6 @@ bool is_cuda(Fig5Backend b) {
 bool is_gpu(Fig5Backend b) {
   return b != Fig5Backend::kSequential && b != Fig5Backend::kSparCpu;
 }
-
-/// One GPU memory space: stream + the tail ops the owner must respect.
-struct Space {
-  Device* device = nullptr;
-  StreamId stream = 0;
-  OpHandle last_d2h;  ///< matches transfer of the previous batch using it
-};
-
-/// Charges the CPU-side costs of the classic stages.
-struct CpuCosts {
-  explicit CpuCosts(const HostProfile& h) : host(h) {}
-  const HostProfile& host;
-
-  double frag(const BatchCosts& b) const {
-    return b.data_len * host.seconds_per_rabin_byte;
-  }
-  double hash(const BatchCosts& b) const {
-    return static_cast<double>(b.sha1_rounds) * host.seconds_per_sha1_round;
-  }
-  double dupcheck(const BatchCosts& b) const {
-    return static_cast<double>(b.block_count) * host.seconds_per_dupcheck;
-  }
-  double compress(const BatchCosts& b) const {
-    return static_cast<double>(b.unique_match_cost_units) *
-               host.seconds_per_lzss_unit +
-           static_cast<double>(b.unique_bytes) * host.seconds_per_encode_byte;
-  }
-  double encode_walk(const BatchCosts& b) const {
-    return static_cast<double>(b.unique_bytes) * host.seconds_per_encode_byte;
-  }
-  double write(const BatchCosts& b) const {
-    return static_cast<double>(b.output_bytes) * host.seconds_per_output_byte;
-  }
-};
-
-/// Enqueues the hash kernel for a batch: one lane per block, lane cost =
-/// SHA-1 rounds (Listing-3-style trace-driven body).
-OpHandle launch_hash_kernel(const BatchCosts& b, Space& space) {
-  const auto* lens = b.block_lens.data();
-  const std::uint64_t nblocks = b.block_lens.size();
-  auto r = space.device->launch(
-      Dim3{static_cast<std::uint32_t>((nblocks + 63) / 64), 1, 1},
-      Dim3{64, 1, 1}, {}, space.stream,
-      [lens, nblocks](const ThreadCtx& tc) -> double {
-        std::uint64_t i = tc.global_x();
-        if (i >= nblocks) return 1;
-        return static_cast<double>(
-                   kernels::Sha1::compression_rounds(lens[i])) *
-               kSha1RoundUnits;
-      });
-  assert(r.ok());
-  return r.value();
-}
-
-/// Enqueues the FindMatch work for a batch: either the optimized single
-/// kernel over every position (Listing 3) or the pre-fix one-kernel-per-
-/// block form (which also reads each block's matches back separately —
-/// many small latency-bound transfers, part of why it was "very poor").
-OpHandle launch_findmatch(const BatchCosts& b, Space& space,
-                          const kernels::LzssParams& lzss,
-                          bool batched_kernel) {
-  const auto& starts = b.start_pos;
-  const std::uint64_t n = b.data_len;
-  OpHandle last;
-  if (batched_kernel) {
-    const auto* sp = starts.data();
-    const std::size_t nsp = starts.size();
-    auto r = space.device->launch(
-        Dim3{static_cast<std::uint32_t>((n + 255) / 256), 1, 1},
-        Dim3{256, 1, 1}, {}, space.stream,
-        [sp, nsp, n, lzss](const ThreadCtx& tc) -> double {
-          std::uint64_t pos = tc.global_x();
-          if (pos >= n) return 1;
-          std::size_t lo = 0, hi = nsp;
-          while (lo + 1 < hi) {
-            std::size_t mid = (lo + hi) / 2;
-            if (sp[mid] <= pos) lo = mid;
-            else hi = mid;
-          }
-          return static_cast<double>(
-                     kernels::lzss_match_cost(sp[lo], pos, lzss)) *
-                 kLzssCompareUnits;
-        });
-    assert(r.ok());
-    last = r.value();
-  } else {
-    for (std::size_t k = 0; k < starts.size(); ++k) {
-      std::uint64_t bs = starts[k];
-      std::uint64_t be = k + 1 < starts.size() ? starts[k + 1] : n;
-      std::uint64_t len = be - bs;
-      auto r = space.device->launch(
-          Dim3{static_cast<std::uint32_t>((len + 255) / 256), 1, 1},
-          Dim3{256, 1, 1}, {}, space.stream,
-          [bs, be, lzss](const ThreadCtx& tc) -> double {
-            std::uint64_t pos = bs + tc.global_x();
-            if (pos >= be) return 1;
-            return static_cast<double>(
-                       kernels::lzss_match_cost(bs, pos, lzss)) *
-                   kLzssCompareUnits;
-          });
-      assert(r.ok());
-      last = r.value();
-    }
-  }
-  return last;
-}
-
-/// Per-block match read-back of the pre-fix form: one small latency-bound
-/// transfer per block instead of a single large one.
-OpHandle per_block_match_readback(const BatchCosts& b, Space& space,
-                                  void* dev_scratch, void* host_scratch) {
-  OpHandle last;
-  const auto& starts = b.start_pos;
-  for (std::size_t k = 0; k < starts.size(); ++k) {
-    std::uint64_t bs = starts[k];
-    std::uint64_t be =
-        k + 1 < starts.size() ? starts[k + 1] : b.data_len;
-    std::uint64_t bytes =
-        std::max<std::uint64_t>(1, (be - bs) * sizeof(kernels::LzssMatch));
-    auto r = space.device->memcpy_d2h(host_scratch, dev_scratch, bytes,
-                                      space.stream,
-                                      gpusim::HostMem::kPageable);
-    assert(r.ok());
-    last = r.value();
-  }
-  return last;
-}
-
-/// Scratch device/host buffers shared by the modeled copies. Functional
-/// content is irrelevant (the trace already holds the results); sizes are
-/// what the cost model consumes.
-struct ScratchBuffers {
-  std::vector<std::uint8_t> host;
-  void* dev = nullptr;
-
-  void ensure(Device& device, std::size_t bytes) {
-    if (host.size() < bytes) host.resize(bytes);
-    if (dev == nullptr) {
-      auto r = device.malloc(std::max<std::size_t>(bytes, 1));
-      assert(r.ok());
-      dev = r.value();
-      dev_size = bytes;
-    } else if (dev_size < bytes) {
-      (void)device.free(dev);
-      auto r = device.malloc(bytes);
-      assert(r.ok());
-      dev = r.value();
-      dev_size = bytes;
-    }
-  }
-  std::size_t dev_size = 0;
-};
 
 }  // namespace
 
@@ -215,8 +65,10 @@ DedupTrace build_trace(std::span<const std::uint8_t> input,
     costs.sha1_rounds = batch_sha1_rounds(batch);
     costs.match_cost_units = batch_match_cost(batch, config);
     costs.block_lens.reserve(batch.blocks.size());
+    costs.shard_key.reserve(batch.blocks.size());
     for (const BlockInfo& block : batch.blocks) {
       costs.block_lens.push_back(block.len);
+      costs.shard_key.push_back(block.digest[0]);
       if (block.duplicate) {
         ++trace.duplicate_blocks;
       } else {

@@ -38,6 +38,10 @@ struct BatchCosts {
   std::uint64_t unique_match_cost_units = 0;  ///< unique blocks (CPU path)
   std::uint64_t unique_bytes = 0;
   std::uint64_t output_bytes = 0;
+  /// Leading digest byte per block, in block order. Content-hash routing key
+  /// for the cluster-sharded duplicate check (owner node = key % nodes);
+  /// unused by the single-host variants.
+  std::vector<std::uint8_t> shard_key;
 };
 
 struct DedupTrace {

@@ -29,10 +29,17 @@ TaskId Timeline::submit(EngineId engine, Time duration,
 TaskId Timeline::submit(EngineId engine, Time duration,
                         std::span<const TaskId> deps,
                         std::string_view label) {
+  return submit_at(engine, duration, 0, deps, label);
+}
+
+TaskId Timeline::submit_at(EngineId engine, Time duration, Time earliest_start,
+                           std::span<const TaskId> deps,
+                           std::string_view label) {
   assert(engine.index < engines_.size());
   assert(duration >= 0 && "negative task duration");
+  assert(earliest_start >= 0 && "negative earliest start");
   EngineStats& e = engines_[engine.index];
-  Time start = std::max(e.free_at, deps_ready(deps));
+  Time start = std::max(std::max(e.free_at, earliest_start), deps_ready(deps));
   Time finish = start + duration;
   e.free_at = finish;
   e.busy += duration;

@@ -74,6 +74,20 @@ class Timeline {
   TaskId submit(EngineId engine, Time duration, std::span<const TaskId> deps,
                 std::string_view label);
 
+  /// Like submit, but the task additionally cannot start before
+  /// `earliest_start` (absolute virtual time):
+  ///
+  ///   start = max(engine_free_time, earliest_start, deps_ready)
+  ///
+  /// This models work entering the schedule from outside the dependency
+  /// graph — cross-traffic arriving on a shared fabric link at a known
+  /// time, a tenant request with a release time — while keeping the greedy
+  /// submission-order computation intact (the minimum start is a constant,
+  /// so completion times are still computable at submission).
+  TaskId submit_at(EngineId engine, Time duration, Time earliest_start,
+                   std::span<const TaskId> deps = {},
+                   std::string_view label = {});
+
   /// Enables per-task trace recording (off by default: figure benches
   /// submit millions of tasks; tracing is a debugging/visualization aid).
   void set_recording(bool enabled) { recording_ = enabled; }

@@ -10,15 +10,16 @@ namespace hs::gpusim {
 
 Device::Device(Machine* machine, std::uint32_t index, DeviceSpec spec)
     : machine_(machine), index_(index), spec_(std::move(spec)) {
-  std::string prefix = "gpu" + std::to_string(index_) + ".";
-  compute_engine_ = machine_->timeline_.add_engine(prefix + "compute");
-  h2d_engine_ = machine_->timeline_.add_engine(prefix + "h2d");
-  d2h_engine_ = machine_->timeline_.add_engine(prefix + "d2h");
+  std::string prefix =
+      machine_->engine_prefix_ + "gpu" + std::to_string(index_) + ".";
+  compute_engine_ = machine_->tl().add_engine(prefix + "compute");
+  h2d_engine_ = machine_->tl().add_engine(prefix + "h2d");
+  d2h_engine_ = machine_->tl().add_engine(prefix + "d2h");
   stream_last_.push_back(des::TaskId{});  // stream 0, the default stream
 }
 
 Result<void*> Device::malloc(std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   if (bytes == 0) return InvalidArgument("zero-byte device allocation");
   if (Status s = fault_check_locked(FaultSite::kAlloc); !s.ok()) return s;
   if (memory_used_ + bytes > spec_.memory_bytes) {
@@ -37,7 +38,7 @@ Result<void*> Device::malloc(std::uint64_t bytes) {
 }
 
 Status Device::free(void* ptr) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   auto it = allocations_.find(reinterpret_cast<std::uintptr_t>(ptr));
   if (it == allocations_.end()) {
     return InvalidArgument("free of pointer not allocated on this device");
@@ -48,7 +49,7 @@ Status Device::free(void* ptr) {
 }
 
 std::uint64_t Device::memory_used() const {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   return memory_used_;
 }
 
@@ -67,13 +68,13 @@ bool Device::owns_range(const void* ptr, std::uint64_t len) const {
 }
 
 StreamId Device::create_stream() {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   stream_last_.push_back(des::TaskId{});
   return static_cast<StreamId>(stream_last_.size() - 1);
 }
 
 std::size_t Device::stream_count() const {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   return stream_last_.size();
 }
 
@@ -94,7 +95,7 @@ OpHandle Device::record_locked(StreamId stream, EngineKind kind,
                       : kind == EngineKind::kH2D   ? "h2d"
                                                    : "d2h";
   des::TaskId deps[1] = {prev};
-  des::TaskId task = machine_->timeline_.submit(
+  des::TaskId task = machine_->tl().submit(
       engine_for(kind), duration,
       std::span<const des::TaskId>(deps, prev.valid() ? 1 : 0), label);
   stream_last_[stream] = task;
@@ -104,7 +105,7 @@ OpHandle Device::record_locked(StreamId stream, EngineKind kind,
 Result<OpHandle> Device::memcpy_impl(void* dst, const void* src,
                                      std::uint64_t bytes, StreamId stream,
                                      CopyDir dir, HostMem host_mem) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   if (stream >= stream_last_.size()) return InvalidArgument("unknown stream id");
   if (bytes == 0) return InvalidArgument("zero-byte memcpy");
 
@@ -171,7 +172,7 @@ Result<OpHandle> Device::memcpy_d2d(void* dst, const void* src,
 
 Result<OpHandle> Device::memset(void* dst, int value, std::uint64_t bytes,
                                 StreamId stream) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   if (stream >= stream_last_.size()) return InvalidArgument("unknown stream id");
   if (bytes == 0) return InvalidArgument("zero-byte memset");
   if (!owns_range(dst, bytes)) {
@@ -201,75 +202,75 @@ Status Device::validate_launch(const Dim3& grid, const Dim3& block,
 }
 
 Status Device::wait_event(StreamId stream, OpHandle event) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   if (stream >= stream_last_.size()) return InvalidArgument("unknown stream id");
   if (!event.valid()) return InvalidArgument("wait on unrecorded event");
   des::TaskId deps[2] = {stream_last_[stream], event.task};
   std::size_t n = stream_last_[stream].valid() ? 2 : 1;
   stream_last_[stream] =
-      machine_->timeline_.join(std::span<const des::TaskId>(
+      machine_->tl().join(std::span<const des::TaskId>(
           n == 2 ? deps : deps + 1, n));
   return OkStatus();
 }
 
 Result<double> Device::sync_stream(StreamId stream) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   if (stream >= stream_last_.size()) return InvalidArgument("unknown stream id");
   des::TaskId last = stream_last_[stream];
-  return last.valid() ? machine_->timeline_.finish_time(last) : 0.0;
+  return last.valid() ? machine_->tl().finish_time(last) : 0.0;
 }
 
 double Device::sync_all() {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   double t = 0;
   for (des::TaskId last : stream_last_) {
-    if (last.valid()) t = std::max(t, machine_->timeline_.finish_time(last));
+    if (last.valid()) t = std::max(t, machine_->tl().finish_time(last));
   }
   return t;
 }
 
 Result<OpHandle> Device::stream_last(StreamId stream) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   if (stream >= stream_last_.size()) return InvalidArgument("unknown stream id");
   return OpHandle{stream_last_[stream]};
 }
 
 double Device::compute_busy_seconds() const {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
-  return machine_->timeline_.engine_stats(compute_engine_).busy;
+  std::lock_guard<std::mutex> lock(machine_->mu());
+  return machine_->tl().engine_stats(compute_engine_).busy;
 }
 
 DeviceCounters Device::counters() const {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   return counters_;
 }
 
 // ---- fault injection -------------------------------------------------------
 
 void Device::set_fault_plan(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   fault_plan_ = std::move(plan);
   lost_ = fault_plan_->device_lost();
 }
 
 void Device::clear_fault_plan() {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   fault_plan_.reset();
   lost_ = false;
 }
 
 bool Device::lost() const {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   return lost_;
 }
 
 void Device::mark_lost() {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   lost_ = true;
 }
 
 FaultTelemetry Device::fault_telemetry() const {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   return fault_plan_ ? fault_plan_->telemetry() : FaultTelemetry{};
 }
 
@@ -304,50 +305,62 @@ Machine::Machine(const std::vector<DeviceSpec>& specs) {
   }
 }
 
+Machine::Machine(const std::vector<DeviceSpec>& specs, des::Timeline* timeline,
+                 std::mutex* mutex, std::string engine_prefix)
+    : mutex_ptr_(mutex), timeline_ptr_(timeline),
+      engine_prefix_(std::move(engine_prefix)) {
+  assert(timeline != nullptr && mutex != nullptr);
+  devices_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    devices_.push_back(std::make_unique<Device>(
+        this, static_cast<std::uint32_t>(i), specs[i]));
+  }
+}
+
 des::EngineId Machine::add_host_engine(std::string name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return timeline_.add_engine(std::move(name));
+  std::lock_guard<std::mutex> lock(mu());
+  return tl().add_engine(engine_prefix_ + std::move(name));
 }
 
 des::TaskId Machine::host_task(des::EngineId engine, double duration,
                                std::span<const des::TaskId> deps) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return timeline_.submit(engine, duration, deps);
+  std::lock_guard<std::mutex> lock(mu());
+  return tl().submit(engine, duration, deps);
 }
 
 des::TaskId Machine::join(std::span<const des::TaskId> deps) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return timeline_.join(deps);
+  std::lock_guard<std::mutex> lock(mu());
+  return tl().join(deps);
 }
 
 double Machine::makespan() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return timeline_.makespan();
+  std::lock_guard<std::mutex> lock(mu());
+  return tl().makespan();
 }
 
 double Machine::finish_time(des::TaskId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return timeline_.finish_time(id);
+  std::lock_guard<std::mutex> lock(mu());
+  return tl().finish_time(id);
 }
 
 std::size_t Machine::op_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return timeline_.task_count();
+  std::lock_guard<std::mutex> lock(mu());
+  return tl().task_count();
 }
 
 double Machine::engine_busy(des::EngineId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return timeline_.engine_stats(id).busy;
+  std::lock_guard<std::mutex> lock(mu());
+  return tl().engine_stats(id).busy;
 }
 
 void Machine::set_trace_recording(bool enabled) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  timeline_.set_recording(enabled);
+  std::lock_guard<std::mutex> lock(mu());
+  tl().set_recording(enabled);
 }
 
 Status Machine::dump_chrome_trace(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return des::write_chrome_trace(timeline_, path);
+  std::lock_guard<std::mutex> lock(mu());
+  return des::write_chrome_trace(tl(), path);
 }
 
 }  // namespace hs::gpusim

@@ -214,6 +214,18 @@ class Machine {
  public:
   explicit Machine(const std::vector<DeviceSpec>& specs);
 
+  /// Cluster form: the machine registers its engines on an external
+  /// timeline (names prefixed with `engine_prefix`, e.g. "n2.") and
+  /// serializes every entry point on an external mutex, both owned by the
+  /// caller and required to outlive this Machine. Multiple Machines built
+  /// over the same timeline/mutex pair then share one clock: TaskIds are
+  /// interchangeable across them, and cross-machine dependencies (fabric
+  /// transfers) are ordinary timeline tasks. The single-argument
+  /// constructor is the degenerate case (own timeline, own mutex, empty
+  /// prefix) and its behavior is unchanged.
+  Machine(const std::vector<DeviceSpec>& specs, des::Timeline* timeline,
+          std::mutex* mutex, std::string engine_prefix);
+
   /// Machine with `n` identical devices.
   static std::unique_ptr<Machine> Create(int n, const DeviceSpec& spec) {
     return std::make_unique<Machine>(std::vector<DeviceSpec>(n, spec));
@@ -244,13 +256,21 @@ class Machine {
   /// Writes the recorded schedule as Chrome trace-event JSON.
   Status dump_chrome_trace(const std::string& path) const;
 
-  std::mutex& mutex() { return mutex_; }
+  std::mutex& mutex() { return mu(); }
 
  private:
   friend class Device;
 
+  /// The timeline/mutex in effect: the owned members by default, the
+  /// caller's when constructed in cluster form.
+  [[nodiscard]] des::Timeline& tl() const { return *timeline_ptr_; }
+  [[nodiscard]] std::mutex& mu() const { return *mutex_ptr_; }
+
   mutable std::mutex mutex_;
   des::Timeline timeline_;
+  std::mutex* mutex_ptr_ = &mutex_;
+  des::Timeline* timeline_ptr_ = &timeline_;
+  std::string engine_prefix_;
   std::vector<std::unique_ptr<Device>> devices_;
 };
 
@@ -265,7 +285,7 @@ template <typename F>
 Result<OpHandle> Device::launch(const Dim3& grid, const Dim3& block,
                                 const KernelAttributes& attrs, StreamId stream,
                                 F&& body) {
-  std::lock_guard<std::mutex> lock(machine_->mutex_);
+  std::lock_guard<std::mutex> lock(machine_->mu());
   if (Status s = validate_launch(grid, block, attrs); !s.ok()) return s;
   if (stream >= stream_last_.size()) {
     return InvalidArgument("unknown stream id");

@@ -1,0 +1,119 @@
+// Shared internals of the modeled Mandelbrot runners (mandel/modeled.cpp
+// and the cluster generalization in cluster/modeled.cpp).
+//
+// Extracted so the cluster runner enqueues *exactly* the same kernel
+// bodies, copy sizes and host overheads as the single-host runners — the
+// 1-node cluster topology must reproduce the Fig. 1 numbers bit-for-bit,
+// and sharing these bodies makes that a structural property instead of a
+// hand-maintained promise. Not part of the public mandel API.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "mandel/iteration_map.hpp"
+#include "mandel/modeled.hpp"
+#include "perfmodel/host_model.hpp"
+
+namespace hs::mandel::detail {
+
+/// Per-call host overhead of one GPU API enqueue. The paper found CUDA and
+/// OpenCL within a few percent; OpenCL's dispatch (cl_event bookkeeping)
+/// is charged slightly higher.
+inline double enqueue_overhead(const perfmodel::HostProfile& host, GpuApi api) {
+  return api == GpuApi::kCuda ? host.gpu_enqueue_overhead
+                              : host.gpu_enqueue_overhead * 1.25;
+}
+
+inline double item_overhead(const perfmodel::HostProfile& host,
+                            CpuModel model) {
+  switch (model) {
+    case CpuModel::kSpar: return host.spar_item_overhead;
+    case CpuModel::kTbb: return host.taskx_item_overhead;
+    case CpuModel::kFastFlow: return host.flow_item_overhead;
+  }
+  return host.flow_item_overhead;
+}
+
+inline double show_cost(const perfmodel::HostProfile& host, int dim,
+                        int lines) {
+  return lines * (host.show_line_base + dim * host.show_line_per_pixel);
+}
+
+/// Applies the config's ablation knobs to every device of a machine.
+inline void apply_device_knobs(gpusim::Machine& machine,
+                               const ModeledConfig& cfg) {
+  for (int d = 0; d < machine.device_count(); ++d) {
+    machine.device(d).set_divergence_model(cfg.divergence);
+    machine.device(d).set_copy_compute_overlap(cfg.copy_compute_overlap);
+  }
+}
+
+/// Aggregates device counters and utilization into the result.
+inline void fill_device_stats(gpusim::Machine& machine, RunResult& out) {
+  std::uint64_t launches = 0;
+  for (int d = 0; d < machine.device_count(); ++d) {
+    launches += machine.device(d).counters().kernels_launched;
+  }
+  out.kernel_launches = launches;
+  if (machine.device_count() > 0 && machine.makespan() > 0) {
+    out.gpu_compute_utilization =
+        machine.device(0).compute_busy_seconds() / machine.makespan();
+  }
+}
+
+/// Shared state of one GPU "memory space": a device buffer + stream + the
+/// in-flight d2h transfer that must complete before the buffer is reused.
+struct MemSpace {
+  gpusim::Device* device = nullptr;
+  gpusim::StreamId stream = 0;
+  std::uint8_t* dev_buf = nullptr;
+  gpusim::OpHandle last_d2h;
+  int pending_first_line = -1;  ///< lines whose show-cost is still owed
+  int pending_lines = 0;
+};
+
+/// Launches the Listing-2 batched kernel for lines [first, first+count) and
+/// the async d2h copy into `image`. Returns the d2h op.
+inline gpusim::OpHandle launch_batch(const IterationMap& map, MemSpace& space,
+                                     int first, int count,
+                                     std::vector<std::uint8_t>& image) {
+  const int dim = map.params().dim;
+  const std::uint64_t total_threads =
+      static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(dim);
+  gpusim::Dim3 grid{static_cast<std::uint32_t>((total_threads + 255) / 256),
+                    1, 1};
+  gpusim::Dim3 block{256, 1, 1};
+  gpusim::KernelAttributes attrs;  // 18 registers: the paper's kernel
+  std::uint8_t* dev_buf = space.dev_buf;
+  auto launched = space.device->launch(
+      grid, block, attrs, space.stream,
+      [&map, dev_buf, first, count, dim](const gpusim::ThreadCtx& ctx)
+          -> std::uint64_t {
+        // Listing 2: i_batch = tid / dim; i = batch*batch_size + i_batch;
+        // j = tid - i_batch*dim.
+        std::uint64_t tid = ctx.global_x();
+        std::uint64_t i_batch = tid / static_cast<std::uint64_t>(dim);
+        std::uint64_t j = tid - i_batch * static_cast<std::uint64_t>(dim);
+        std::uint64_t i = static_cast<std::uint64_t>(first) + i_batch;
+        if (i_batch < static_cast<std::uint64_t>(count) &&
+            j < static_cast<std::uint64_t>(dim)) {
+          int ii = static_cast<int>(i);
+          int jj = static_cast<int>(j);
+          dev_buf[i_batch * dim + j] = map.color(ii, jj);
+          return map.lane_cost(ii, jj);
+        }
+        return 1;  // out-of-range guard costs one trip
+      });
+  assert(launched.ok());
+  (void)launched;
+  auto copied = space.device->memcpy_d2h(
+      image.data() + static_cast<std::size_t>(first) * dim, space.dev_buf,
+      total_threads, space.stream, gpusim::HostMem::kPinned);
+  assert(copied.ok());
+  return copied.value();
+}
+
+}  // namespace hs::mandel::detail

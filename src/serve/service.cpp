@@ -28,6 +28,7 @@ namespace {
 /// The stream item: one accepted job riding through the pipeline.
 struct Ticket {
   JobRequest request;
+  std::string tenant;
   std::uint64_t job_id = 0;
   std::uint64_t submit_ns = 0;
   std::uint64_t deadline_ns = 0;  ///< absolute, 0 = none
@@ -60,6 +61,31 @@ struct ServiceImpl {
           config.registry->counter(config.prefix + ".completed");
       latency_hist = config.registry->histogram(config.prefix + ".latency_ns");
     }
+  }
+
+  /// Per-tenant slice of the admission/outcome counters, exported as
+  /// "<prefix>.tenant.<name>.{accepted,shed,deadline_miss}". Registered
+  /// lazily on a tenant's first submission (the tenant set is open-ended);
+  /// null when the service runs uninstrumented.
+  struct TenantCounters {
+    telemetry::Counter* accepted = nullptr;
+    telemetry::Counter* shed = nullptr;
+    telemetry::Counter* deadline_miss = nullptr;
+  };
+  TenantCounters* tenant_counters(std::string_view tenant) {
+    if (config.registry == nullptr) return nullptr;
+    std::lock_guard<std::mutex> lock(tenant_mu);
+    auto it = tenant_metrics.find(tenant);
+    if (it == tenant_metrics.end()) {
+      const std::string base =
+          config.prefix + ".tenant." + std::string(tenant);
+      TenantCounters c;
+      c.accepted = config.registry->counter(base + ".accepted");
+      c.shed = config.registry->counter(base + ".shed");
+      c.deadline_miss = config.registry->counter(base + ".deadline_miss");
+      it = tenant_metrics.emplace(std::string(tenant), c).first;
+    }
+    return &it->second;
   }
 
   /// Round-robin pop across tenant queues; false when all are empty.
@@ -109,6 +135,9 @@ struct ServiceImpl {
   std::atomic<std::uint64_t> shed{0};
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> deadline_miss{0};
+
+  std::mutex tenant_mu;  ///< guards tenant_metrics
+  std::map<std::string, TenantCounters, std::less<>> tenant_metrics;
 
   telemetry::Counter* shed_counter = nullptr;
   telemetry::Counter* miss_counter = nullptr;
@@ -202,6 +231,9 @@ class SinkNode final : public flow::Node {
     if (ticket.result.deadline_missed) {
       impl_->deadline_miss.fetch_add(1, std::memory_order_relaxed);
       if (impl_->miss_counter != nullptr) impl_->miss_counter->add(1);
+      if (auto* tc = impl_->tenant_counters(ticket.tenant); tc != nullptr) {
+        tc->deadline_miss->add(1);
+      }
     }
     impl_->completed.fetch_add(1, std::memory_order_relaxed);
     if (impl_->completed_counter != nullptr) impl_->completed_counter->add(1);
@@ -281,6 +313,9 @@ SubmitResult Service::submit(std::string_view tenant, JobRequest request,
     if (code == RejectCode::kOverload) {
       impl_->shed.fetch_add(1, std::memory_order_relaxed);
       if (impl_->shed_counter != nullptr) impl_->shed_counter->add(1);
+      if (auto* tc = impl_->tenant_counters(tenant); tc != nullptr) {
+        tc->shed->add(1);
+      }
     }
     out.rejected = Rejected{code, std::move(detail)};
     return std::move(out);
@@ -320,6 +355,7 @@ SubmitResult Service::submit(std::string_view tenant, JobRequest request,
 
   Ticket ticket;
   ticket.request = std::move(request);
+  ticket.tenant = std::string(tenant);
   ticket.job_id = impl_->next_job_id.fetch_add(1, std::memory_order_relaxed);
   ticket.submit_ns = flow::deadline_clock_now();
   const std::uint64_t budget = ticket.request.deadline_budget_ns != 0
@@ -356,6 +392,9 @@ SubmitResult Service::submit(std::string_view tenant, JobRequest request,
   impl_->backlog.fetch_add(1, std::memory_order_relaxed);
   impl_->accepted.fetch_add(1, std::memory_order_relaxed);
   if (impl_->accepted_counter != nullptr) impl_->accepted_counter->add(1);
+  if (auto* tc = impl_->tenant_counters(tenant); tc != nullptr) {
+    tc->accepted->add(1);
+  }
   return out;
 }
 

@@ -79,7 +79,9 @@ struct ServiceConfig {
   BreakerConfig breaker;
   /// flow queue capacity between source/farm/sink.
   std::size_t queue_capacity = 256;
-  /// Telemetry sinks (null = uninstrumented). Metric names use `prefix`.
+  /// Telemetry sinks (null = uninstrumented). Metric names use `prefix`;
+  /// besides the aggregate counters, each tenant gets a lazily-registered
+  /// "<prefix>.tenant.<name>.{accepted,shed,deadline_miss}" slice.
   telemetry::Registry* registry = nullptr;
   telemetry::SpanRecorder* spans = nullptr;
   telemetry::QueueDepthSampler* sampler = nullptr;

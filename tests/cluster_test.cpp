@@ -1,0 +1,443 @@
+// Unit tests for the cluster layer: topology parsing/validation, fabric
+// link contention against analytic oracles, content-hash sharded dup
+// lookup, stage placement, and the load-bearing 1-node guarantee — the
+// cluster runners reproduce the single-host modeled numbers bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cluster/fabric.hpp"
+#include "cluster/modeled.hpp"
+#include "cluster/shard.hpp"
+#include "datagen/corpus.hpp"
+#include "dedup/dup_store.hpp"
+#include "dedup/stages.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hs::cluster {
+namespace {
+
+Topology two_node(double bw = 1e9, double lat = 1e-3, bool duplex = true) {
+  std::string spec =
+      "node a cores=20 gpus=1\n"
+      "node b cores=20 gpus=1\n"
+      "link a b bw=" + std::to_string(bw) + " lat=" + std::to_string(lat) +
+      (duplex ? "\n" : " half\n");
+  auto topo = parse_topology(spec);
+  EXPECT_TRUE(topo.ok()) << topo.status().ToString();
+  return topo.value();
+}
+
+// ---- Topology parsing and validation ---------------------------------
+
+TEST(TopologyTest, ParsesSpecWithSuffixes) {
+  auto topo = parse_topology(
+      "# comment\n"
+      "node a cores=16 gpus=2\n"
+      "node b cores=8 gpus=0\n"
+      "link a b bw=10GB lat=5us half\n");
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  ASSERT_EQ(topo.value().nodes.size(), 2u);
+  EXPECT_EQ(topo.value().nodes[0].cores, 16);
+  EXPECT_EQ(topo.value().nodes[0].gpus.size(), 2u);
+  EXPECT_EQ(topo.value().nodes[1].gpus.size(), 0u);
+  ASSERT_EQ(topo.value().links.size(), 1u);
+  EXPECT_DOUBLE_EQ(topo.value().links[0].bandwidth_bytes_per_s, 1e10);
+  EXPECT_DOUBLE_EQ(topo.value().links[0].latency_s, 5e-6);
+  EXPECT_FALSE(topo.value().links[0].full_duplex);
+  EXPECT_EQ(topo.value().node_index("b"), 1);
+  EXPECT_EQ(topo.value().node_index("zz"), -1);
+}
+
+TEST(TopologyTest, RejectsZeroBandwidthLink) {
+  auto topo = parse_topology(
+      "node a\nnode b\nlink a b bw=0 lat=1us\n");
+  ASSERT_FALSE(topo.ok());
+  EXPECT_NE(topo.status().ToString().find("bandwidth"), std::string::npos)
+      << topo.status().ToString();
+}
+
+TEST(TopologyTest, ParseErrorsCarryLineNumbers) {
+  auto topo = parse_topology("node a\nnode b\nlink a b bw=zoo lat=1us\n");
+  ASSERT_FALSE(topo.ok());
+  EXPECT_NE(topo.status().ToString().find("line 3"), std::string::npos)
+      << topo.status().ToString();
+}
+
+TEST(TopologyTest, RejectsDanglingNodeRef) {
+  auto topo = parse_topology("node a\nlink a ghost bw=1GB lat=1us\n");
+  ASSERT_FALSE(topo.ok());
+  EXPECT_NE(topo.status().ToString().find("ghost"), std::string::npos);
+}
+
+TEST(TopologyTest, RejectsDuplicateLink) {
+  auto topo = parse_topology(
+      "node a\nnode b\n"
+      "link a b bw=1GB lat=1us\n"
+      "link b a bw=2GB lat=2us\n");
+  ASSERT_FALSE(topo.ok());
+}
+
+TEST(TopologyTest, RejectsSelfLinkAndDuplicateNode) {
+  EXPECT_FALSE(parse_topology("node a\nlink a a bw=1GB lat=1us\n").ok());
+  EXPECT_FALSE(parse_topology("node a\nnode a\n").ok());
+  EXPECT_FALSE(parse_topology("").ok());
+  EXPECT_FALSE(parse_topology("node a cores=0\n").ok());
+}
+
+TEST(TopologyTest, RoutesChainMultiHop) {
+  auto topo = parse_topology(
+      "node a\nnode b\nnode c\n"
+      "link a b bw=1GB lat=1us\n"
+      "link b c bw=1GB lat=1us\n");
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  Routes r = compute_routes(topo.value());
+  EXPECT_EQ(r.hops[0][2], 2);
+  EXPECT_EQ(r.next[0][2], 1);  // a routes to c via b
+  EXPECT_EQ(r.hops[0][0], 0);
+}
+
+TEST(TopologyTest, FullMeshIsOneHopEverywhere) {
+  Topology topo = full_mesh(4, 1, gpusim::DeviceSpec::TitanXP(), 1e9, 1e-6);
+  ASSERT_TRUE(topo.validate().ok());
+  EXPECT_EQ(topo.links.size(), 6u);
+  Routes r = compute_routes(topo);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(r.hops[a][b], a == b ? 0 : 1);
+    }
+  }
+}
+
+// ---- Fabric: link contention against analytic oracles ----------------
+
+TEST(FabricTest, TransfersSerializeOnSharedLink) {
+  // 1 MB at 1 GB/s = 1 ms per transfer + 1 ms latency = 2 ms each.
+  Topology topo = two_node();
+  des::Timeline tl;
+  Fabric fabric(topo, &tl);
+  des::TaskId t1 = fabric.send(0, 1, 1'000'000);
+  des::TaskId t2 = fabric.send(0, 1, 1'000'000);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t1), 2e-3);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t2), 4e-3);  // queued behind t1
+}
+
+TEST(FabricTest, FullDuplexDirectionsDoNotContend) {
+  Topology topo = two_node();
+  des::Timeline tl;
+  Fabric fabric(topo, &tl);
+  fabric.send(0, 1, 1'000'000);
+  des::TaskId back = fabric.send(1, 0, 1'000'000);
+  EXPECT_DOUBLE_EQ(tl.finish_time(back), 2e-3);  // own engine, no queue
+}
+
+TEST(FabricTest, HalfDuplexDirectionsContend) {
+  Topology topo = two_node(1e9, 1e-3, /*duplex=*/false);
+  des::Timeline tl;
+  Fabric fabric(topo, &tl);
+  fabric.send(0, 1, 1'000'000);
+  des::TaskId back = fabric.send(1, 0, 1'000'000);
+  EXPECT_DOUBLE_EQ(tl.finish_time(back), 4e-3);  // shared engine
+}
+
+TEST(FabricTest, SelfSendIsNoOp) {
+  Topology topo = two_node();
+  des::Timeline tl;
+  Fabric fabric(topo, &tl);
+  des::TaskId dep = tl.submit(tl.add_engine("x"), 1.0);
+  EXPECT_EQ(fabric.send(0, 0, 12345, dep), dep);
+  EXPECT_EQ(fabric.total_bytes(), 0u);
+  EXPECT_EQ(fabric.total_transfers(), 0u);
+}
+
+TEST(FabricTest, MultiHopChainsPerHopTasks) {
+  auto topo = parse_topology(
+      "node a\nnode b\nnode c\n"
+      "link a b bw=1GB lat=1ms\n"
+      "link b c bw=1GB lat=1ms\n");
+  ASSERT_TRUE(topo.ok());
+  des::Timeline tl;
+  Fabric fabric(topo.value(), &tl);
+  des::TaskId t = fabric.send(0, 2, 1'000'000);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t), 4e-3);  // two hops of 2 ms
+  EXPECT_EQ(fabric.total_transfers(), 2u);    // one per hop
+  EXPECT_EQ(fabric.total_bytes(), 2'000'000u);
+}
+
+TEST(FabricTest, CrossTrafficViaSubmitAtDelaysSend) {
+  // Cross-traffic injected with submit_at occupies the link engine from
+  // t=5ms; a dependent send arriving earlier queues behind it. The fabric
+  // and raw submit_at share the engine, so the oracle is exact.
+  Topology topo = two_node(1e9, 0.0);
+  des::Timeline tl;
+  Fabric fabric(topo, &tl);
+  // Locate the forward engine by scheduling a probe first (engine ids are
+  // not exposed; the probe also validates the engine naming).
+  des::TaskId probe = fabric.send(0, 1, 1);  // ~instant
+  (void)probe;
+  // Occupy the a->b lane from 5 ms for 3 ms via the timeline's own API.
+  // Engines registered by the fabric: "link.a>b" is engine index 0.
+  des::TaskId cross = tl.submit_at(des::EngineId{0}, 3e-3, 5e-3, {}, "cross");
+  EXPECT_DOUBLE_EQ(tl.start_time(cross), 5e-3);
+  des::TaskId t = fabric.send(0, 1, 1'000'000);  // wants 1 ms, arrives now
+  EXPECT_DOUBLE_EQ(tl.start_time(t), 8e-3);      // behind the cross traffic
+  EXPECT_DOUBLE_EQ(tl.finish_time(t), 9e-3);
+}
+
+TEST(FabricTest, ExportsLinkCounters) {
+  Topology topo = two_node();
+  des::Timeline tl;
+  Fabric fabric(topo, &tl);
+  fabric.send(0, 1, 1000);
+  fabric.send(1, 0, 500);
+  telemetry::Registry reg;
+  fabric.export_counters(reg, "cluster");
+  EXPECT_EQ(reg.counter("cluster.link.a-b.bytes")->value(), 1500u);
+  EXPECT_EQ(reg.counter("cluster.link.a-b.transfers")->value(), 2u);
+  EXPECT_EQ(reg.counter("cluster.fabric.bytes")->value(), 1500u);
+  auto stats = fabric.link_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "a-b");
+  EXPECT_EQ(stats[0].bytes, 1500u);
+  EXPECT_GT(stats[0].busy_seconds, 0.0);
+}
+
+// ---- Sharded dup index ------------------------------------------------
+
+std::vector<dedup::Batch> hashed_batches() {
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = 256 * 1024;
+  const std::vector<std::uint8_t> input = datagen::generate(spec);
+  dedup::DedupConfig config;
+  config.batch_size = 32 * 1024;
+  config.rabin.mask = 0x3FF;
+  std::vector<dedup::Batch> batches = dedup::fragment_input(input, config);
+  for (dedup::Batch& b : batches) dedup::hash_blocks(b);
+  return batches;
+}
+
+TEST(ShardedDupIndexTest, MatchesDupCacheForAnyNodeCount) {
+  for (int nodes : {1, 2, 3, 4}) {
+    std::vector<dedup::Batch> ref = hashed_batches();
+    std::vector<dedup::Batch> sharded = hashed_batches();
+    dedup::DupCache cache;
+    ShardedDupIndex index(nodes);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      cache.check(ref[i]);
+      index.check(sharded[i], /*origin_node=*/0);
+      ASSERT_EQ(ref[i].blocks.size(), sharded[i].blocks.size());
+      for (std::size_t k = 0; k < ref[i].blocks.size(); ++k) {
+        EXPECT_EQ(ref[i].blocks[k].duplicate, sharded[i].blocks[k].duplicate)
+            << "nodes=" << nodes << " batch=" << i << " block=" << k;
+        EXPECT_EQ(ref[i].blocks[k].global_id, sharded[i].blocks[k].global_id);
+      }
+    }
+    EXPECT_EQ(index.unique_count(), cache.unique_count());
+    if (nodes == 1) {
+      EXPECT_EQ(index.traffic().remote_lookups, 0u);
+    } else {
+      EXPECT_GT(index.traffic().remote_lookups, 0u);
+    }
+  }
+}
+
+TEST(ShardedDupIndexTest, OwnerFollowsLeadDigestByte) {
+  ShardedDupIndex index(4);
+  kernels::Sha1Digest d{};
+  d[0] = 7;
+  EXPECT_EQ(index.owner(d), 3);  // 7 % 4
+  d[0] = 8;
+  EXPECT_EQ(index.owner(d), 0);
+}
+
+// ---- Placement --------------------------------------------------------
+
+StageGraph toy_graph() {
+  StageGraph g;
+  g.stages.push_back({"source", false, -1, 1});
+  g.stages.push_back({"heavy", false, -1, 1});
+  g.stages.push_back({"sink", false, -1, 1});
+  g.edges.push_back({0, 1, 1'000'000});
+  g.edges.push_back({1, 2, 1'000'000});
+  return g;
+}
+
+TEST(PlacementTest, GreedyCoLocatesHeavyEdges) {
+  Topology topo = full_mesh(2, 1, gpusim::DeviceSpec::TitanXP(), 1e9, 1e-6);
+  StageGraph g = toy_graph();
+  Placement greedy = place_greedy(g, topo);
+  EXPECT_EQ(predicted_cross_bytes(g, greedy, topo), 0u);
+  Placement rr = place_round_robin(g, topo);
+  EXPECT_GT(predicted_cross_bytes(g, rr, topo), 0u);
+}
+
+TEST(PlacementTest, RespectsGpuFeasibilityAndPins) {
+  auto topo = parse_topology(
+      "node cpuonly cores=20 gpus=0\n"
+      "node gpubox cores=20 gpus=2\n"
+      "link cpuonly gpubox bw=1GB lat=1us\n");
+  ASSERT_TRUE(topo.ok());
+  StageGraph g;
+  g.stages.push_back({"src", false, 0, 1});  // pinned to cpuonly
+  g.stages.push_back({"k", true, -1, 1});    // needs a GPU
+  g.edges.push_back({0, 1, 10});
+  for (const Placement& p : {place_round_robin(g, topo.value()),
+                             place_greedy(g, topo.value())}) {
+    EXPECT_EQ(p.node_of[0], 0);
+    EXPECT_EQ(p.node_of[1], 1);  // only gpubox is feasible
+  }
+}
+
+TEST(PlacementTest, GreedyBeatsRoundRobinOnDedupGraph) {
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = 512 * 1024;
+  const std::vector<std::uint8_t> input = datagen::generate(spec);
+  dedup::Fig5Config cfg;
+  cfg.dedup.batch_size = 64 * 1024;
+  cfg.dedup.rabin.mask = 0x3FF;
+  dedup::DedupTrace trace = dedup::build_trace(input, cfg.dedup);
+
+  Topology topo = full_mesh(4, 2, gpusim::DeviceSpec::TitanXP(), 1e9, 1e-6);
+  StageGraph g = dedup_stage_graph(trace, /*replicas=*/19, true);
+  const std::uint64_t rr =
+      predicted_cross_bytes(g, place_round_robin(g, topo), topo);
+  const std::uint64_t greedy =
+      predicted_cross_bytes(g, place_greedy(g, topo), topo);
+  EXPECT_LT(greedy, rr);
+}
+
+// ---- Cluster runners: 1-node bit-equality and estimator pin ----------
+
+dedup::DedupTrace small_trace(dedup::Fig5Config& cfg) {
+  datagen::CorpusSpec spec;
+  spec.kind = datagen::CorpusKind::kParsecLike;
+  spec.bytes = 512 * 1024;
+  const std::vector<std::uint8_t> input = datagen::generate(spec);
+  cfg.replicas = 3;
+  cfg.devices = 2;
+  cfg.dedup.batch_size = 64 * 1024;
+  cfg.dedup.rabin.mask = 0x3FF;
+  return dedup::build_trace(input, cfg.dedup);
+}
+
+TEST(ClusterRunnerTest, OneNodeDedupBitIdentical) {
+  dedup::Fig5Config cfg;
+  dedup::DedupTrace trace = small_trace(cfg);
+  ClusterRunOptions opts;
+  opts.topo = full_mesh(1, 2, cfg.device_spec, 1e9, 1e-6);
+  for (auto backend :
+       {dedup::Fig5Backend::kSequential, dedup::Fig5Backend::kSparCpu,
+        dedup::Fig5Backend::kSparCuda, dedup::Fig5Backend::kSparOcl}) {
+    dedup::Fig5Result host = dedup::run_fig5(trace, cfg, backend);
+    ClusterRunResult one = run_fig5_cluster(trace, cfg, backend, opts);
+    EXPECT_EQ(host.label, one.label);
+    EXPECT_EQ(host.modeled_seconds, one.modeled_seconds)  // exact, not near
+        << host.label;
+    EXPECT_EQ(host.throughput_mb_s, one.throughput_mb_s);
+    EXPECT_EQ(host.kernel_launches, one.kernel_launches);
+    EXPECT_EQ(one.fabric_bytes, 0u);
+  }
+}
+
+TEST(ClusterRunnerTest, OneNodeMandelBitIdentical) {
+  kernels::MandelParams p;
+  p.dim = 64;
+  p.niter = 500;
+  mandel::IterationMap map = mandel::IterationMap::compute(p);
+  mandel::ModeledConfig cfg;
+  cfg.batch_lines = 8;
+  cfg.devices = 2;
+  cfg.combined_workers = 4;
+  cfg.cpu_workers = 5;
+  ClusterRunOptions opts;
+  opts.topo = full_mesh(1, 2, cfg.device_spec, 1e9, 1e-6);
+
+  mandel::RunResult seq = mandel::run_sequential(map, cfg);
+  ClusterRunResult seq1 = run_mandel_sequential_cluster(map, cfg, opts);
+  EXPECT_EQ(seq.modeled_seconds, seq1.modeled_seconds);
+  EXPECT_EQ(seq.checksum, seq1.checksum);
+
+  mandel::RunResult cpu =
+      mandel::run_cpu_pipeline(map, cfg, mandel::CpuModel::kSpar);
+  ClusterRunResult cpu1 = run_mandel_cpu_cluster(map, cfg, opts);
+  EXPECT_EQ(cpu.modeled_seconds, cpu1.modeled_seconds);
+  EXPECT_EQ(cpu.checksum, cpu1.checksum);
+
+  mandel::RunResult comb = mandel::run_combined(
+      map, cfg, mandel::CpuModel::kSpar, mandel::GpuApi::kCuda);
+  ClusterRunResult comb1 =
+      run_mandel_combined_cluster(map, cfg, mandel::GpuApi::kCuda, opts);
+  EXPECT_EQ(comb.label, comb1.label);
+  EXPECT_EQ(comb.modeled_seconds, comb1.modeled_seconds);
+  EXPECT_EQ(comb.checksum, comb1.checksum);
+  EXPECT_EQ(comb.kernel_launches, comb1.kernel_launches);
+}
+
+TEST(ClusterRunnerTest, EstimatorMatchesFabricBytesExactly) {
+  dedup::Fig5Config cfg;
+  dedup::DedupTrace trace = small_trace(cfg);
+  for (int nodes : {2, 4}) {
+    Topology topo = full_mesh(nodes, 2, cfg.device_spec, 1e9, 1e-6);
+    StageGraph g = dedup_stage_graph(trace, cfg.replicas, true);
+    for (Placement placement :
+         {place_round_robin(g, topo), place_greedy(g, topo)}) {
+      ClusterRunOptions opts;
+      opts.topo = topo;
+      opts.placement = placement;
+      ClusterRunResult r = run_fig5_cluster(
+          trace, cfg, dedup::Fig5Backend::kSparCuda, opts);
+      EXPECT_EQ(r.fabric_bytes - r.shard_bytes,
+                predicted_cross_bytes(g, placement, topo))
+          << nodes << " nodes";
+      EXPECT_GT(r.shard_bytes, 0u);
+    }
+  }
+}
+
+TEST(ClusterRunnerTest, MultiNodeRunIsSlowerThanFreeTraffic) {
+  // Scheduling the same schedule over a slow fabric must cost time: the
+  // 2-node run with microsecond links cannot beat itself with instant
+  // links.
+  dedup::Fig5Config cfg;
+  dedup::DedupTrace trace = small_trace(cfg);
+  StageGraph g = dedup_stage_graph(trace, cfg.replicas, true);
+  auto run_at_bw = [&](double bw) {
+    ClusterRunOptions opts;
+    opts.topo = full_mesh(2, 2, cfg.device_spec, bw, 1e-6);
+    opts.placement = place_round_robin(g, opts.topo);
+    return run_fig5_cluster(trace, cfg, dedup::Fig5Backend::kSparCuda, opts);
+  };
+  ClusterRunResult slow = run_at_bw(1e8);   // 100 MB/s links
+  ClusterRunResult fast = run_at_bw(1e12);  // ~free links
+  EXPECT_GT(slow.modeled_seconds, fast.modeled_seconds);
+}
+
+TEST(ClusterRunnerTest, ExportsTraceAndTelemetry) {
+  dedup::Fig5Config cfg;
+  dedup::DedupTrace trace = small_trace(cfg);
+  telemetry::Registry reg;
+  ClusterRunOptions opts;
+  opts.topo = full_mesh(2, 2, cfg.device_spec, 1e9, 1e-6);
+  StageGraph g = dedup_stage_graph(trace, cfg.replicas, true);
+  opts.placement = place_round_robin(g, opts.topo);
+  opts.registry = &reg;
+  opts.trace_path = ::testing::TempDir() + "/cluster_trace.json";
+  ClusterRunResult r =
+      run_fig5_cluster(trace, cfg, dedup::Fig5Backend::kSparCuda, opts);
+  EXPECT_GT(r.fabric_bytes, 0u);
+  EXPECT_EQ(reg.counter("cluster.fabric.bytes")->value(), r.fabric_bytes);
+  std::ifstream in(opts.trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("link.n0>n1"), std::string::npos)
+      << "trace should contain one lane per link direction";
+  std::remove(opts.trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace hs::cluster

@@ -71,6 +71,34 @@ TEST(TimelineTest, SubmitAfterChains) {
   EXPECT_DOUBLE_EQ(tl.finish_time(c), 3.0);
 }
 
+TEST(TimelineTest, SubmitAtHonorsEarliestStart) {
+  Timeline tl;
+  EngineId e = tl.add_engine("e");
+  TaskId t = tl.submit_at(e, 2.0, 5.0);  // idle engine, release at t=5
+  EXPECT_DOUBLE_EQ(tl.start_time(t), 5.0);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t), 7.0);
+}
+
+TEST(TimelineTest, SubmitAtQueuesBehindBusyEngine) {
+  Timeline tl;
+  EngineId e = tl.add_engine("e");
+  tl.submit(e, 10.0);                    // engine busy until 10
+  TaskId t = tl.submit_at(e, 1.0, 5.0);  // release time is not a preemption
+  EXPECT_DOUBLE_EQ(tl.start_time(t), 10.0);
+}
+
+TEST(TimelineTest, SubmitAtStartIsMaxOfAllThreeBounds) {
+  Timeline tl;
+  EngineId e1 = tl.add_engine("e1");
+  EngineId e2 = tl.add_engine("e2");
+  TaskId dep = tl.submit(e1, 6.0);  // dep ready at 6
+  tl.submit(e2, 2.0);               // engine free at 2
+  TaskId deps[] = {dep};
+  TaskId t = tl.submit_at(e2, 1.0, 4.0, deps);  // dep bound dominates
+  EXPECT_DOUBLE_EQ(tl.start_time(t), 6.0);
+  EXPECT_DOUBLE_EQ(tl.finish_time(t), 7.0);
+}
+
 TEST(TimelineTest, JoinWaitsForAllAndIsFree) {
   Timeline tl;
   EngineId e1 = tl.add_engine("e1");

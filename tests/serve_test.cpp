@@ -246,6 +246,11 @@ TEST(ServiceTest, JobsCompleteBitExactOnGpu) {
   auto snap = reg.snapshot();
   ASSERT_NE(snap.find_counter("serve.completed"), nullptr);
   EXPECT_EQ(snap.find_counter("serve.completed")->value, 2u);
+  // Each tenant's slice counts its own submissions only.
+  ASSERT_NE(snap.find_counter("serve.tenant.tenant-a.accepted"), nullptr);
+  EXPECT_EQ(snap.find_counter("serve.tenant.tenant-a.accepted")->value, 1u);
+  EXPECT_EQ(snap.find_counter("serve.tenant.tenant-b.accepted")->value, 1u);
+  EXPECT_EQ(snap.find_counter("serve.tenant.tenant-a.shed")->value, 0u);
 }
 
 TEST(ServiceTest, CpuOnlyServiceMatchesGpuChecksums) {
@@ -296,6 +301,12 @@ TEST(ServiceTest, OverloadShedsWithExplicitRejection) {
   auto snap = reg.snapshot();
   ASSERT_NE(snap.find_counter("serve.shed"), nullptr);
   EXPECT_EQ(snap.find_counter("serve.shed")->value, stats.shed);
+  // The burst came from one tenant, so its slice owns every shed and
+  // every acceptance.
+  ASSERT_NE(snap.find_counter("serve.tenant.bursty.shed"), nullptr);
+  EXPECT_EQ(snap.find_counter("serve.tenant.bursty.shed")->value, stats.shed);
+  EXPECT_EQ(snap.find_counter("serve.tenant.bursty.accepted")->value,
+            stats.accepted);
 }
 
 TEST(ServiceTest, P99WatermarkShedsAndReopensWithTheWindow) {
@@ -380,6 +391,9 @@ TEST(ServiceTest, ExpiredDeadlinesNeverOccupyTheGpu) {
   // The flow runtime counted the stage-boundary drops too.
   ASSERT_NE(snap.find_counter("serve.deadline_drops"), nullptr);
   EXPECT_GT(snap.find_counter("serve.deadline_drops")->value, 0u);
+  // All eight misses land on the submitting tenant's slice.
+  ASSERT_NE(snap.find_counter("serve.tenant.t.deadline_miss"), nullptr);
+  EXPECT_EQ(snap.find_counter("serve.tenant.t.deadline_miss")->value, 8u);
 }
 
 TEST(ServiceTest, BreakerTripsUnderFaultsAndJobsStayBitExact) {
