@@ -1,0 +1,386 @@
+#include "cluster/makespan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace hs::cluster {
+
+namespace {
+
+bool feasible(const StageInstance& stage, const NodeSpec& node) {
+  return !stage.needs_gpu || !node.gpus.empty();
+}
+
+/// Total core overcommit of a placement: sum over nodes of the cores
+/// requested beyond the node's capacity. The local search may rearrange
+/// stages freely but must never make this worse, so within-capacity
+/// graphs stay within capacity while graphs bigger than the cluster
+/// (dedup's 19-replica farm on 1-2 nodes) remain placeable.
+int total_overcommit(const StageGraph& graph, const Placement& p,
+                     const Topology& topo) {
+  std::vector<int> used(topo.nodes.size(), 0);
+  for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+    used[static_cast<std::size_t>(p.node_of[i])] += graph.stages[i].cores;
+  }
+  int over = 0;
+  for (std::size_t n = 0; n < topo.nodes.size(); ++n) {
+    over += std::max(0, used[n] - topo.nodes[n].cores);
+  }
+  return over;
+}
+
+}  // namespace
+
+MakespanEstimator::MakespanEstimator(const StageGraph& graph,
+                                     const Topology& topo)
+    : graph_(graph), topo_(topo), routes_(compute_routes(topo)) {
+  const int n = static_cast<int>(topo.nodes.size());
+  link_of_.assign(static_cast<std::size_t>(n),
+                  std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (const LinkSpec& spec : topo.links) {
+    const int a = topo.node_index(spec.a);
+    const int b = topo.node_index(spec.b);
+    assert(a >= 0 && b >= 0);
+    const int fwd = static_cast<int>(link_bw_.size());
+    link_bw_.push_back(spec.bandwidth_bytes_per_s);
+    link_lat_.push_back(spec.latency_s);
+    link_nodes_.emplace_back(a, b);
+    int bwd = fwd;  // half duplex: one serial engine both ways
+    if (spec.full_duplex) {
+      bwd = static_cast<int>(link_bw_.size());
+      link_bw_.push_back(spec.bandwidth_bytes_per_s);
+      link_lat_.push_back(spec.latency_s);
+      link_nodes_.emplace_back(b, a);
+    }
+    link_of_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = fwd;
+    link_of_[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = bwd;
+  }
+
+  for (const StageInstance& s : graph_.stages) {
+    for (const StageWorkItem& it : s.compute.items) {
+      span_floor_ = std::max(
+          span_floor_, it.host_seconds + it.gpu_seconds + it.copy_seconds);
+    }
+  }
+
+  // Cyclic stage pairs (a->b and b->a both present) mark per-item
+  // round-trip protocols; the endpoint with more cyclic partners is the
+  // hub (dedup's duplicate-check stage, serving every farm replica).
+  const std::size_t S = graph_.stages.size();
+  std::vector<std::vector<bool>> adj(S, std::vector<bool>(S, false));
+  for (const StageEdge& e : graph_.edges) {
+    adj[static_cast<std::size_t>(e.from)][static_cast<std::size_t>(e.to)] =
+        true;
+  }
+  std::vector<int> partners(S, 0);
+  for (std::size_t a = 0; a < S; ++a) {
+    for (std::size_t b = 0; b < S; ++b) {
+      if (a != b && adj[a][b] && adj[b][a]) partners[a] += 1;
+    }
+  }
+  hub_of_.assign(S, -1);
+  for (std::size_t a = 0; a < S; ++a) {
+    for (std::size_t b = 0; b < S; ++b) {
+      if (a == b || !adj[a][b] || !adj[b][a]) continue;
+      if (partners[b] > partners[a] && hub_of_[a] < 0) {
+        hub_of_[a] = static_cast<int>(b);
+      }
+    }
+  }
+}
+
+std::pair<double, double> MakespanEstimator::score(
+    const Placement& placement) const {
+  assert(placement.node_of.size() == graph_.stages.size());
+  const std::size_t N = topo_.nodes.size();
+
+  // Placement-independent floors: the longest single-stage host chain (a
+  // stage is one serial engine however it is placed) and the span floor.
+  double bound = span_floor_;
+  for (const StageInstance& s : graph_.stages) {
+    bound = std::max(bound, s.compute.host_seconds);
+  }
+  // Chain of the stages that feed the pipeline (no incoming edges — the
+  // sources): the last item cannot leave the feeder before this, so sync
+  // stages below finish at feeder_chain + their last item's service time.
+  double feeder_chain = 0;
+  {
+    std::vector<bool> has_in(graph_.stages.size(), false);
+    for (const StageEdge& e : graph_.edges) {
+      has_in[static_cast<std::size_t>(e.to)] = true;
+    }
+    for (std::size_t i = 0; i < graph_.stages.size(); ++i) {
+      if (!has_in[i]) {
+        feeder_chain =
+            std::max(feeder_chain, graph_.stages[i].compute.host_seconds);
+      }
+    }
+  }
+
+  // Per-node host occupancy and per-device compute occupancy, with device
+  // bindings replayed exactly as the modeled runners assign them.
+  std::vector<double> node_host(N, 0);
+  std::vector<std::vector<double>> dev_busy(N);
+  for (std::size_t nn = 0; nn < N; ++nn) {
+    dev_busy[nn].assign(topo_.nodes[nn].gpus.size(), 0.0);
+  }
+  std::vector<int> rank(N, 0);  // kPerStage rank counter per node
+  for (std::size_t i = 0; i < graph_.stages.size(); ++i) {
+    const StageCompute& c = graph_.stages[i].compute;
+    const auto nn = static_cast<std::size_t>(placement.node_of[i]);
+    node_host[nn] += c.host_seconds;
+    const int g = static_cast<int>(topo_.nodes[nn].gpus.size());
+    if (c.binding == GpuBinding::kNone) continue;
+    assert(g > 0 && "GPU-bound stage placed on a node without GPUs");
+    if (c.binding == GpuBinding::kPerStage) {
+      const int d = rank[nn]++ % g;
+      dev_busy[nn][static_cast<std::size_t>(d)] += c.gpu_seconds;
+    } else {  // kPerItem: the runner round-robins by global item index
+      for (const StageWorkItem& it : c.items) {
+        dev_busy[nn][it.index % static_cast<std::uint64_t>(g)] +=
+            it.gpu_seconds;
+      }
+    }
+  }
+
+  double secondary = 0;
+  for (std::size_t nn = 0; nn < N; ++nn) {
+    const double occ =
+        node_host[nn] / static_cast<double>(std::max(1, topo_.nodes[nn].cores));
+    bound = std::max(bound, occ);
+    secondary += occ * occ;
+    for (double busy : dev_busy[nn]) {
+      bound = std::max(bound, busy);
+      secondary += busy * busy;
+    }
+  }
+
+  // Link-direction busy: each crossing edge charges every hop of its route
+  // with transfers x latency + bytes / bandwidth — the Fabric's accounting.
+  {
+    std::vector<double> slot(link_bw_.size(), 0.0);
+    for (const StageEdge& e : graph_.edges) {
+      int at = placement.node_of[static_cast<std::size_t>(e.from)];
+      const int to = placement.node_of[static_cast<std::size_t>(e.to)];
+      assert(routes_.hops[static_cast<std::size_t>(at)]
+                         [static_cast<std::size_t>(to)] >= 0 &&
+             "placement uses unreachable nodes");
+      while (at != to) {
+        const int nxt = routes_.next[static_cast<std::size_t>(at)]
+                                    [static_cast<std::size_t>(to)];
+        const int li = link_of_[static_cast<std::size_t>(at)]
+                               [static_cast<std::size_t>(nxt)];
+        assert(li >= 0);
+        slot[static_cast<std::size_t>(li)] +=
+            static_cast<double>(e.transfers) *
+                link_lat_[static_cast<std::size_t>(li)] +
+            static_cast<double>(e.bytes) / link_bw_[static_cast<std::size_t>(li)];
+        at = nxt;
+      }
+    }
+    for (double busy : slot) {
+      bound = std::max(bound, busy);
+      secondary += busy;
+    }
+  }
+
+  // Drain tail: the feeder emits its last item at feeder_chain; that item
+  // still has to run through its stage, so the makespan is at least the
+  // feeder chain plus (most of) one item's service time. kDrainFraction
+  // discounts the slice of the last item that overlaps the feeder (enqueue
+  // work issued while earlier items still stream out).
+  {
+    double drain = 0;
+    for (const StageInstance& s : graph_.stages) {
+      const StageCompute& c = s.compute;
+      if (c.items.empty()) continue;
+      drain = std::max(drain, (c.host_seconds + c.gpu_seconds +
+                               c.copy_seconds) /
+                                  static_cast<double>(c.items.size()));
+    }
+    bound = std::max(bound, feeder_chain + kDrainFraction * drain);
+  }
+
+  // Gated-chain term: a stage in a cyclic exchange with a *remote* hub
+  // (dedup replica vs duplicate-check) stalls per item on the round trip,
+  // and the serial FIFO link engines interleave those control transfers
+  // with the stage's own payload traffic in item order — so nearly the
+  // whole per-item compute of every remote replica serializes through the
+  // link slots it crosses (the PR-8 trace shows archives and decisions
+  // alternating on one link direction at 2 nodes). Charge kChainFraction
+  // of each gated stage's total compute to every distinct link slot on
+  // its round-trip and payload routes; the busiest slot's chain is a
+  // makespan term, and concentrating chains on few links (2 nodes) hurts
+  // while spreading them over many links (8 nodes) does not — exactly the
+  // measured inversion.
+  {
+    std::vector<double> chain(link_bw_.size(), 0.0);
+    std::vector<char> seen(link_bw_.size(), 0);
+    std::vector<int> touched;
+    auto add_route = [&](int at, int to) {
+      while (at != to) {
+        const int nxt = routes_.next[static_cast<std::size_t>(at)]
+                                    [static_cast<std::size_t>(to)];
+        const int li = link_of_[static_cast<std::size_t>(at)]
+                               [static_cast<std::size_t>(nxt)];
+        assert(li >= 0);
+        if (!seen[static_cast<std::size_t>(li)]) {
+          seen[static_cast<std::size_t>(li)] = 1;
+          touched.push_back(li);
+        }
+        at = nxt;
+      }
+    };
+    double hub_payload = 0;
+    for (std::size_t a = 0; a < graph_.stages.size(); ++a) {
+      const int hub = hub_of_[a];
+      if (hub < 0) continue;
+      const int na = placement.node_of[a];
+      const int nh = placement.node_of[static_cast<std::size_t>(hub)];
+      const StageCompute& c = graph_.stages[a].compute;
+      const double total =
+          c.host_seconds + c.gpu_seconds + c.copy_seconds;
+      if (total <= 0) continue;
+      // Payload slots first: a payload edge (archive) is issued at the
+      // *end* of the item's service, so when its route shares a link slot
+      // with the hub's per-item control traffic (the hub talks to every
+      // node each item — decisions to remote replicas, shard probes), the
+      // FIFO inserts the item's whole service time into the hub's serial
+      // loop. That is the catastrophic pattern the traces show: archives
+      // out of (or into) the hub's node blocking the next batch's
+      // shard.query on the same slot.
+      touched.clear();
+      for (const StageEdge& e : graph_.edges) {
+        if (e.from != static_cast<int>(a) || e.to == hub) continue;
+        add_route(na, placement.node_of[static_cast<std::size_t>(e.to)]);
+      }
+      bool payload_on_hub_slot = false;
+      for (const int li : touched) {
+        payload_on_hub_slot |= link_touches_node(li, nh);
+      }
+      if (payload_on_hub_slot) hub_payload += kHubPayloadFraction * total;
+      // Round-trip legs ride the links too, but they are short control
+      // messages issued early in the item's service; they serialize only
+      // kChainFraction of the item per slot they cross.
+      if (na != nh) {
+        add_route(na, nh);
+        add_route(nh, na);
+      }
+      for (const int li : touched) {
+        seen[static_cast<std::size_t>(li)] = 0;
+        chain[static_cast<std::size_t>(li)] += kChainFraction * total;
+      }
+    }
+    double max_chain = 0;
+    for (const double cl : chain) max_chain = std::max(max_chain, cl);
+    bound = std::max(bound, max_chain);
+    bound = std::max(bound, hub_payload);
+    secondary += max_chain + hub_payload;
+  }
+
+  return {bound, secondary};
+}
+
+double MakespanEstimator::estimate(const Placement& placement) const {
+  return score(placement).first;
+}
+
+Placement place_makespan(const StageGraph& graph, const Topology& topo) {
+  const int n = static_cast<int>(topo.nodes.size());
+  MakespanEstimator est(graph, topo);
+
+  // Refine one seed by steepest descent: each step enumerates every
+  // feasible single-stage move and pairwise swap, applies the one with the
+  // lowest (bound, secondary) score (strict decrease required; enumeration
+  // order breaks ties), and repeats until no candidate improves. Steeper
+  // than first-improvement sweeps — the extra evaluations buy noticeably
+  // better local optima on heterogeneous topologies, where early greedy
+  // acceptances otherwise wall off the good basins. The refined bound
+  // never exceeds the seed's, and identical inputs always walk the
+  // identical path.
+  auto refine = [&](Placement p) {
+    std::pair<double, double> best = est.score(p);
+    int overcommit = total_overcommit(graph, p, topo);
+    constexpr int kMaxSteps = 512;  // accepted steps; each strictly improves
+    for (int step = 0; step < kMaxSteps; ++step) {
+      std::pair<double, double> round_best = best;
+      int round_over = overcommit;
+      int mv_stage = -1, mv_node = -1;  // best move: stage -> node
+      int sw_a = -1, sw_b = -1;         // best swap: stage <-> stage
+      // Moves: stage i -> node c, in (i, c) order.
+      for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+        if (graph.stages[i].pinned_node >= 0) continue;
+        const int cur = p.node_of[i];
+        for (int c = 0; c < n; ++c) {
+          if (c == cur) continue;
+          if (!feasible(graph.stages[i],
+                        topo.nodes[static_cast<std::size_t>(c)])) {
+            continue;
+          }
+          p.node_of[i] = c;
+          const int over = total_overcommit(graph, p, topo);
+          if (over <= overcommit) {
+            const std::pair<double, double> cand = est.score(p);
+            if (cand < round_best) {
+              round_best = cand;
+              round_over = over;
+              mv_stage = static_cast<int>(i);
+              mv_node = c;
+              sw_a = -1;
+            }
+          }
+          p.node_of[i] = cur;
+        }
+      }
+      // Swaps: stages (i, j), i < j, on different nodes.
+      for (std::size_t i = 0; i < graph.stages.size(); ++i) {
+        if (graph.stages[i].pinned_node >= 0) continue;
+        for (std::size_t j = i + 1; j < graph.stages.size(); ++j) {
+          if (graph.stages[j].pinned_node >= 0) continue;
+          if (p.node_of[i] == p.node_of[j]) continue;
+          const auto ni = static_cast<std::size_t>(p.node_of[i]);
+          const auto nj = static_cast<std::size_t>(p.node_of[j]);
+          if (!feasible(graph.stages[i], topo.nodes[nj]) ||
+              !feasible(graph.stages[j], topo.nodes[ni])) {
+            continue;
+          }
+          std::swap(p.node_of[i], p.node_of[j]);
+          const int over = total_overcommit(graph, p, topo);
+          if (over <= overcommit) {
+            const std::pair<double, double> cand = est.score(p);
+            if (cand < round_best) {
+              round_best = cand;
+              round_over = over;
+              sw_a = static_cast<int>(i);
+              sw_b = static_cast<int>(j);
+              mv_stage = -1;
+            }
+          }
+          std::swap(p.node_of[i], p.node_of[j]);
+        }
+      }
+      if (mv_stage < 0 && sw_a < 0) break;  // local optimum
+      if (mv_stage >= 0) {
+        p.node_of[static_cast<std::size_t>(mv_stage)] = mv_node;
+      } else {
+        std::swap(p.node_of[static_cast<std::size_t>(sw_a)],
+                  p.node_of[static_cast<std::size_t>(sw_b)]);
+      }
+      best = round_best;
+      overcommit = round_over;
+    }
+    return std::make_pair(p, best);
+  };
+
+  auto [rr, rr_score] = refine(place_round_robin(graph, topo));
+  auto [greedy, greedy_score] = refine(place_greedy(graph, topo));
+
+  // Lower score wins; a full tie goes to the lexicographically smaller
+  // node_of so the result is independent of seed order.
+  if (greedy_score < rr_score) return greedy;
+  if (rr_score < greedy_score) return rr;
+  return greedy.node_of < rr.node_of ? greedy : rr;
+}
+
+}  // namespace hs::cluster

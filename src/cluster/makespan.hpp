@@ -1,0 +1,153 @@
+// Makespan-aware placement: an occupancy + transfer cost model and a
+// deterministic local-search placer that optimizes the cluster layer's
+// headline metric (modeled seconds) instead of a byte proxy.
+//
+// Why: the PR-8 sweep exposed a classic placement inversion — byte-greedy
+// halves cross-node traffic but *loses* to round-robin on modeled time at
+// 4+ nodes, because co-locating the heavy edges also collapses the GPU
+// farm onto one node's devices. Minimizing bytes trades away parallelism.
+//
+// The MakespanEstimator lower-bounds the DES makespan of a placement as
+// the maximum busy time over every serial resource the schedule will
+// occupy, reconstructed from the measured per-stage profiles
+// (StageCompute, emitted by the modeled runners) plus analytic transfer
+// costs:
+//
+//   * per-stage host chains  — a stage is one serial ModeledHost engine;
+//     sync-style stages (CUDA workers) additionally serialize on their
+//     own device work, which wait_chain_fraction folds in;
+//   * per-node host occupancy — sum of host seconds / node cores (the
+//     many-core-machine-model occupancy term);
+//   * per-device compute occupancy — per-stage GPU seconds mapped to
+//     concrete devices by replaying the runners' binding conventions
+//     (GpuBinding::kPerStage rank binding, kPerItem index round-robin),
+//     which captures effects like two co-located heavy workers sharing
+//     one device;
+//   * per-link-direction busy — for each edge, transfers x latency +
+//     bytes / bandwidth charged to every hop of its route, exactly the
+//     Fabric's accounting;
+//   * drain tail — the feeder chain plus (most of) the last item's
+//     service time: the pipeline cannot finish before its source has
+//     emitted everything and the final item has been served;
+//   * gated chains — stages in a cyclic per-item exchange with a remote
+//     hub (dedup replicas vs the duplicate-check stage) serialize most
+//     of their per-item compute through the FIFO link engines their
+//     round trips and payloads cross: the DES traces show decisions and
+//     archives alternating on a link direction, so each batch's
+//     downstream compute gates the next batch's control transfer. The
+//     busiest link slot's accumulated chain is a makespan term — which
+//     is exactly why round-robin collapses at 2 nodes (all chains on one
+//     link pair) yet scales at 8 (chains spread across many links);
+//   * span floor — the single most expensive item (kernel + copies +
+//     host share) cannot be split, whatever the placement.
+//
+// The estimate is a *bound with slack*, not the DES: dependency stalls
+// (decision round trips, pipeline ramp) are not modeled. fig_cluster pins
+// estimate vs DES on every swept cell within kEstimatorPinFactor, the way
+// predicted_cross_bytes is pinned exactly against the fabric counters.
+//
+// place_makespan seeds from both place_round_robin and place_greedy and
+// refines each by steepest-descent move/swap local search under
+// GPU-feasibility, pin, and capacity constraints. Everything is
+// deterministic: every step enumerates all candidate moves in (stage,
+// node) / (stage, stage) order and applies the single lowest-scoring one
+// (enumeration order wins ties), and the final pick between the two
+// refined candidates breaks estimate ties by lexicographically smaller
+// node_of — so placements are bit-stable across runs, seed orders, and
+// platforms.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "cluster/topology.hpp"
+
+namespace hs::cluster {
+
+/// Stated estimator-vs-DES tolerance: on every swept cell the DES makespan
+/// must lie within [estimate, estimate * kEstimatorPinFactor]. The lower
+/// edge is (near-)exact because the estimate is a lower bound built from
+/// measured busy times; the upper edge absorbs dependency stalls the
+/// resource model does not see. Checked by fig_cluster on every run and by
+/// cluster_test on dedup + mandel at 1/2/4/8 nodes.
+inline constexpr double kEstimatorPinFactor = 2.0;
+/// Numerical slack on the lower edge (the bound is exact maths on the same
+/// doubles the DES adds in a different order).
+inline constexpr double kEstimatorLowerSlack = 1.0 + 1e-9;
+/// Fraction of a gated stage's per-item compute that serializes through
+/// each link slot its round trips and payloads cross (the rest overlaps
+/// the neighbour batches' device work and the opposite link direction).
+/// Calibrated against the dedup DES traces at 2/4/8 nodes; see the
+/// gated-chain bullet above.
+inline constexpr double kChainFraction = 0.4;
+/// Fraction of a gated stage's per-item service time inserted into the
+/// hub's serial per-item control loop when the stage's *payload* route
+/// (archive) shares a link slot with the hub's control traffic — payloads
+/// are issued at the end of the item's service, so the FIFO makes the
+/// next item's control transfer wait out nearly the whole item.
+inline constexpr double kHubPayloadFraction = 0.8;
+/// Fraction of the last item's service time appended to the feeder chain
+/// in the drain-tail term; the remainder overlaps the feeder's emission
+/// of earlier items.
+inline constexpr double kDrainFraction = 0.85;
+
+class MakespanEstimator {
+ public:
+  /// `graph` and `topo` must outlive the estimator. Profiles may be
+  /// all-zero (unprofiled graph): the estimate then reduces to the
+  /// transfer bound and the placer degenerates toward byte-greedy.
+  MakespanEstimator(const StageGraph& graph, const Topology& topo);
+
+  /// Estimated makespan (seconds) of running the graph under `placement`.
+  [[nodiscard]] double estimate(const Placement& placement) const;
+
+  /// Ordering key used by place_makespan, compared lexicographically:
+  /// first the makespan bound (== estimate()), then a secondary gradient
+  /// (sum of squared occupancies + link busy + the busiest gated chain)
+  /// that rewards balance and locality among placements whose bound ties
+  /// — the bound is a max, so many distinct placements share it, and
+  /// local search needs a slope to walk. The chain enters via its max,
+  /// not its sum, so shaving one link's chain while another stays at the
+  /// max is not an improvement — this keeps the search from collapsing
+  /// the farm onto the hub's node. Deterministic, documented, not a time.
+  [[nodiscard]] std::pair<double, double> score(
+      const Placement& placement) const;
+
+  /// The placement-independent span floor (most expensive single item).
+  [[nodiscard]] double span_floor() const { return span_floor_; }
+
+ private:
+  const StageGraph& graph_;
+  const Topology& topo_;
+  Routes routes_;
+  /// link_of_[a][b]: directed-engine slot for the a->b hop of adjacent
+  /// nodes (-1 otherwise). Half-duplex links share one slot both ways.
+  std::vector<std::vector<int>> link_of_;
+  std::vector<double> link_bw_;   ///< bytes/s per directed-engine slot
+  std::vector<double> link_lat_;  ///< seconds per transfer per slot
+  /// Endpoint node pair of each directed-engine slot.
+  std::vector<std::pair<int, int>> link_nodes_;
+  /// Whether slot li's link has `node` as an endpoint.
+  [[nodiscard]] bool link_touches_node(int li, int node) const {
+    const auto& ab = link_nodes_[static_cast<std::size_t>(li)];
+    return ab.first == node || ab.second == node;
+  }
+  /// hub_of_[i]: the cyclic-exchange hub of stage i (the partner with
+  /// more cyclic partners — dedup's duplicate-check), or -1.
+  std::vector<int> hub_of_;
+  double span_floor_ = 0;
+};
+
+/// Makespan-aware placer: seed from round-robin and byte-greedy, refine
+/// both by deterministic steepest-descent move/swap local search
+/// minimizing the estimated makespan, return the better refined candidate
+/// (estimate tie -> the lexicographically smaller node_of). Constraints: pinned stages never
+/// move, needs_gpu stages only sit on nodes with >= 1 GPU, and a move may
+/// not increase the cluster's total core overcommit (so within-capacity
+/// graphs stay within capacity, while graphs bigger than the cluster can
+/// still be rearranged).
+Placement place_makespan(const StageGraph& graph, const Topology& topo);
+
+}  // namespace hs::cluster

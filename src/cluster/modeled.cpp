@@ -44,6 +44,52 @@ int max_node_devices(ClusterMachine& cluster) {
   return m;
 }
 
+/// Accumulates measured per-stage compute profiles into
+/// ClusterRunOptions::profile while a runner replays its schedule. All
+/// methods are no-ops when profiling is off, so the hot loops stay
+/// branch-cheap and the modeled schedule is never perturbed.
+class Profiler {
+ public:
+  Profiler(const ClusterRunOptions& options, ClusterMachine& cluster,
+           std::size_t expected_stages)
+      : graph_(options.profile), timeline_(&cluster.timeline()) {
+    (void)expected_stages;
+    if (graph_ == nullptr) return;
+    assert(graph_->stages.size() == expected_stages &&
+           "profile graph does not match the run's stage convention");
+    for (StageInstance& s : graph_->stages) s.compute = StageCompute{};
+  }
+
+  [[nodiscard]] bool on() const { return graph_ != nullptr; }
+
+  void set_binding(std::size_t stage, GpuBinding binding) {
+    if (graph_ == nullptr) return;
+    graph_->stages[stage].compute.binding = binding;
+  }
+
+  /// Records one item processed by `stage`. `index` is the global item
+  /// number (the device round-robin key under GpuBinding::kPerItem).
+  void add(std::size_t stage, std::uint64_t index, double host_seconds,
+           double gpu_seconds = 0, double copy_seconds = 0) {
+    if (graph_ == nullptr) return;
+    StageCompute& c = graph_->stages[stage].compute;
+    c.host_seconds += host_seconds;
+    c.gpu_seconds += gpu_seconds;
+    c.copy_seconds += copy_seconds;
+    c.items.push_back({index, host_seconds, gpu_seconds, copy_seconds});
+  }
+
+  /// Duration of a recorded timeline task (every gpusim op is one task).
+  [[nodiscard]] double task_seconds(des::TaskId id) const {
+    if (graph_ == nullptr || !id.valid()) return 0;
+    return timeline_->finish_time(id) - timeline_->start_time(id);
+  }
+
+ private:
+  StageGraph* graph_;
+  des::Timeline* timeline_;
+};
+
 /// Fills the fabric/link fields, exports counters, dumps the trace.
 void finalize(ClusterMachine& cluster, const ClusterRunOptions& options,
               ClusterRunResult& out) {
@@ -79,6 +125,8 @@ StageGraph dedup_stage_graph(const dedup::DedupTrace& trace, int replicas,
   const std::size_t n = g.stages.size();
   std::vector<std::vector<std::uint64_t>> acc(
       n, std::vector<std::uint64_t>(n, 0));
+  std::vector<std::vector<std::uint64_t>> xfer(
+      n, std::vector<std::uint64_t>(n, 0));
   for (std::size_t i = 0; i < trace.batches.size(); ++i) {
     const BatchCosts& b = trace.batches[i];
     const std::size_t w = 3 + i % static_cast<std::size_t>(R);
@@ -86,12 +134,16 @@ StageGraph dedup_stage_graph(const dedup::DedupTrace& trace, int replicas,
     acc[w][1] += 20 * b.block_count;          // digests to the dup check
     acc[1][w] += b.block_count;               // decisions back
     acc[w][2] += b.output_bytes;              // archive bytes to the writer
+    xfer[0][w] += 1;
+    xfer[w][1] += 1;
+    xfer[1][w] += 1;
+    xfer[w][2] += 1;
   }
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
       if (acc[a][b] > 0) {
         g.edges.push_back({static_cast<int>(a), static_cast<int>(b),
-                           acc[a][b]});
+                           acc[a][b], xfer[a][b]});
       }
     }
   }
@@ -112,6 +164,8 @@ StageGraph mandel_stage_graph(int dim, int batch_lines, int workers,
   const std::size_t n = g.stages.size();
   std::vector<std::vector<std::uint64_t>> acc(
       n, std::vector<std::uint64_t>(n, 0));
+  std::vector<std::vector<std::uint64_t>> xfer(
+      n, std::vector<std::uint64_t>(n, 0));
   const int nbatches = (dim + batch - 1) / batch;
   for (int b = 0; b < nbatches; ++b) {
     const std::size_t w = 2 + static_cast<std::size_t>(b % W);
@@ -119,12 +173,14 @@ StageGraph mandel_stage_graph(int dim, int batch_lines, int workers,
     acc[0][w] += kDescriptorBytes;
     acc[w][1] += static_cast<std::uint64_t>(count) *
                  static_cast<std::uint64_t>(dim);
+    xfer[0][w] += 1;
+    xfer[w][1] += 1;
   }
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
       if (acc[a][b] > 0) {
         g.edges.push_back({static_cast<int>(a), static_cast<int>(b),
-                           acc[a][b]});
+                           acc[a][b], xfer[a][b]});
       }
     }
   }
@@ -171,10 +227,14 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
 
   if (backend == Fig5Backend::kSequential) {
     std::vector<int> place = resolve_placement(options.placement, 1);
+    Profiler prof(options, cluster, 1);
     ModeledHost seq(&cluster.node(place[0]), "seq");
-    for (const BatchCosts& b : trace.batches) {
-      seq.work(cpu.frag(b) + cpu.hash(b) + cpu.dupcheck(b) + cpu.compress(b) +
-               cpu.write(b));
+    for (std::size_t i = 0; i < trace.batches.size(); ++i) {
+      const BatchCosts& b = trace.batches[i];
+      const double cost = cpu.frag(b) + cpu.hash(b) + cpu.dupcheck(b) +
+                          cpu.compress(b) + cpu.write(b);
+      seq.work(cost);
+      prof.add(0, i, cost);
     }
     out.modeled_seconds = seq.finish_time();
     out.throughput_mb_s =
@@ -191,6 +251,14 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
   const int dup_node = place[1];
   const int wr_node = place[2];
 
+  Profiler prof(options, cluster, 3 + static_cast<std::size_t>(replicas));
+  if (gpu) {
+    for (int w = 0; w < replicas; ++w) {
+      prof.set_binding(3 + static_cast<std::size_t>(w),
+                       GpuBinding::kPerStage);
+    }
+  }
+
   ModeledHost source(&cluster.node(src_node), "source");
   ModeledHost dup(&cluster.node(dup_node), "dupcheck");
   ModeledHost writer(&cluster.node(wr_node), "writer");
@@ -206,21 +274,23 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
     }
   }
 
-  /// Sharded duplicate check of one batch arriving at `arrived`.
-  auto sharded_check = [&](const BatchCosts& b,
+  /// Sharded duplicate check of batch `i` arriving at `arrived`.
+  auto sharded_check = [&](std::size_t i, const BatchCosts& b,
                            des::TaskId arrived) -> des::TaskId {
     if (N == 1) {
+      prof.add(1, i, cpu.dupcheck(b) + item_ovh);
       return dup.work_after(cpu.dupcheck(b) + item_ovh, arrived);
     }
     std::vector<std::uint64_t> counts(static_cast<std::size_t>(N), 0);
     for (std::uint8_t key : b.shard_key) {
       counts[key % static_cast<std::size_t>(N)] += 1;
     }
-    dup.work_after(static_cast<double>(counts[static_cast<std::size_t>(
-                       dup_node)]) *
-                           host.seconds_per_dupcheck +
-                       item_ovh,
-                   arrived);
+    const double local = static_cast<double>(counts[static_cast<std::size_t>(
+                             dup_node)]) *
+                             host.seconds_per_dupcheck +
+                         item_ovh;
+    prof.add(1, i, local);
+    dup.work_after(local, arrived);
     for (int o = 0; o < N; ++o) {
       const std::uint64_t k = counts[static_cast<std::size_t>(o)];
       if (o == dup_node || k == 0) continue;
@@ -253,6 +323,7 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
       const std::size_t w = i % workers.size();
       const int w_node = place[3 + w];
       des::TaskId emitted = source.work(cpu.frag(b) + item_ovh);
+      prof.add(0, i, cpu.frag(b) + item_ovh);
       des::TaskId arrived_w =
           fabric.send(src_node, w_node, b.data_len, emitted, "batch");
       des::TaskId hashed =
@@ -260,14 +331,16 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
       des::TaskId arrived_d = fabric.send(w_node, dup_node,
                                           20 * b.block_count, hashed,
                                           "digests");
-      des::TaskId checked = sharded_check(b, arrived_d);
+      des::TaskId checked = sharded_check(i, b, arrived_d);
       des::TaskId arrived_back =
           fabric.send(dup_node, w_node, b.block_count, checked, "decisions");
       des::TaskId compressed =
           workers[w]->work_after(cpu.compress(b) + item_ovh, arrived_back);
+      prof.add(3 + w, i, cpu.hash(b) + cpu.compress(b) + 2 * item_ovh);
       des::TaskId arrived_wr = fabric.send(w_node, wr_node, b.output_bytes,
                                            compressed, "archive");
       writer.work_after(cpu.write(b) + item_ovh, arrived_wr);
+      prof.add(2, i, cpu.write(b) + item_ovh);
     }
     out.modeled_seconds = writer.finish_time();
   } else {
@@ -330,6 +403,7 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
     for (std::size_t i = 0; i < trace.batches.size(); ++i) {
       const BatchCosts& b = trace.batches[i];
       des::TaskId emitted = source.work(cpu.frag(b) + item_ovh);
+      prof.add(0, i, cpu.frag(b) + item_ovh);
 
       const std::size_t w = i % static_cast<std::size_t>(replicas);
       const int w_node = place[3 + w];
@@ -343,6 +417,8 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
                  [static_cast<std::size_t>(
                      worker_dev[w])];
 
+      const double compute_before =
+          prof.on() ? dev.compute_busy_seconds() : 0;
       des::TaskId arrived_w =
           fabric.send(src_node, w_node, b.data_len, emitted, "batch");
       if (space.last_d2h.valid()) hw.wait(space.last_d2h.task);
@@ -366,7 +442,7 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
       des::TaskId arrived_d = fabric.send(w_node, dup_node,
                                           20 * b.block_count, hw.tail(),
                                           "digests");
-      des::TaskId checked = sharded_check(b, arrived_d);
+      des::TaskId checked = sharded_check(i, b, arrived_d);
       des::TaskId arrived_back =
           fabric.send(dup_node, w_node, b.block_count, checked, "decisions");
 
@@ -402,9 +478,24 @@ ClusterRunResult run_fig5_cluster(const dedup::DedupTrace& trace,
       space.last_d2h = d2h_matches;
       des::TaskId encoded = cw.work(cpu.encode_walk(b));
 
+      if (prof.on()) {
+        const double blocks = static_cast<double>(
+            std::max<std::uint64_t>(1, b.block_count));
+        const double host_busy =
+            item_ovh + 2 * enq +  // hash thread
+            item_ovh + cpu.encode_walk(b) +
+            (config.batched_kernel ? 2 * enq : 2 * enq * blocks);
+        prof.add(3 + w, i, host_busy,
+                 dev.compute_busy_seconds() - compute_before,
+                 prof.task_seconds(h2d.value().task) +
+                     prof.task_seconds(d2h_digests.value().task) +
+                     prof.task_seconds(d2h_matches.task));
+      }
+
       des::TaskId arrived_wr = fabric.send(w_node, wr_node, b.output_bytes,
                                            encoded, "archive");
       writer.work_after(cpu.write(b) + item_ovh, arrived_wr);
+      prof.add(2, i, cpu.write(b) + item_ovh);
     }
     out.modeled_seconds =
         std::max(writer.finish_time(), cluster.makespan());
@@ -425,6 +516,7 @@ ClusterRunResult run_mandel_sequential_cluster(
   ClusterMachine cluster(options.topo);
   if (!options.trace_path.empty()) cluster.set_trace_recording(true);
   std::vector<int> place = resolve_placement(options.placement, 1);
+  Profiler prof(options, cluster, 1);
   ModeledHost seq(&cluster.node(place[0]), "seq");
 
   std::vector<std::uint8_t> image(static_cast<std::size_t>(dim) * dim);
@@ -432,9 +524,11 @@ ClusterRunResult run_mandel_sequential_cluster(
     map.render_line(i, std::span<std::uint8_t>(
                            image.data() + static_cast<std::size_t>(i) * dim,
                            static_cast<std::size_t>(dim)));
-    seq.work(static_cast<double>(map.line_cost(i)) *
-                 cfg.host.seconds_per_mandel_iter +
-             mandel::detail::show_cost(cfg.host, dim, 1));
+    const double cost = static_cast<double>(map.line_cost(i)) *
+                            cfg.host.seconds_per_mandel_iter +
+                        mandel::detail::show_cost(cfg.host, dim, 1);
+    seq.work(cost);
+    prof.add(0, static_cast<std::uint64_t>(i), cost);
   }
 
   ClusterRunResult out;
@@ -470,9 +564,11 @@ ClusterRunResult run_mandel_cpu_cluster(const mandel::IterationMap& map,
         "worker" + std::to_string(w)));
   }
 
+  Profiler prof(options, cluster, 2 + static_cast<std::size_t>(nworkers));
   std::vector<std::uint8_t> image(static_cast<std::size_t>(dim) * dim);
   for (int i = 0; i < dim; ++i) {
     des::TaskId emitted = source.work_after(ovh, des::TaskId{});
+    prof.add(0, static_cast<std::uint64_t>(i), ovh);
     const std::size_t w = static_cast<std::size_t>(i) % workers.size();
     const int w_node = place[2 + w];
     map.render_line(i, std::span<std::uint8_t>(
@@ -480,16 +576,18 @@ ClusterRunResult run_mandel_cpu_cluster(const mandel::IterationMap& map,
                            static_cast<std::size_t>(dim)));
     des::TaskId arrived =
         fabric.send(src_node, w_node, kDescriptorBytes, emitted, "line");
-    des::TaskId computed = workers[w]->work_after(
-        static_cast<double>(map.line_cost(i)) *
-                cfg.host.seconds_per_mandel_iter +
-            ovh,
-        arrived);
+    const double line_cost = static_cast<double>(map.line_cost(i)) *
+                                 cfg.host.seconds_per_mandel_iter +
+                             ovh;
+    des::TaskId computed = workers[w]->work_after(line_cost, arrived);
+    prof.add(2 + w, static_cast<std::uint64_t>(i), line_cost);
     des::TaskId delivered = fabric.send(
         w_node, sink_node, static_cast<std::uint64_t>(dim), computed,
         "pixels");
     sink.work_after(mandel::detail::show_cost(cfg.host, dim, 1) + ovh,
                     delivered);
+    prof.add(1, static_cast<std::uint64_t>(i),
+             mandel::detail::show_cost(cfg.host, dim, 1) + ovh);
   }
 
   ClusterRunResult out;
@@ -554,11 +652,16 @@ ClusterRunResult run_mandel_combined_cluster(
     }
   }
 
+  Profiler prof(options, cluster, 2 + static_cast<std::size_t>(nworkers));
+  for (int w = 0; w < nworkers; ++w) {
+    prof.set_binding(2 + static_cast<std::size_t>(w), GpuBinding::kPerItem);
+  }
   std::vector<std::uint8_t> image(static_cast<std::size_t>(dim) * dim);
   const int nbatches = (dim + batch - 1) / batch;
 
   for (int b = 0; b < nbatches; ++b) {
     des::TaskId emitted = source.work_after(movh, des::TaskId{});
+    prof.add(0, static_cast<std::uint64_t>(b), movh);
 
     const std::size_t w = static_cast<std::size_t>(b % nworkers);
     const int w_node = place[2 + w];
@@ -576,8 +679,14 @@ ClusterRunResult run_mandel_combined_cluster(
     perfmodel::stream_wait_host(*space.device, space.stream, worker.tail());
     const int first = b * batch;
     const int count = std::min(batch, dim - first);
+    const double compute_before =
+        prof.on() ? space.device->compute_busy_seconds() : 0;
     space.last_d2h =
         mandel::detail::launch_batch(map, space, first, count, image);
+    prof.add(2 + w, static_cast<std::uint64_t>(b), movh + 2 * govh,
+             prof.on() ? space.device->compute_busy_seconds() - compute_before
+                       : 0,
+             prof.task_seconds(space.last_d2h.task));
 
     des::TaskId delivered = fabric.send(
         w_node, col_node,
@@ -585,6 +694,8 @@ ClusterRunResult run_mandel_combined_cluster(
         space.last_d2h.task, "pixels");
     collector.wait(delivered);
     collector.work(mandel::detail::show_cost(cfg.host, dim, count) + movh);
+    prof.add(1, static_cast<std::uint64_t>(b),
+             mandel::detail::show_cost(cfg.host, dim, count) + movh);
   }
 
   ClusterRunResult out;

@@ -39,6 +39,15 @@ struct ClusterRunOptions {
   Topology topo;
   /// Stage -> node map per the conventions above; empty = all on node 0.
   Placement placement;
+  /// When set, the runner measures per-stage compute profiles while it
+  /// replays the schedule — host busy seconds, device compute/copy
+  /// occupancy and per-item costs — and writes them into this graph's
+  /// StageInstance::compute fields (stage count must match the run's
+  /// instance convention). Profiles feed the makespan estimator
+  /// (cluster/makespan.hpp); measuring during a 1-node run keeps them
+  /// placement-neutral. Pure observation: the modeled schedule is
+  /// unchanged.
+  StageGraph* profile = nullptr;
   /// When set, the run's full schedule (every node + link lane) is dumped
   /// as Chrome trace-event JSON to this path.
   std::string trace_path;

@@ -12,6 +12,7 @@
 #include "flow/item.hpp"
 #include "flow/node.hpp"
 #include "flow/pipeline.hpp"
+#include "serve/wrr.hpp"
 
 namespace hs::serve {
 
@@ -83,30 +84,26 @@ struct ServiceImpl {
       c.accepted = config.registry->counter(base + ".accepted");
       c.shed = config.registry->counter(base + ".shed");
       c.deadline_miss = config.registry->counter(base + ".deadline_miss");
+      config.registry->gauge(base + ".weight")
+          ->set(static_cast<double>(weight_of(tenant)));
       it = tenant_metrics.emplace(std::string(tenant), c).first;
     }
     return &it->second;
   }
 
-  /// Round-robin pop across tenant queues; false when all are empty.
+  /// Effective WRR weight of a tenant: configured weight, floored at 1.
+  [[nodiscard]] int weight_of(std::string_view tenant) const {
+    return wrr.weight_of(tenant);
+  }
+
+  /// Weighted round-robin pop across the tenant queues (serve/wrr.hpp);
+  /// false when all are empty. With every weight at the default 1 this is
+  /// exactly the old one-pop-then-advance rotation.
   bool pop_next(Ticket& out) {
     std::lock_guard<std::mutex> lock(mu);
-    const std::size_t n = queues.size();
-    if (n == 0) return false;
-    auto it = queues.begin();
-    std::advance(it, static_cast<std::ptrdiff_t>(rr % n));
-    for (std::size_t k = 0; k < n; ++k) {
-      if (!it->second.empty()) {
-        out = std::move(it->second.front());
-        it->second.pop_front();
-        rr = (rr % n + k + 1) % n;
-        backlog.fetch_sub(1, std::memory_order_relaxed);
-        return true;
-      }
-      ++it;
-      if (it == queues.end()) it = queues.begin();
-    }
-    return false;
+    if (!wrr.pop(out)) return false;
+    backlog.fetch_sub(1, std::memory_order_relaxed);
+    return true;
   }
 
   gpusim::Machine* machine;
@@ -115,9 +112,8 @@ struct ServiceImpl {
   std::optional<sched::DeviceLoadTracker> tracker;
   RetryStats retry_stats;
 
-  mutable std::mutex mu;  ///< guards queues + rr
-  std::map<std::string, std::deque<Ticket>, std::less<>> queues;
-  std::size_t rr = 0;
+  mutable std::mutex mu;  ///< guards wrr
+  WrrQueues<Ticket> wrr{&config.tenant_weights};
 
   std::atomic<bool> running{false};
   std::atomic<bool> draining{false};
@@ -154,7 +150,8 @@ struct ServiceImpl {
 
 namespace {
 
-/// Pipeline source: drains the tenant queues round-robin; idles politely
+/// Pipeline source: drains the tenant queues weighted-round-robin (see
+/// ServiceConfig::tenant_weights); idles politely
 /// when empty and ends the stream once the service is draining and dry.
 class SourceNode final : public flow::Node {
  public:
@@ -370,24 +367,19 @@ SubmitResult Service::submit(std::string_view tenant, JobRequest request,
 
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    auto it = impl_->queues.find(tenant);
-    if (it == impl_->queues.end()) {
-      it = impl_->queues.emplace(std::string(tenant), std::deque<Ticket>())
-               .first;
-    }
-    std::deque<Ticket>& q = it->second;
-    if (q.size() >= cfg.tenant_queue_capacity) {
+    const std::size_t depth = impl_->wrr.depth(tenant);
+    if (depth >= cfg.tenant_queue_capacity) {
       out.result = {};
       return reject(RejectCode::kOverload, "tenant queue full");
     }
     if (cfg.shed_watermark < 1.0 &&
-        static_cast<double>(q.size()) >=
+        static_cast<double>(depth) >=
             cfg.shed_watermark *
                 static_cast<double>(cfg.tenant_queue_capacity)) {
       out.result = {};
       return reject(RejectCode::kOverload, "tenant queue over watermark");
     }
-    q.push_back(std::move(ticket));
+    impl_->wrr.push(tenant, std::move(ticket));
   }
   impl_->backlog.fetch_add(1, std::memory_order_relaxed);
   impl_->accepted.fetch_add(1, std::memory_order_relaxed);

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -67,6 +68,14 @@ struct ServiceConfig {
   /// tenant whose backlog reaches it sheds even though space remains, so
   /// accepted jobs keep a bounded wait. >= 1.0 disables the soft shed.
   double shed_watermark = 0.75;
+  /// Weighted round-robin over the tenant queues: the drain loop serves up
+  /// to `weight` consecutive jobs from a tenant before advancing to the
+  /// next non-empty queue. Unlisted tenants (and weights < 1) get weight 1,
+  /// which reduces WRR to the plain round-robin rotation — a service with
+  /// no weights configured drains byte-identically to one predating them.
+  /// Each tenant's effective weight is exported as the
+  /// "<prefix>.tenant.<name>.weight" gauge.
+  std::map<std::string, int, std::less<>> tenant_weights;
   /// Shed everything while the observed completion p99 exceeds this budget
   /// (re-evaluated every admission_refresh submissions). 0 disables.
   std::uint64_t p99_shed_budget_ns = 0;
@@ -81,7 +90,8 @@ struct ServiceConfig {
   std::size_t queue_capacity = 256;
   /// Telemetry sinks (null = uninstrumented). Metric names use `prefix`;
   /// besides the aggregate counters, each tenant gets a lazily-registered
-  /// "<prefix>.tenant.<name>.{accepted,shed,deadline_miss}" slice.
+  /// "<prefix>.tenant.<name>.{accepted,shed,deadline_miss}" slice plus a
+  /// "<prefix>.tenant.<name>.weight" gauge.
   telemetry::Registry* registry = nullptr;
   telemetry::SpanRecorder* spans = nullptr;
   telemetry::QueueDepthSampler* sampler = nullptr;

@@ -1,0 +1,87 @@
+// Weighted-round-robin tenant queues: the serve layer's drain structure,
+// split out so the rotation is unit-testable without threads.
+//
+// The rotation serves up to `weight` consecutive items from a tenant's
+// queue before advancing to the next non-empty one. Weights come from a
+// caller-owned map (service config); unlisted tenants and weights < 1 get
+// weight 1, and with every weight at 1 the rotation is byte-identical to
+// plain round-robin (one pop, then advance) — the scheme predating
+// weights. Not thread-safe: the service guards it with its own mutex.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hs::serve {
+
+template <typename T>
+class WrrQueues {
+ public:
+  /// `weights` is borrowed (may be null = all weights 1) and must outlive
+  /// the queues.
+  explicit WrrQueues(const std::map<std::string, int, std::less<>>* weights)
+      : weights_(weights) {}
+
+  /// Effective weight of a tenant: configured weight, floored at 1.
+  [[nodiscard]] int weight_of(std::string_view tenant) const {
+    if (weights_ == nullptr) return 1;
+    const auto it = weights_->find(tenant);
+    if (it == weights_->end()) return 1;
+    return it->second < 1 ? 1 : it->second;
+  }
+
+  /// Queued items for one tenant (0 when unknown).
+  [[nodiscard]] std::size_t depth(std::string_view tenant) const {
+    const auto it = queues_.find(tenant);
+    return it == queues_.end() ? 0 : it->second.size();
+  }
+
+  void push(std::string_view tenant, T item) {
+    auto it = queues_.find(tenant);
+    if (it == queues_.end()) {
+      it = queues_.emplace(std::string(tenant), std::deque<T>()).first;
+    }
+    it->second.push_back(std::move(item));
+  }
+
+  /// Pops the next item in WRR order; false when every queue is empty.
+  /// The rotation stays on one tenant for up to weight_of() pops
+  /// (turn_served_ tracks the burst); an exhausted or skipped queue ends
+  /// the burst and advances the rotation.
+  bool pop(T& out) {
+    const std::size_t n = queues_.size();
+    if (n == 0) return false;
+    auto it = queues_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rr_ % n));
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!it->second.empty()) {
+        out = std::move(it->second.front());
+        it->second.pop_front();
+        if (++turn_served_ >= weight_of(it->first) || it->second.empty()) {
+          turn_served_ = 0;
+          rr_ = (rr_ % n + k + 1) % n;
+        } else {
+          rr_ = (rr_ % n + k) % n;  // burst continues on this tenant
+        }
+        return true;
+      }
+      turn_served_ = 0;  // passing an empty queue ends any pending burst
+      ++it;
+      if (it == queues_.end()) it = queues_.begin();
+    }
+    return false;
+  }
+
+ private:
+  const std::map<std::string, int, std::less<>>* weights_;
+  std::map<std::string, std::deque<T>, std::less<>> queues_;
+  std::size_t rr_ = 0;      ///< rotation position (index into the map)
+  int turn_served_ = 0;     ///< pops served to the tenant at rr_ this burst
+};
+
+}  // namespace hs::serve

@@ -21,6 +21,7 @@
 #include "serve/breaker.hpp"
 #include "serve/jobs.hpp"
 #include "serve/service.hpp"
+#include "serve/wrr.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hs::serve {
@@ -467,6 +468,83 @@ TEST(ServiceTest, AdaptiveSchedSurvivesDeviceLossBitExactly) {
   EXPECT_TRUE(machine->device(0).lost());
   auto stats = service.stats();
   EXPECT_EQ(stats.completed, 24u);
+}
+
+// ---- Weighted round-robin drain ---------------------------------------------
+
+TEST(WrrQueuesTest, DefaultWeightOneIsPlainRoundRobin) {
+  WrrQueues<int> q(nullptr);
+  for (int v : {1, 2, 3}) q.push("a", v);
+  for (int v : {10, 20, 30}) q.push("b", v);
+  std::vector<int> order;
+  int out = 0;
+  while (q.pop(out)) order.push_back(out);
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2, 20, 3, 30}));
+}
+
+TEST(WrrQueuesTest, WeightedBurstsServeConsecutiveItems) {
+  const std::map<std::string, int, std::less<>> weights{{"heavy", 2}};
+  WrrQueues<int> q(&weights);
+  for (int v : {1, 2, 3, 4}) q.push("heavy", v);
+  for (int v : {10, 20, 30, 40}) q.push("light", v);
+  std::vector<int> order;
+  int out = 0;
+  while (q.pop(out)) order.push_back(out);
+  // heavy gets bursts of 2 per rotation turn, light 1; the tail drains
+  // light once heavy is exhausted.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 3, 4, 20, 30, 40}));
+}
+
+TEST(WrrQueuesTest, WeightsClampToOneAndBurstEndsOnEmptyQueue) {
+  const std::map<std::string, int, std::less<>> weights{{"a", 0}, {"c", 3}};
+  WrrQueues<int> q(&weights);
+  EXPECT_EQ(q.weight_of("a"), 1);  // < 1 clamps to 1
+  EXPECT_EQ(q.weight_of("c"), 3);
+  EXPECT_EQ(q.weight_of("unknown"), 1);
+  q.push("a", 1);
+  for (int v : {10, 20}) q.push("c", v);
+  std::vector<int> order;
+  int out = 0;
+  while (q.pop(out)) order.push_back(out);
+  // c's burst of 3 ends early when its queue runs dry after 2 pops.
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 20}));
+}
+
+TEST(ServiceTest, TenantWeightsDrainEverythingAndExportGauges) {
+  auto machine = gpusim::Machine::Create(2, gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  telemetry::Registry reg;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.registry = &reg;
+  cfg.tenant_weights = {{"heavy", 3}, {"zero", 0}};
+  Service service(machine.get(), cfg);
+  ASSERT_TRUE(service.start().ok());
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    for (const char* tenant : {"heavy", "light", "zero"}) {
+      auto r = service.submit(tenant, mandel_job());
+      ASSERT_TRUE(r.accepted());
+      futures.push_back(std::move(r.result));
+    }
+  }
+  for (auto& f : futures) {
+    JobResult jr = f.get();
+    ASSERT_TRUE(jr.status.ok()) << jr.status.ToString();
+  }
+  ASSERT_TRUE(service.stop().ok());
+  cudax::unbind_machine();
+  EXPECT_EQ(service.stats().completed, 18u);
+  auto snap = reg.snapshot();
+  const auto* heavy = snap.find_gauge("serve.tenant.heavy.weight");
+  const auto* light = snap.find_gauge("serve.tenant.light.weight");
+  const auto* zero = snap.find_gauge("serve.tenant.zero.weight");
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  ASSERT_NE(zero, nullptr);
+  EXPECT_EQ(heavy->value, 3.0);
+  EXPECT_EQ(light->value, 1.0);   // unlisted tenants default to 1
+  EXPECT_EQ(zero->value, 1.0);    // configured 0 clamps to 1
 }
 
 }  // namespace
