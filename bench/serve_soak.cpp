@@ -22,10 +22,12 @@
 //   serve_soak --duration=30 --faults=launch.p=0.02,alloc.p=0.01 \
 //              --sched=adaptive --json=BENCH_serve.json
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +53,8 @@ struct SoakOptions {
   double duration_s = 10.0;       ///< soak phase
   double curve_point_s = 1.0;     ///< per curve point
   bool skip_curve = false;
+  bool skip_elastic = false;      ///< skip the elastic-vs-fixed comparison
+  double elastic_phase_s = 0;     ///< per elastic phase; 0 = auto
   std::string faults;             ///< FaultPlan spec applied to every device
   double fault_window = 0.7;      ///< fraction of the soak with faults live
   sched::SchedMode sched = sched::SchedMode::kStatic;
@@ -257,9 +261,198 @@ PhaseResult run_open_loop(const SoakOptions& opt,
   return out;
 }
 
+/// One load phase of the elastic-vs-fixed comparison.
+struct ElasticPhaseResult {
+  std::string name;
+  double offered_mult = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t shed = 0;
+  double mean_workers = 0;  ///< sampled stats().workers_active over the phase
+  double p99_ms = 0;        ///< completions within the phase window
+};
+
+/// One full trough/peak/trough run of a single service configuration.
+struct ElasticLegResult {
+  std::vector<ElasticPhaseResult> phases;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::string failure;
+};
+
+/// The elastic legs run kSynthetic jobs: each occupies its worker for a
+/// fixed wall-clock duration, so farm capacity is exactly
+/// workers / duration on any host — real-execution jobs (mandel/dedup)
+/// are compute-bound on this machine's cores, where adding farm workers
+/// beyond the core count adds buffering, not throughput, and the
+/// elastic-vs-fixed comparison would measure the scheduler, not the farm.
+constexpr std::uint64_t kElasticJobNs = 2'000'000;  // 2ms
+
+serve::JobRequest make_synthetic_job() {
+  serve::JobRequest req;
+  req.kind = serve::JobKind::kSynthetic;
+  req.synthetic_ns = kElasticJobNs;
+  return req;
+}
+
+/// Elastic leg: one service lives through a trough(0.3x) / peak(2x) /
+/// trough(0.3x) offered-load curve — the same curve for the fixed-farm
+/// baseline and the elastic farm, so their peak p99 and trough worker
+/// counts are directly comparable. The service is CPU-only (no machine)
+/// and the jobs are synthetic worker-blocking sleeps, so capacity is
+/// proportional to fed workers and the farm resize — not device or core
+/// contention — is what the p99 measures. Deadlines and the p99 admission
+/// gate are off (the tenant queue caps still bound the backlog): the
+/// measured p99 reflects queueing + service time, not which jobs admission
+/// let through.
+ElasticLegResult run_elastic_leg(const SoakOptions& opt,
+                                 const std::vector<std::uint8_t>& payload,
+                                 double saturation, bool elastic,
+                                 double phase_seconds) {
+  (void)payload;
+  ElasticLegResult out;
+  telemetry::Registry reg;
+  serve::ServiceConfig cfg = service_config(opt, &reg, 0);
+  cfg.p99_shed_budget_ns = 0;
+  if (elastic) {
+    cfg.scale.min_workers = 1;
+    cfg.scale.max_workers = 2 * opt.workers;
+    cfg.scale.scale_up_watermark = 8;
+    // Windows sized well under a phase so several grow steps fit in the
+    // peak and the farm can walk back down within one trough.
+    cfg.scale.sample_interval = std::chrono::milliseconds(2);
+    cfg.scale.sample_window = std::chrono::milliseconds(20);
+    cfg.scale.scale_down_idle_window = std::chrono::milliseconds(100);
+    cfg.scale.cooldown = std::chrono::milliseconds(40);
+  }
+  serve::Service service(nullptr, cfg);
+  if (!service.start().ok()) {
+    std::fprintf(stderr, "[soak] elastic: service failed to start\n");
+    std::exit(1);
+  }
+
+  struct PhaseSpec {
+    const char* name;
+    double mult;
+  };
+  const PhaseSpec specs[3] = {{"trough", 0.3}, {"peak", 2.0},
+                              {"cooldown", 0.3}};
+
+  // Worker-count sampler: the phase mean is what the shrink gate checks
+  // (fixed farms sample flat at opt.workers).
+  struct WorkerAcc {
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> samples{0};
+  };
+  WorkerAcc acc[3];
+  std::atomic<int> phase_index{-1};
+  std::atomic<bool> sampler_stop{false};
+  std::thread sampler([&] {
+    while (!sampler_stop.load(std::memory_order_acquire)) {
+      const int ph = phase_index.load(std::memory_order_relaxed);
+      if (ph >= 0 && ph < 3) {
+        acc[ph].sum.fetch_add(
+            static_cast<std::uint64_t>(service.stats().workers_active),
+            std::memory_order_relaxed);
+        acc[ph].samples.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  Xoshiro256 rng(opt.seed ^ 0x454c4153544943ull);
+  telemetry::HistogramSnapshot lat_base = service.latency();
+  std::uint64_t n = 0;
+  for (int ph = 0; ph < 3; ++ph) {
+    const double rate = saturation * specs[ph].mult;
+    const std::uint64_t sub0 = service.stats().submitted;
+    const std::uint64_t shed0 = service.stats().shed;
+    phase_index.store(ph, std::memory_order_relaxed);
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(phase_seconds));
+    double next_arrival = 0;
+    while (Clock::now() < deadline) {
+      const std::string tenant =
+          "tenant-" +
+          std::to_string(n % static_cast<std::uint64_t>(opt.tenants));
+      (void)service.submit(tenant, make_synthetic_job(),
+                           /*want_result=*/false);
+      ++n;
+      const double u = std::max(rng.uniform(), 1e-12);
+      next_arrival += -std::log(u) / rate;
+      const auto wake =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(next_arrival));
+      std::this_thread::sleep_until(std::min(wake, deadline));
+    }
+    phase_index.store(-1, std::memory_order_relaxed);
+
+    ElasticPhaseResult pr;
+    pr.name = specs[ph].name;
+    pr.offered_mult = specs[ph].mult;
+    const auto stats = service.stats();
+    pr.submitted = stats.submitted - sub0;
+    pr.shed = stats.shed - shed0;
+    const std::uint64_t samples =
+        acc[ph].samples.load(std::memory_order_relaxed);
+    pr.mean_workers =
+        samples > 0 ? static_cast<double>(
+                          acc[ph].sum.load(std::memory_order_relaxed)) /
+                          static_cast<double>(samples)
+                    : static_cast<double>(opt.workers);
+    // Phase p99 over the completions that landed inside the phase window
+    // (snapshot diff, same scheme as the service's own admission gate).
+    telemetry::HistogramSnapshot window = service.latency();
+    const telemetry::HistogramSnapshot snap = window;
+    window.count -= lat_base.count;
+    window.sum -= lat_base.sum;
+    for (std::size_t b = 0; b < window.buckets.size(); ++b) {
+      window.buckets[b] -= lat_base.buckets[b];
+    }
+    pr.p99_ms = window.count > 0 ? window.p99() / 1e6 : 0.0;
+    lat_base = snap;
+    out.phases.push_back(std::move(pr));
+  }
+
+  sampler_stop.store(true, std::memory_order_release);
+  sampler.join();
+  Status run = service.stop();
+
+  const auto stats = service.stats();
+  out.accepted = stats.accepted;
+  out.completed = stats.completed;
+  out.scale_ups = stats.scale_ups;
+  out.scale_downs = stats.scale_downs;
+  if (!run.ok()) out.failure = run.ToString();
+  const std::string stage_failures = service.failure_summary();
+  if (!stage_failures.empty()) {
+    out.failure +=
+        out.failure.empty() ? stage_failures : "; " + stage_failures;
+  }
+  for (const ElasticPhaseResult& pr : out.phases) {
+    std::fprintf(stderr,
+                 "[soak] %-10s %-8s rate=%4.1fx submitted=%llu shed=%llu "
+                 "mean_workers=%.2f p99=%.2fms\n",
+                 elastic ? "elastic" : "fixed", pr.name.c_str(),
+                 pr.offered_mult,
+                 static_cast<unsigned long long>(pr.submitted),
+                 static_cast<unsigned long long>(pr.shed), pr.mean_workers,
+                 pr.p99_ms);
+  }
+  std::fprintf(stderr, "[soak] %-10s scale_ups=%llu scale_downs=%llu\n",
+               elastic ? "elastic" : "fixed",
+               static_cast<unsigned long long>(out.scale_ups),
+               static_cast<unsigned long long>(out.scale_downs));
+  return out;
+}
+
 void write_json(const SoakOptions& opt, double job_s, double saturation,
                 const std::vector<PhaseResult>& curve,
-                const PhaseResult& soak) {
+                const PhaseResult& soak, const ElasticLegResult* fixed_leg,
+                const ElasticLegResult* elastic_leg) {
   FILE* f = std::fopen(opt.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[soak] cannot write %s\n", opt.json_path.c_str());
@@ -303,6 +496,42 @@ void write_json(const SoakOptions& opt, double job_s, double saturation,
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"soak\": \n");
   phase_json(soak);
+  if (fixed_leg != nullptr && elastic_leg != nullptr) {
+    auto leg_json = [&](const char* key, const ElasticLegResult& leg) {
+      std::fprintf(f, "    \"%s\": {\"scale_ups\": %llu, "
+                   "\"scale_downs\": %llu, \"accepted\": %llu, "
+                   "\"completed\": %llu, \"failure\": \"%s\", "
+                   "\"phases\": [\n",
+                   key, static_cast<unsigned long long>(leg.scale_ups),
+                   static_cast<unsigned long long>(leg.scale_downs),
+                   static_cast<unsigned long long>(leg.accepted),
+                   static_cast<unsigned long long>(leg.completed),
+                   leg.failure.c_str());
+      for (std::size_t i = 0; i < leg.phases.size(); ++i) {
+        const ElasticPhaseResult& p = leg.phases[i];
+        std::fprintf(f,
+                     "      {\"name\": \"%s\", \"offered_mult\": %.2f, "
+                     "\"submitted\": %llu, \"shed\": %llu, "
+                     "\"mean_workers\": %.2f, \"p99_ms\": %.3f}%s\n",
+                     p.name.c_str(), p.offered_mult,
+                     static_cast<unsigned long long>(p.submitted),
+                     static_cast<unsigned long long>(p.shed),
+                     p.mean_workers, p.p99_ms,
+                     i + 1 < leg.phases.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]}");
+    };
+    std::fprintf(f, ",\n  \"elastic_compare\": {\n");
+    leg_json("fixed", *fixed_leg);
+    std::fprintf(f, ",\n");
+    leg_json("elastic", *elastic_leg);
+    std::fprintf(f, "\n  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "[soak] results written to %s\n",
+                 opt.json_path.c_str());
+    return;
+  }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "[soak] results written to %s\n",
@@ -325,6 +554,8 @@ int run(int argc, const char** argv) {
   opt.curve_point_s =
       args.get_double("curve-seconds", std::max(1.0, opt.duration_s / 10.0));
   opt.skip_curve = args.get_bool("skip-curve", false);
+  opt.skip_elastic = args.get_bool("skip-elastic", false);
+  opt.elastic_phase_s = args.get_double("elastic-seconds", 0.0);
   opt.faults = args.get_string("faults", "");
   opt.fault_window = args.get_double("fault-window", opt.fault_window);
   opt.sched = args.get_string("sched", "static") == "adaptive"
@@ -383,7 +614,31 @@ int run(int argc, const char** argv) {
                     opt.faults, opt.fault_window, deadline_ns, "soak");
   soak.offered_mult = 2.0;
 
-  write_json(opt, job_s, saturation, curve, soak);
+  // Phase 4: elastic-vs-fixed comparison over the same trough/peak/trough
+  // load curve (clean machine, no deadlines).
+  std::optional<ElasticLegResult> fixed_leg;
+  std::optional<ElasticLegResult> elastic_leg;
+  if (!opt.skip_elastic) {
+    const double phase_s = opt.elastic_phase_s > 0
+                               ? opt.elastic_phase_s
+                               : std::max(1.5, opt.duration_s / 5.0);
+    // Synthetic jobs have a known duration, so the fixed farm's capacity
+    // is exact — no calibration run needed.
+    const double syn_saturation = static_cast<double>(opt.workers) /
+                                  (static_cast<double>(kElasticJobNs) / 1e9);
+    std::fprintf(stderr,
+                 "[soak] synthetic job=%.1fms saturation=%.1f jobs/s "
+                 "(elastic legs)\n",
+                 static_cast<double>(kElasticJobNs) / 1e6, syn_saturation);
+    fixed_leg =
+        run_elastic_leg(opt, payload, syn_saturation, false, phase_s);
+    elastic_leg =
+        run_elastic_leg(opt, payload, syn_saturation, true, phase_s);
+  }
+
+  write_json(opt, job_s, saturation, curve, soak,
+             fixed_leg.has_value() ? &*fixed_leg : nullptr,
+             elastic_leg.has_value() ? &*elastic_leg : nullptr);
 
   int rc = 0;
   if (!soak.failure.empty()) {
@@ -420,6 +675,49 @@ int run(int argc, const char** argv) {
     std::fprintf(stderr, "[soak] FAIL: p99 %.2fms exceeds bound %.2fms\n",
                  soak.p99_ms, p99_bound_ms);
     rc = 1;
+  }
+  if (fixed_leg.has_value() && elastic_leg.has_value()) {
+    if (!fixed_leg->failure.empty() || !elastic_leg->failure.empty()) {
+      std::fprintf(stderr, "[soak] FAIL: elastic leg pipeline failure: %s%s\n",
+                   fixed_leg->failure.c_str(), elastic_leg->failure.c_str());
+      rc = 1;
+    }
+    if (fixed_leg->completed != fixed_leg->accepted ||
+        elastic_leg->completed != elastic_leg->accepted) {
+      std::fprintf(stderr, "[soak] FAIL: elastic leg lost accepted work\n");
+      rc = 1;
+    }
+    if (elastic_leg->scale_ups == 0) {
+      std::fprintf(stderr,
+                   "[soak] FAIL: farm never scaled up under 2x overload\n");
+      rc = 1;
+    }
+    if (elastic_leg->scale_downs == 0) {
+      std::fprintf(stderr,
+                   "[soak] FAIL: farm never scaled down after the peak\n");
+      rc = 1;
+    }
+    // At the peak the elastic farm has twice the fixed farm's worker
+    // ceiling, so its p99 must be no worse (5% + 5ms measurement slack).
+    const double fixed_peak_ms = fixed_leg->phases[1].p99_ms;
+    const double elastic_peak_ms = elastic_leg->phases[1].p99_ms;
+    if (elastic_peak_ms > fixed_peak_ms * 1.05 + 5.0) {
+      std::fprintf(stderr,
+                   "[soak] FAIL: elastic peak p99 %.2fms worse than fixed "
+                   "%.2fms\n",
+                   elastic_peak_ms, fixed_peak_ms);
+      rc = 1;
+    }
+    // After the peak the farm must have given capacity back: mean fed
+    // workers across the final trough strictly below the fixed count.
+    const double trough_workers = elastic_leg->phases[2].mean_workers;
+    if (trough_workers >= static_cast<double>(opt.workers)) {
+      std::fprintf(stderr,
+                   "[soak] FAIL: trough mean workers %.2f did not drop "
+                   "below the fixed %d\n",
+                   trough_workers, opt.workers);
+      rc = 1;
+    }
   }
   if (outs.active()) {
     const int trc = benchtool::end_telemetry_capture(outs);

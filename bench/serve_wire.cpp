@@ -1,0 +1,237 @@
+// Out-of-process load generator for the serve wire front-end.
+//
+// Two modes, designed to run as separate processes so the service's
+// admission control is exercised over a real transport:
+//
+//   serve_wire --listen [--port=0] [--seconds=30] [--workers=4] [--elastic]
+//     Starts a Service (+ simulated GPUs) behind a WireServer, prints
+//     "listening <port>" on stdout, serves for --seconds, then prints a
+//     "served ..." summary and exits 0 (non-zero on startup failure).
+//
+//   serve_wire --drive --port=P [--seconds=5] [--connections=4] [--tenants=3]
+//     Closed-loop driver: each connection synchronously round-trips
+//     alternating mandel/dedup jobs across --tenants tenants, then the
+//     process prints an aggregate "drive ..." summary. Exits non-zero when
+//     no job completed, a response failed to parse, or the final stats
+//     round-trip fails — the CI smoke gate.
+//
+// Example smoke (two processes, ephemeral port):
+//   serve_wire --listen --seconds=30 > wire.log &
+//   port=$(awk '/^listening/{print $2; exit}' wire.log)
+//   serve_wire --drive --port=$port --seconds=5 --connections=4
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "cudax/cudax.hpp"
+#include "gpusim/device.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace hs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int run_listen(const CliArgs& args) {
+  const int devices = static_cast<int>(args.get_int("devices", 2));
+  const int workers = static_cast<int>(args.get_int("workers", 4));
+  const double seconds = args.get_double("seconds", 30.0);
+  auto machine = gpusim::Machine::Create(devices,
+                                         gpusim::DeviceSpec::TitanXP());
+  cudax::bind_machine(machine.get());
+  serve::ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.tenant_queue_capacity =
+      static_cast<std::size_t>(args.get_int("tenant-queue", 64));
+  cfg.tenant_quota_queued =
+      static_cast<std::size_t>(args.get_int("quota-queued", 0));
+  cfg.tenant_quota_inflight =
+      static_cast<std::size_t>(args.get_int("quota-inflight", 0));
+  if (args.get_bool("elastic", false)) {
+    cfg.scale.min_workers = static_cast<int>(args.get_int("min-workers", 1));
+    cfg.scale.max_workers =
+        static_cast<int>(args.get_int("max-workers", 2 * workers));
+  }
+  serve::Service service(machine.get(), cfg);
+  if (Status s = service.start(); !s.ok()) {
+    std::fprintf(stderr, "[wire] service start: %s\n", s.message().c_str());
+    return 1;
+  }
+  serve::WireServerConfig wire_cfg;
+  wire_cfg.port = static_cast<int>(args.get_int("port", 0));
+  serve::WireServer server(&service, wire_cfg);
+  if (Status s = server.start(); !s.ok()) {
+    std::fprintf(stderr, "[wire] server start: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("listening %d\n", server.port());
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  server.stop();
+  (void)service.stop();
+  const serve::ServiceStats stats = service.stats();
+  std::printf("served accepted=%llu completed=%llu shed=%llu quota=%llu "
+              "scale_ups=%llu scale_downs=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.quota_rejects),
+              static_cast<unsigned long long>(stats.scale_ups),
+              static_cast<unsigned long long>(stats.scale_downs));
+  cudax::unbind_machine();
+  return 0;
+}
+
+struct DriveTally {
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> err{0};
+  std::atomic<std::uint64_t> transport_errors{0};
+  std::atomic<std::uint64_t> latency_ns_sum{0};
+};
+
+void drive_connection(const std::string& host, int port, double seconds,
+                      int tenants, int dim, int niter,
+                      std::uint64_t payload_bytes, int conn_id,
+                      DriveTally* tally) {
+  serve::WireClient client;
+  if (!client.connect(host, port).ok()) {
+    tally->transport_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  serve::JobRequest mandel;
+  mandel.kind = serve::JobKind::kMandel;
+  mandel.mandel.dim = dim;
+  mandel.mandel.niter = niter;
+  serve::JobRequest dedup;
+  dedup.kind = serve::JobKind::kDedup;
+  dedup.payload.resize(payload_bytes);
+  const auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  std::uint64_t n = static_cast<std::uint64_t>(conn_id);
+  while (Clock::now() < deadline) {
+    const std::string tenant = "t" + std::to_string(n % tenants);
+    const std::string line = serve::encode_job_line(
+        tenant, n % 2 == 0 ? mandel : dedup);
+    ++n;
+    const auto t0 = Clock::now();
+    auto resp = client.call(line);
+    if (!resp.ok()) {
+      tally->transport_errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    switch (resp.value().kind) {
+      case serve::WireResponse::Kind::kOk:
+        tally->ok.fetch_add(1, std::memory_order_relaxed);
+        tally->latency_ns_sum.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+        break;
+      case serve::WireResponse::Kind::kRejected:
+        tally->rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        tally->err.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  (void)client.call("quit");
+  client.close();
+}
+
+int run_drive(const CliArgs& args) {
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const int port = static_cast<int>(args.get_int("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "[wire] --drive needs --port\n");
+    return 2;
+  }
+  const double seconds = args.get_double("seconds", 5.0);
+  const int connections = static_cast<int>(args.get_int("connections", 4));
+  const int tenants = static_cast<int>(args.get_int("tenants", 3));
+  const int dim = static_cast<int>(args.get_int("dim", 32));
+  const int niter = static_cast<int>(args.get_int("niter", 300));
+  const std::uint64_t payload_bytes = args.get_bytes("payload", 16 * 1024);
+
+  DriveTally tally;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back(drive_connection, host, port, seconds,
+                         tenants < 1 ? 1 : tenants, dim, niter, payload_bytes,
+                         c, &tally);
+  }
+  for (std::thread& t : threads) t.join();
+
+  // One more round-trip for the server-side view; also verifies the stats
+  // verb end to end.
+  std::uint64_t server_completed = 0;
+  int server_workers = 0;
+  bool stats_ok = false;
+  serve::WireClient probe;
+  if (probe.connect(host, port).ok()) {
+    if (auto resp = probe.call("stats");
+        resp.ok() && resp.value().kind == serve::WireResponse::Kind::kStats) {
+      server_completed = resp.value().completed;
+      server_workers = resp.value().workers;
+      stats_ok = true;
+    }
+    probe.close();
+  }
+
+  const std::uint64_t ok = tally.ok.load();
+  const double mean_ms =
+      ok > 0 ? static_cast<double>(tally.latency_ns_sum.load()) /
+                   static_cast<double>(ok) / 1e6
+             : 0.0;
+  std::printf("drive ok=%llu rejected=%llu err=%llu transport_errors=%llu "
+              "mean_rtt_ms=%.3f server_completed=%llu server_workers=%d\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(tally.rejected.load()),
+              static_cast<unsigned long long>(tally.err.load()),
+              static_cast<unsigned long long>(tally.transport_errors.load()),
+              mean_ms, static_cast<unsigned long long>(server_completed),
+              server_workers);
+  if (ok == 0) {
+    std::fprintf(stderr, "[wire] no job completed over the wire\n");
+    return 1;
+  }
+  if (tally.transport_errors.load() != 0 || tally.err.load() != 0) {
+    std::fprintf(stderr, "[wire] transport/protocol errors\n");
+    return 1;
+  }
+  if (!stats_ok) {
+    std::fprintf(stderr, "[wire] stats round-trip failed\n");
+    return 1;
+  }
+  return 0;
+}
+
+int run(int argc, const char** argv) {
+  auto parsed = CliArgs::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (args.get_bool("listen", false)) return run_listen(args);
+  if (args.get_bool("drive", false)) return run_drive(args);
+  std::fprintf(stderr,
+               "usage: serve_wire --listen [--port=0 --seconds=30] |\n"
+               "       serve_wire --drive --port=P [--seconds=5 "
+               "--connections=4]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace hs
+
+int main(int argc, const char** argv) { return hs::run(argc, argv); }

@@ -309,13 +309,25 @@ class Unit {
 /// sequence numbers. Implements the Node's emit() port.
 class Router final : public OutPort {
  public:
-  Router(std::vector<Channel*> outs, SchedPolicy policy)
-      : outs_(std::move(outs)), policy_(policy) {}
+  Router(std::vector<Channel*> outs, SchedPolicy policy,
+         const FarmController* controller = nullptr)
+      : outs_(std::move(outs)), policy_(policy), controller_(controller) {}
+
+  /// Downstream channels currently eligible for items. With an attached
+  /// FarmController only the first `active` workers are fed; EOS broadcast
+  /// still reaches every channel so parked replicas terminate.
+  [[nodiscard]] std::size_t active_outs() const {
+    if (controller_ == nullptr) return outs_.size();
+    const int a = controller_->active();
+    if (a < 1) return 1;
+    return std::min(outs_.size(), static_cast<std::size_t>(a));
+  }
 
   /// Routes an item envelope with an explicit sequence number.
   bool route(Envelope&& env) {
     if (outs_.empty()) return true;  // sink: outputs are dropped
-    if (outs_.size() == 1) return outs_[0]->push(std::move(env));
+    const std::size_t n = active_outs();
+    if (n == 1) return outs_[0]->push(std::move(env));
     if (policy_ == SchedPolicy::kLeastLoaded) {
       // Route to the shallowest queue (ties to the lowest index). Unlike
       // on-demand's first-with-space probe, a worker sitting on a deep
@@ -323,7 +335,7 @@ class Router final : public OutPort {
       // worker cannot capture the stream at the emitter.
       std::size_t best = 0;
       std::size_t best_depth = outs_[0]->depth();
-      for (std::size_t i = 1; i < outs_.size(); ++i) {
+      for (std::size_t i = 1; i < n; ++i) {
         const std::size_t di = outs_[i]->depth();
         if (di < best_depth) {
           best = i;
@@ -335,15 +347,15 @@ class Router final : public OutPort {
     if (policy_ == SchedPolicy::kOnDemand) {
       // Rotate from the cursor looking for space; fall back to a blocking
       // push on the cursor's channel so we never spin on a full farm.
-      for (std::size_t probe = 0; probe < outs_.size(); ++probe) {
-        std::size_t i = (next_ + probe) % outs_.size();
+      for (std::size_t probe = 0; probe < n; ++probe) {
+        std::size_t i = (next_ + probe) % n;
         if (outs_[i]->has_space()) {
           next_ = i + 1;
           return outs_[i]->push(std::move(env));
         }
       }
     }
-    std::size_t i = next_ % outs_.size();
+    std::size_t i = next_ % n;
     ++next_;
     return outs_[i]->push(std::move(env));
   }
@@ -374,6 +386,7 @@ class Router final : public OutPort {
  private:
   std::vector<Channel*> outs_;
   SchedPolicy policy_;
+  const FarmController* controller_;
   std::size_t next_ = 0;
   std::uint64_t seq_ = 0;
 };
@@ -775,6 +788,7 @@ void Pipeline::add_farm(std::function<std::unique_ptr<Node>()> worker_factory,
                         FarmOptions options, std::string name) {
   assert(worker_factory && "null worker factory");
   assert(options.replicas >= 1);
+  if (options.controller != nullptr) options.controller->bind(options.replicas);
   impl_->stages.push_back(
       FarmStage{std::move(worker_factory), options, std::move(name)});
 }
@@ -910,11 +924,12 @@ Status Pipeline::run_and_wait() {
       attach_telemetry(units.back().get(), worker_name);
     }
 
-    // emitter: in channel -> worker channels
+    // emitter: in channel -> worker channels (the controller, if any, bounds
+    // how many of them receive items — see FarmController).
     Channel* farm_in = core->new_channel(farm.name + ".in");
     units.push_back(std::make_unique<EmitterUnit>(
         farm.name + ".emitter", &core->state, farm_in,
-        Router(worker_ins, farm.options.policy)));
+        Router(worker_ins, farm.options.policy, farm.options.controller)));
     entry = farm_in;
   }
 

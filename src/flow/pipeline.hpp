@@ -13,6 +13,7 @@
 // collector forwards it once all workers have finished.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -95,10 +96,56 @@ struct PipelineOptions {
   PinPolicy pin;
 };
 
+/// Runtime resize handle for an elastic farm. The farm is *provisioned* at
+/// FarmOptions::replicas workers (threads and channels exist for the whole
+/// run), and the controller bounds how many of them the emitter feeds:
+/// workers [0, active) receive items, the rest idle on empty queues in the
+/// run's wait mode (backoff/blocking parks them off-CPU). Resizing is a
+/// single relaxed atomic store — O(1), lock-free, safe from any thread while
+/// the pipeline runs — and takes effect on the emitter's next routing
+/// decision. In-flight items on a deactivated worker's queue still drain
+/// (the collector keeps merging every replica), so shrink never strands or
+/// reorders accepted work. Caller-owned: must outlive the run.
+class FarmController {
+ public:
+  FarmController() = default;
+
+  /// Sets the number of fed workers, clamped to [1, replicas] once the
+  /// controller is bound to a farm (add_farm); before binding the value is
+  /// only floored at 1.
+  void set_active(int n) {
+    const int max = replicas_.load(std::memory_order_relaxed);
+    if (n < 1) n = 1;
+    if (max > 0 && n > max) n = max;
+    active_.store(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  /// Provisioned worker count (0 until bound to a farm).
+  [[nodiscard]] int replicas() const {
+    return replicas_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Pipeline;
+  void bind(int replicas) {
+    replicas_.store(replicas, std::memory_order_relaxed);
+    int a = active_.load(std::memory_order_relaxed);
+    if (a > replicas) active_.store(replicas, std::memory_order_relaxed);
+  }
+
+  std::atomic<int> active_{1 << 20};  ///< "all provisioned" until set
+  std::atomic<int> replicas_{0};
+};
+
 struct FarmOptions {
   int replicas = 1;
   bool ordered = false;  ///< collector restores emission order
   SchedPolicy policy = SchedPolicy::kRoundRobin;
+  /// Optional elastic-resize handle (see FarmController). Null = fixed farm.
+  /// Bound to this farm's replica count by add_farm().
+  FarmController* controller = nullptr;
 };
 
 /// Snapshot of one runtime thread's activity after a run.

@@ -239,6 +239,14 @@ void JobEngine::run_cpu(const JobRequest& req, JobResult& result) {
 
 JobResult JobEngine::run(const JobRequest& req) {
   JobResult result;
+  if (req.kind == JobKind::kSynthetic) {
+    // Pure wall-clock occupancy of this worker; no device, no retry ladder.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(req.synthetic_ns));
+    result.status = OkStatus();
+    result.checksum = req.synthetic_ns;
+    result.cpu_path = true;
+    return result;
+  }
   while (true) {
     const int d = pick_device();
     if (d < 0) break;  // every device lost or breaker-open: CPU rung

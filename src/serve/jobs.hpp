@@ -26,7 +26,17 @@
 
 namespace hs::serve {
 
-enum class JobKind : std::uint8_t { kMandel = 0, kDedup = 1 };
+enum class JobKind : std::uint8_t {
+  kMandel = 0,
+  kDedup = 1,
+  /// Fixed-duration job: the worker blocks wall-clock for `synthetic_ns`
+  /// and produces no output. Models work bound on an external resource
+  /// (remote accelerator, storage, downstream service), so farm capacity is
+  /// exactly workers / duration regardless of host core count — the load
+  /// shape elasticity harnesses need to measure worker scaling on any
+  /// machine. Skips the GPU ladder entirely.
+  kSynthetic = 2,
+};
 
 /// One unit of work a tenant submits. `deadline_budget_ns` is relative to
 /// submission (0 = use the service default; the service may still leave the
@@ -36,6 +46,7 @@ struct JobRequest {
   kernels::MandelParams mandel;           ///< kMandel: frame to render
   std::vector<std::uint8_t> payload;      ///< kDedup: bytes to archive
   dedup::DedupConfig dedup;               ///< kDedup: fragmentation config
+  std::uint64_t synthetic_ns = 0;         ///< kSynthetic: blocking duration
   std::uint64_t deadline_budget_ns = 0;
 };
 

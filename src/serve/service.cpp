@@ -1,7 +1,9 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -13,6 +15,7 @@
 #include "flow/node.hpp"
 #include "flow/pipeline.hpp"
 #include "serve/wrr.hpp"
+#include "telemetry/span_recorder.hpp"
 
 namespace hs::serve {
 
@@ -20,6 +23,7 @@ std::string_view reject_code_name(RejectCode code) {
   switch (code) {
     case RejectCode::kOverload: return "overload";
     case RejectCode::kShuttingDown: return "shutting-down";
+    case RejectCode::kQuota: return "quota";
   }
   return "?";
 }
@@ -34,6 +38,10 @@ struct Ticket {
   std::uint64_t submit_ns = 0;
   std::uint64_t deadline_ns = 0;  ///< absolute, 0 = none
   std::shared_ptr<std::promise<JobResult>> promise;  ///< null = fire-and-forget
+  /// The tenant's accepted-but-not-completed count, carried on the ticket so
+  /// the sink can decrement it without a tenant-map lookup. Null when no
+  /// in-flight quota is configured.
+  std::shared_ptr<std::atomic<std::int64_t>> inflight;
   JobResult result;
 };
 
@@ -61,6 +69,16 @@ struct ServiceImpl {
       completed_counter =
           config.registry->counter(config.prefix + ".completed");
       latency_hist = config.registry->histogram(config.prefix + ".latency_ns");
+      quota_counter =
+          config.registry->counter(config.prefix + ".quota_rejects");
+      workers_gauge = config.registry->gauge(config.prefix + ".workers");
+      scale_up_counter = config.registry->counter(config.prefix + ".scale_up");
+      scale_down_counter =
+          config.registry->counter(config.prefix + ".scale_down");
+    }
+    if (config.spans != nullptr) {
+      scale_up_span = config.spans->intern(config.prefix + ".scale_up");
+      scale_down_span = config.spans->intern(config.prefix + ".scale_down");
     }
   }
 
@@ -72,6 +90,7 @@ struct ServiceImpl {
     telemetry::Counter* accepted = nullptr;
     telemetry::Counter* shed = nullptr;
     telemetry::Counter* deadline_miss = nullptr;
+    telemetry::Counter* quota_rejects = nullptr;
   };
   TenantCounters* tenant_counters(std::string_view tenant) {
     if (config.registry == nullptr) return nullptr;
@@ -84,6 +103,7 @@ struct ServiceImpl {
       c.accepted = config.registry->counter(base + ".accepted");
       c.shed = config.registry->counter(base + ".shed");
       c.deadline_miss = config.registry->counter(base + ".deadline_miss");
+      c.quota_rejects = config.registry->counter(base + ".quota_rejects");
       config.registry->gauge(base + ".weight")
           ->set(static_cast<double>(weight_of(tenant)));
       it = tenant_metrics.emplace(std::string(tenant), c).first;
@@ -112,8 +132,23 @@ struct ServiceImpl {
   std::optional<sched::DeviceLoadTracker> tracker;
   RetryStats retry_stats;
 
-  mutable std::mutex mu;  ///< guards wrr
+  mutable std::mutex mu;  ///< guards wrr, accepting, tenant_inflight
   WrrQueues<Ticket> wrr{&config.tenant_weights};
+  /// Admission gate for the submit/stop race: stop() flips it to false
+  /// under mu *before* setting draining, so every ticket ever pushed
+  /// happens-before any observation of draining==true — the source's final
+  /// pop (and stop()'s leftover drain) therefore see them all, and no
+  /// accepted future is ever stranded unresolved.
+  bool accepting = false;
+  /// Per-tenant accepted-but-not-completed counts (quota enforcement).
+  std::map<std::string, std::shared_ptr<std::atomic<std::int64_t>>,
+           std::less<>>
+      tenant_inflight;
+
+  flow::FarmController farm_ctl;
+  std::thread scaler;
+  std::atomic<bool> scaler_stop{false};
+  std::atomic<int> workers_active{0};
 
   std::atomic<bool> running{false};
   std::atomic<bool> draining{false};
@@ -129,8 +164,12 @@ struct ServiceImpl {
   std::atomic<std::uint64_t> submitted{0};
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> quota_rejects{0};
   std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> cancelled{0};
   std::atomic<std::uint64_t> deadline_miss{0};
+  std::atomic<std::uint64_t> scale_ups{0};
+  std::atomic<std::uint64_t> scale_downs{0};
 
   std::mutex tenant_mu;  ///< guards tenant_metrics
   std::map<std::string, TenantCounters, std::less<>> tenant_metrics;
@@ -140,6 +179,12 @@ struct ServiceImpl {
   telemetry::Counter* accepted_counter = nullptr;
   telemetry::Counter* completed_counter = nullptr;
   telemetry::Histogram* latency_hist = nullptr;
+  telemetry::Counter* quota_counter = nullptr;
+  telemetry::Gauge* workers_gauge = nullptr;
+  telemetry::Counter* scale_up_counter = nullptr;
+  telemetry::Counter* scale_down_counter = nullptr;
+  const char* scale_up_span = nullptr;
+  const char* scale_down_span = nullptr;
 
   std::unique_ptr<flow::Pipeline> pipeline;
   std::thread runner;
@@ -159,17 +204,27 @@ class SourceNode final : public flow::Node {
 
   flow::SvcResult svc(flow::Item) override {
     Ticket ticket;
-    if (impl_->pop_next(ticket)) {
-      const std::uint64_t deadline = ticket.deadline_ns;
-      flow::Item item = flow::Item::make<Ticket>(std::move(ticket));
-      if (deadline != 0) item.set_deadline_ns(deadline);
-      return flow::SvcResult::Out(std::move(item));
-    }
+    if (impl_->pop_next(ticket)) return emit(std::move(ticket));
     if (impl_->draining.load(std::memory_order_acquire)) {
+      // The failed pop above raced submissions that were still allowed in:
+      // a ticket accepted between that pop and this draining read would be
+      // stranded by an immediate EOS. stop() closes admission (under the
+      // queue mutex) *before* setting draining, so every accepted ticket
+      // happens-before this read — one more pop under the mutex observes
+      // them all, and only a genuinely dry queue ends the stream.
+      if (impl_->pop_next(ticket)) return emit(std::move(ticket));
       return flow::SvcResult::Eos();
     }
     std::this_thread::sleep_for(std::chrono::microseconds(50));
     return flow::SvcResult::GoOn();
+  }
+
+ private:
+  static flow::SvcResult emit(Ticket ticket) {
+    const std::uint64_t deadline = ticket.deadline_ns;
+    flow::Item item = flow::Item::make<Ticket>(std::move(ticket));
+    if (deadline != 0) item.set_deadline_ns(deadline);
+    return flow::SvcResult::Out(std::move(item));
   }
 
  private:
@@ -237,6 +292,9 @@ class SinkNode final : public flow::Node {
     if (impl_->latency_hist != nullptr) {
       impl_->latency_hist->record(ticket.result.latency_ns);
     }
+    if (ticket.inflight != nullptr) {
+      ticket.inflight->fetch_sub(1, std::memory_order_relaxed);
+    }
     if (ticket.promise != nullptr) {
       ticket.promise->set_value(std::move(ticket.result));
     }
@@ -275,19 +333,79 @@ Status Service::start() {
   impl_->pipeline = std::make_unique<flow::Pipeline>(opts);
   detail::ServiceImpl* impl = impl_.get();
   impl_->pipeline->add_stage(std::make_unique<SourceNode>(impl), "ingest");
+  const ScalePolicy& scale = impl_->config.scale;
+  const bool elastic = scale.enabled();
   flow::FarmOptions farm;
-  farm.replicas = impl_->config.workers;
+  // Elastic mode provisions the farm at the ceiling and lets the controller
+  // bound how many replicas the emitter feeds; the surplus park on empty
+  // queues. Fixed mode is byte-identical to the pre-elastic service.
+  farm.replicas = elastic ? scale.max_workers : impl_->config.workers;
   farm.ordered = false;
   farm.policy = flow::SchedPolicy::kLeastLoaded;
+  farm.controller = elastic ? &impl_->farm_ctl : nullptr;
   impl_->pipeline->add_farm(
       [impl] { return std::make_unique<WorkerNode>(impl); }, farm, "exec");
   impl_->pipeline->add_stage(std::make_unique<SinkNode>(impl), "complete");
 
+  const int initial =
+      elastic ? std::clamp(impl_->config.workers, scale.min_workers,
+                           scale.max_workers)
+              : impl_->config.workers;
+  if (elastic) impl_->farm_ctl.set_active(initial);
+  impl_->workers_active.store(initial, std::memory_order_relaxed);
+  if (impl_->workers_gauge != nullptr) {
+    impl_->workers_gauge->set(static_cast<double>(initial));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->accepting = true;
+  }
   impl_->running.store(true, std::memory_order_release);
   impl_->runner = std::thread([impl] {
     Status s = impl->pipeline->run_and_wait();
     impl->run_status = s;  // read only after join in stop()
   });
+  if (elastic) {
+    impl_->scaler_stop.store(false, std::memory_order_relaxed);
+    impl_->scaler = std::thread([impl, scale, initial] {
+      ScaleDecider decider(scale, initial, ScaleDecider::Clock::now());
+      while (!impl->scaler_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(scale.sample_interval);
+        const auto resize = decider.observe(
+            ScaleDecider::Clock::now(),
+            impl->backlog.load(std::memory_order_relaxed),
+            impl->latency_overloaded.load(std::memory_order_relaxed));
+        if (!resize.has_value()) continue;
+        const int prev = impl->workers_active.load(std::memory_order_relaxed);
+        const std::uint64_t t0 = impl->config.spans != nullptr
+                                     ? impl->config.spans->now_ns()
+                                     : 0;
+        impl->farm_ctl.set_active(*resize);
+        impl->workers_active.store(*resize, std::memory_order_relaxed);
+        if (impl->workers_gauge != nullptr) {
+          impl->workers_gauge->set(static_cast<double>(*resize));
+        }
+        const bool grew = *resize > prev;
+        if (grew) {
+          impl->scale_ups.fetch_add(1, std::memory_order_relaxed);
+          if (impl->scale_up_counter != nullptr) {
+            impl->scale_up_counter->add(1);
+          }
+        } else {
+          impl->scale_downs.fetch_add(1, std::memory_order_relaxed);
+          if (impl->scale_down_counter != nullptr) {
+            impl->scale_down_counter->add(1);
+          }
+        }
+        if (impl->config.spans != nullptr) {
+          impl->config.spans->record(
+              grew ? impl->scale_up_span : impl->scale_down_span, t0,
+              impl->config.spans->now_ns());
+        }
+      }
+    });
+  }
   return OkStatus();
 }
 
@@ -295,8 +413,42 @@ Status Service::stop() {
   if (!impl_->started) return OkStatus();
   if (impl_->finished) return impl_->run_status;
   impl_->running.store(false, std::memory_order_release);
+  // Close admission under the queue mutex BEFORE announcing draining: a
+  // submit that already passed the lock-free running check either beats
+  // this critical section (its ticket is then visible to the source's
+  // final pop) or observes accepting == false and is rejected. Without
+  // this ordering a ticket could land in the queue after the source went
+  // EOS and its future would never resolve.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->accepting = false;
+  }
   impl_->draining.store(true, std::memory_order_release);
   if (impl_->runner.joinable()) impl_->runner.join();
+  impl_->scaler_stop.store(true, std::memory_order_release);
+  if (impl_->scaler.joinable()) impl_->scaler.join();
+  // Belt-and-braces for abnormal ends (watchdog abort, stage failure):
+  // a pipeline that died early leaves accepted tickets queued. Resolve
+  // every one of them so no caller blocks on a future forever.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    Ticket ticket;
+    while (impl_->wrr.pop(ticket)) {
+      impl_->backlog.fetch_sub(1, std::memory_order_relaxed);
+      impl_->cancelled.fetch_add(1, std::memory_order_relaxed);
+      impl_->completed.fetch_add(1, std::memory_order_relaxed);
+      if (impl_->completed_counter != nullptr) {
+        impl_->completed_counter->add(1);
+      }
+      if (ticket.inflight != nullptr) {
+        ticket.inflight->fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (ticket.promise != nullptr) {
+        ticket.result.status = Aborted("service stopped before the job ran");
+        ticket.promise->set_value(std::move(ticket.result));
+      }
+    }
+  }
   impl_->finished = true;
   impl_->breakers.publish();
   return impl_->run_status;
@@ -312,6 +464,12 @@ SubmitResult Service::submit(std::string_view tenant, JobRequest request,
       if (impl_->shed_counter != nullptr) impl_->shed_counter->add(1);
       if (auto* tc = impl_->tenant_counters(tenant); tc != nullptr) {
         tc->shed->add(1);
+      }
+    } else if (code == RejectCode::kQuota) {
+      impl_->quota_rejects.fetch_add(1, std::memory_order_relaxed);
+      if (impl_->quota_counter != nullptr) impl_->quota_counter->add(1);
+      if (auto* tc = impl_->tenant_counters(tenant); tc != nullptr) {
+        tc->quota_rejects->add(1);
       }
     }
     out.rejected = Rejected{code, std::move(detail)};
@@ -367,7 +525,20 @@ SubmitResult Service::submit(std::string_view tenant, JobRequest request,
 
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
+    // Re-check admission under the queue mutex: the lock-free running
+    // check above can race stop(), but accepting is flipped under mu
+    // before draining is announced, so a push from here is guaranteed to
+    // be drained (by the source or by stop()'s leftover sweep) rather
+    // than stranded behind an EOS.
+    if (!impl_->accepting) {
+      out.result = {};
+      return reject(RejectCode::kShuttingDown, "service not accepting work");
+    }
     const std::size_t depth = impl_->wrr.depth(tenant);
+    if (cfg.tenant_quota_queued != 0 && depth >= cfg.tenant_quota_queued) {
+      out.result = {};
+      return reject(RejectCode::kQuota, "tenant queued quota exceeded");
+    }
     if (depth >= cfg.tenant_queue_capacity) {
       out.result = {};
       return reject(RejectCode::kOverload, "tenant queue full");
@@ -378,6 +549,24 @@ SubmitResult Service::submit(std::string_view tenant, JobRequest request,
                 static_cast<double>(cfg.tenant_queue_capacity)) {
       out.result = {};
       return reject(RejectCode::kOverload, "tenant queue over watermark");
+    }
+    // Last check before the push so a later reject can't leak the
+    // increment; the sink (or stop()'s sweep) owns the matching decrement.
+    if (cfg.tenant_quota_inflight != 0) {
+      auto it = impl_->tenant_inflight.find(tenant);
+      if (it == impl_->tenant_inflight.end()) {
+        it = impl_->tenant_inflight
+                 .emplace(std::string(tenant),
+                          std::make_shared<std::atomic<std::int64_t>>(0))
+                 .first;
+      }
+      if (it->second->load(std::memory_order_relaxed) >=
+          static_cast<std::int64_t>(cfg.tenant_quota_inflight)) {
+        out.result = {};
+        return reject(RejectCode::kQuota, "tenant in-flight quota exceeded");
+      }
+      it->second->fetch_add(1, std::memory_order_relaxed);
+      ticket.inflight = it->second;
     }
     impl_->wrr.push(tenant, std::move(ticket));
   }
@@ -395,11 +584,16 @@ ServiceStats Service::stats() const {
   s.submitted = impl_->submitted.load(std::memory_order_relaxed);
   s.accepted = impl_->accepted.load(std::memory_order_relaxed);
   s.shed = impl_->shed.load(std::memory_order_relaxed);
+  s.quota_rejects = impl_->quota_rejects.load(std::memory_order_relaxed);
   s.completed = impl_->completed.load(std::memory_order_relaxed);
+  s.cancelled = impl_->cancelled.load(std::memory_order_relaxed);
   s.deadline_miss = impl_->deadline_miss.load(std::memory_order_relaxed);
   s.cpu_jobs = impl_->retry_stats.cpu_fallbacks.load(std::memory_order_relaxed);
   s.breaker_trips = impl_->breakers.total_trips();
   s.breakers_open = impl_->breakers.open_count();
+  s.workers_active = impl_->workers_active.load(std::memory_order_relaxed);
+  s.scale_ups = impl_->scale_ups.load(std::memory_order_relaxed);
+  s.scale_downs = impl_->scale_downs.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -16,7 +16,16 @@
 //     ticket as a miss ("<prefix>.deadline_miss");
 //   * circuit breakers + jittered retries — per-device breakers gate the
 //     JobEngine's device choice, with capped-exponential decorrelated
-//     jitter between retry attempts (serve/backoff.hpp).
+//     jitter between retry attempts (serve/backoff.hpp);
+//   * per-tenant quotas — hard caps on one tenant's queued and in-flight
+//     jobs, rejected with Rejected{kQuota} (counted in
+//     "<prefix>.tenant.<name>.quota_rejects") so a single hot tenant
+//     cannot monopolize the farm however much global capacity remains;
+//   * elastic workers — when ServiceConfig::scale is enabled the farm is
+//     provisioned at scale.max_workers and a controller thread grows and
+//     shrinks the fed-worker count with the backlog (serve/scale.hpp);
+//     "<prefix>.workers" gauges the current count and every resize bumps
+//     "<prefix>.scale_up"/"<prefix>.scale_down" and records a span.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,7 @@
 #include "sched/sched.hpp"
 #include "serve/breaker.hpp"
 #include "serve/jobs.hpp"
+#include "serve/scale.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hs::serve {
@@ -41,6 +51,7 @@ namespace hs::serve {
 enum class RejectCode : std::uint8_t {
   kOverload,      ///< shed: queue full / watermark / p99 over budget
   kShuttingDown,  ///< service is stopped or draining
+  kQuota,         ///< tenant exceeded its queued or in-flight quota
 };
 
 std::string_view reject_code_name(RejectCode code);
@@ -62,6 +73,19 @@ struct SubmitResult {
 
 struct ServiceConfig {
   int workers = 4;
+  /// Elastic worker scaling (serve/scale.hpp). Disabled by default; when
+  /// scale.enabled() the farm is provisioned at scale.max_workers, starts
+  /// with `workers` fed (clamped into [min, max]) and a controller thread
+  /// resizes it with the backlog.
+  ScalePolicy scale;
+  /// Per-tenant quota on *queued* jobs (0 = unlimited). Checked before the
+  /// shared queue-capacity/watermark sheds; rejections are kQuota, not
+  /// kOverload, so callers can tell "you are over your share" from "the
+  /// service is full".
+  std::size_t tenant_quota_queued = 0;
+  /// Per-tenant quota on jobs accepted but not yet completed (queued +
+  /// executing). 0 = unlimited.
+  std::size_t tenant_quota_inflight = 0;
   /// Bounded per-tenant queue: submissions beyond this are shed.
   std::size_t tenant_queue_capacity = 64;
   /// Soft admission watermark as a fraction of tenant_queue_capacity; a
@@ -90,8 +114,8 @@ struct ServiceConfig {
   std::size_t queue_capacity = 256;
   /// Telemetry sinks (null = uninstrumented). Metric names use `prefix`;
   /// besides the aggregate counters, each tenant gets a lazily-registered
-  /// "<prefix>.tenant.<name>.{accepted,shed,deadline_miss}" slice plus a
-  /// "<prefix>.tenant.<name>.weight" gauge.
+  /// "<prefix>.tenant.<name>.{accepted,shed,deadline_miss,quota_rejects}"
+  /// slice plus a "<prefix>.tenant.<name>.weight" gauge.
   telemetry::Registry* registry = nullptr;
   telemetry::SpanRecorder* spans = nullptr;
   telemetry::QueueDepthSampler* sampler = nullptr;
@@ -107,11 +131,16 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
   std::uint64_t shed = 0;
+  std::uint64_t quota_rejects = 0;   ///< Rejected{kQuota} submissions
   std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;       ///< accepted but resolved by stop()
   std::uint64_t deadline_miss = 0;
   std::uint64_t cpu_jobs = 0;        ///< jobs finished on the CPU rung
   std::uint64_t breaker_trips = 0;
   int breakers_open = 0;             ///< currently open (not half-open)
+  int workers_active = 0;            ///< fed workers right now
+  std::uint64_t scale_ups = 0;       ///< grow resizes since start()
+  std::uint64_t scale_downs = 0;     ///< shrink resizes since start()
 };
 
 /// The service. Thread-safe submit(); start()/stop() from one owner thread.

@@ -6,12 +6,27 @@
 // caller-owned map (service config); unlisted tenants and weights < 1 get
 // weight 1, and with every weight at 1 the rotation is byte-identical to
 // plain round-robin (one pop, then advance) — the scheme predating
-// weights. Not thread-safe: the service guards it with its own mutex.
+// weights.
+//
+// The rotation position is tracked by *tenant key*, not by index into the
+// map: a push() that creates a tenant lexicographically before the current
+// position must neither shift the rotation onto a different tenant nor
+// inherit the in-progress burst credit (the PR-9 `rr_ % n` index scheme did
+// both). Tenant queues that stay empty for `prune_after` consecutive
+// pop/push operations are erased — one-shot tenants no longer leak a map
+// node per name for the life of the service — and because the rotation is
+// key-stable, pruning a queue never disturbs the order the surviving
+// tenants are served in. depth() reports 0 for pruned (and never-seen)
+// tenants alike; a pruned tenant that submits again is simply re-created.
+//
+// Not thread-safe: the service guards it with its own mutex.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <string>
 #include <string_view>
@@ -23,9 +38,11 @@ template <typename T>
 class WrrQueues {
  public:
   /// `weights` is borrowed (may be null = all weights 1) and must outlive
-  /// the queues.
-  explicit WrrQueues(const std::map<std::string, int, std::less<>>* weights)
-      : weights_(weights) {}
+  /// the queues. `prune_after` is the number of pop()/push() operations a
+  /// tenant's queue may sit empty before it is erased (0 = never prune).
+  explicit WrrQueues(const std::map<std::string, int, std::less<>>* weights,
+                     std::uint64_t prune_after = 4096)
+      : weights_(weights), prune_after_(prune_after) {}
 
   /// Effective weight of a tenant: configured weight, floored at 1.
   [[nodiscard]] int weight_of(std::string_view tenant) const {
@@ -35,53 +52,81 @@ class WrrQueues {
     return it->second < 1 ? 1 : it->second;
   }
 
-  /// Queued items for one tenant (0 when unknown).
+  /// Queued items for one tenant (0 when unknown or pruned).
   [[nodiscard]] std::size_t depth(std::string_view tenant) const {
     const auto it = queues_.find(tenant);
-    return it == queues_.end() ? 0 : it->second.size();
+    return it == queues_.end() ? 0 : it->second.items.size();
   }
 
+  /// Tenants currently holding a queue (post-pruning; test/telemetry use).
+  [[nodiscard]] std::size_t tenant_count() const { return queues_.size(); }
+
   void push(std::string_view tenant, T item) {
+    ++ops_;
     auto it = queues_.find(tenant);
     if (it == queues_.end()) {
-      it = queues_.emplace(std::string(tenant), std::deque<T>()).first;
+      it = queues_.emplace(std::string(tenant), Queue{}).first;
     }
-    it->second.push_back(std::move(item));
+    it->second.items.push_back(std::move(item));
+    it->second.last_active = ops_;
   }
 
   /// Pops the next item in WRR order; false when every queue is empty.
   /// The rotation stays on one tenant for up to weight_of() pops
   /// (turn_served_ tracks the burst); an exhausted or skipped queue ends
-  /// the burst and advances the rotation.
+  /// the burst and advances the rotation. Long-empty queues passed over by
+  /// the scan are pruned here.
   bool pop(T& out) {
-    const std::size_t n = queues_.size();
-    if (n == 0) return false;
-    auto it = queues_.begin();
-    std::advance(it, static_cast<std::ptrdiff_t>(rr_ % n));
-    for (std::size_t k = 0; k < n; ++k) {
-      if (!it->second.empty()) {
-        out = std::move(it->second.front());
-        it->second.pop_front();
-        if (++turn_served_ >= weight_of(it->first) || it->second.empty()) {
+    if (queues_.empty()) return false;
+    ++ops_;
+    auto it = queues_.lower_bound(cursor_);
+    if (it == queues_.end()) it = queues_.begin();
+    // A burst in progress belongs to the exact tenant named by cursor_; if
+    // that tenant vanished (pruned) the burst credit dies with it instead
+    // of transferring to whichever queue sorts there now.
+    if (turn_served_ != 0 && it->first != cursor_) turn_served_ = 0;
+    std::size_t scanned = 0;
+    const std::size_t limit = queues_.size();
+    while (scanned < limit && !queues_.empty()) {
+      if (it == queues_.end()) it = queues_.begin();
+      Queue& q = it->second;
+      if (!q.items.empty()) {
+        out = std::move(q.items.front());
+        q.items.pop_front();
+        q.last_active = ops_;
+        if (++turn_served_ >= weight_of(it->first) || q.items.empty()) {
           turn_served_ = 0;
-          rr_ = (rr_ % n + k + 1) % n;
+          auto next = std::next(it);
+          cursor_ =
+              next == queues_.end() ? queues_.begin()->first : next->first;
         } else {
-          rr_ = (rr_ % n + k) % n;  // burst continues on this tenant
+          cursor_ = it->first;  // burst continues on this tenant
         }
         return true;
       }
       turn_served_ = 0;  // passing an empty queue ends any pending burst
-      ++it;
-      if (it == queues_.end()) it = queues_.begin();
+      if (prune_after_ != 0 && ops_ - q.last_active > prune_after_) {
+        it = queues_.erase(it);
+      } else {
+        ++it;
+      }
+      ++scanned;
     }
     return false;
   }
 
  private:
+  struct Queue {
+    std::deque<T> items;
+    std::uint64_t last_active = 0;  ///< ops_ at last push or non-empty pop
+  };
+
   const std::map<std::string, int, std::less<>>* weights_;
-  std::map<std::string, std::deque<T>, std::less<>> queues_;
-  std::size_t rr_ = 0;      ///< rotation position (index into the map)
-  int turn_served_ = 0;     ///< pops served to the tenant at rr_ this burst
+  std::map<std::string, Queue, std::less<>> queues_;
+  std::string cursor_;        ///< key of the tenant the rotation points at
+  int turn_served_ = 0;       ///< pops served to cursor_'s tenant this burst
+  std::uint64_t ops_ = 0;     ///< pop/push clock driving the pruner
+  std::uint64_t prune_after_;
 };
 
 }  // namespace hs::serve

@@ -3,6 +3,7 @@
 // scheduling policies, emit(), and error propagation.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <limits>
@@ -527,6 +528,101 @@ TEST(FarmTest, LeastLoadedOrderedFarmPreservesSequence) {
   ASSERT_TRUE(p.run_and_wait().ok());
   ASSERT_EQ(got.size(), 4000u);
   for (int i = 0; i < 4000; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+/// Farm worker that tallies per-replica item counts into a shared array.
+class ReplicaTally final : public Node {
+ public:
+  explicit ReplicaTally(std::array<std::atomic<int>, 8>* counts)
+      : counts_(counts) {}
+  void on_init(int replica_id) override { replica_ = replica_id; }
+  SvcResult svc(Item in) override {
+    (*counts_)[static_cast<std::size_t>(replica_)].fetch_add(
+        1, std::memory_order_relaxed);
+    return SvcResult::Out(std::move(in));
+  }
+
+ private:
+  std::array<std::atomic<int>, 8>* counts_;
+  int replica_ = 0;
+};
+
+TEST(FarmTest, ControllerClampsAndBindsToReplicaCount) {
+  FarmController ctl;
+  ctl.set_active(10);  // unbound: only floored at 1
+  EXPECT_GE(ctl.active(), 10);
+  Pipeline p;
+  p.add_stage(counting_source(10), "src");
+  FarmOptions opts;
+  opts.replicas = 4;
+  opts.controller = &ctl;
+  p.add_farm(stage_factory<int, int>([](int v) { return v; }), opts, "farm");
+  p.add_stage(make_sink<int>([](int) {}), "sink");
+  EXPECT_EQ(ctl.replicas(), 4);
+  EXPECT_EQ(ctl.active(), 4);  // bound + clamped
+  ctl.set_active(0);
+  EXPECT_EQ(ctl.active(), 1);  // floor
+  ctl.set_active(99);
+  EXPECT_EQ(ctl.active(), 4);  // ceiling
+  ASSERT_TRUE(p.run_and_wait().ok());
+}
+
+TEST(FarmTest, ControllerAtOneFeedsOnlyReplicaZero) {
+  std::array<std::atomic<int>, 8> counts{};
+  FarmController ctl;
+  Pipeline p;
+  p.add_stage(counting_source(2000), "src");
+  FarmOptions opts;
+  opts.replicas = 4;
+  opts.policy = SchedPolicy::kLeastLoaded;
+  opts.controller = &ctl;
+  p.add_farm([&counts] { return std::make_unique<ReplicaTally>(&counts); },
+             opts, "farm");
+  int got = 0;
+  p.add_stage(make_sink<int>([&](int) { ++got; }), "sink");
+  ctl.set_active(1);
+  ASSERT_TRUE(p.run_and_wait().ok());
+  EXPECT_EQ(got, 2000);
+  EXPECT_EQ(counts[0].load(), 2000);
+  for (std::size_t w = 1; w < 4; ++w) EXPECT_EQ(counts[w].load(), 0) << w;
+}
+
+TEST(FarmTest, ControllerResizeMidRunLosesNothing) {
+  std::array<std::atomic<int>, 8> counts{};
+  FarmController ctl;
+  PipelineOptions popts;
+  popts.queue_capacity = 8;  // keep the emitter honest under resizes
+  Pipeline p(popts);
+  constexpr int kItems = 20000;
+  p.add_stage(counting_source(kItems), "src");
+  FarmOptions opts;
+  opts.replicas = 4;
+  opts.policy = SchedPolicy::kLeastLoaded;
+  opts.controller = &ctl;
+  p.add_farm([&counts] { return std::make_unique<ReplicaTally>(&counts); },
+             opts, "farm");
+  std::multiset<int> got;
+  p.add_stage(make_sink<int>([&](int v) { got.insert(v); }), "sink");
+  ctl.set_active(1);
+  std::atomic<bool> stop{false};
+  std::thread resizer([&] {
+    int n = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ctl.set_active(1 + (n++ % 4));  // oscillate 2,3,4,1,...
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  Status s = p.run_and_wait();
+  stop.store(true, std::memory_order_relaxed);
+  resizer.join();
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got.count(i), 1u);
+  int total = 0;
+  for (auto& c : counts) total += c.load();
+  EXPECT_EQ(total, kItems);
+  // The grown phases must actually have engaged extra replicas.
+  EXPECT_GT(counts[1].load() + counts[2].load() + counts[3].load(), 0);
 }
 
 TEST(PipelineTest, PinPolicyReportsPinnedCores) {
